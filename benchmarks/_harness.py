@@ -1,0 +1,80 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every ``bench_*`` module reproduces one experiment from DESIGN.md's
+index (T1, E1-E12). Conventions:
+
+* Each benchmark times its workload once (``benchmark.pedantic(...,
+  rounds=1)``) — these are *experiments*, not micro-benchmarks; the
+  timing shows the cost of regenerating the result.
+* Each prints its paper-style table/figure to stdout (visible with
+  ``pytest -s``) **and** writes it to ``benchmarks/results/<id>.txt`` so
+  the artifacts persist regardless of capture settings. EXPERIMENTS.md
+  records the committed reference outputs.
+* Shapes asserted here are the paper's qualitative claims (who wins,
+  monotonicity, bounds) — never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.interfaces import Balancer
+from repro.sim import SimulationResult, Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print an experiment artifact and persist it under results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def run_hotspot(
+    topology,
+    balancer: Balancer,
+    n_tasks: int | None = None,
+    seed: int = 0,
+    max_rounds: int = 500,
+    links=None,
+    fault_model=None,
+    task_graph=None,
+    resources=None,
+    dynamic=None,
+    track_journeys: bool = False,
+    c1: float = 1.0,
+) -> tuple[Simulator, SimulationResult]:
+    """One hotspot run: the workhorse scenario of E1/E2/E3/E5/E9."""
+    if n_tasks is None:
+        n_tasks = 8 * topology.n_nodes
+    system = TaskSystem(topology)
+    single_hotspot(system, n_tasks, rng=seed)
+    sim = Simulator(
+        topology,
+        system,
+        balancer,
+        links=links,
+        fault_model=fault_model,
+        task_graph=task_graph,
+        resources=resources,
+        dynamic=dynamic,
+        seed=seed,
+        track_journeys=track_journeys,
+        c1=c1,
+    )
+    return sim, sim.run(max_rounds=max_rounds)
+
+
+def default_pplb(**overrides) -> ParticlePlaneBalancer:
+    """A PPLB instance with optional config overrides."""
+    return ParticlePlaneBalancer(PPLBConfig(**overrides) if overrides else PPLBConfig())
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

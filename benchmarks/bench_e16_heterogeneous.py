@@ -1,0 +1,80 @@
+"""E16 (extension) — heterogeneous processor speeds.
+
+The paper's surface model carries over unchanged to machines whose
+processors differ in speed: balance should then mean *capacity-
+proportional* load (``h_i ∝ s_i``), which the framework achieves by
+building the surface from effective heights ``h_i/s_i``. This bench
+ablates that choice.
+
+Reproduced artifact: hotspot on an 8x8 mesh whose right half is 2x
+fast; speed-aware PPLB vs speed-oblivious PPLB vs (speed-oblivious)
+task diffusion, measured on the capacity-weighted CoV and the
+fast/slow load split.
+
+Expected shape: speed-aware PPLB reaches weighted near-balance with a
+~2:1 fast:slow load split; the oblivious variants equalise raw loads
+(1:1 split) and plateau at the weighted imbalance that implies.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import TaskDiffusion
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.network import mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+from _harness import emit, once
+
+
+def _run(balancer, seed=0):
+    topo = mesh(8, 8)
+    speeds = np.ones(64)
+    speeds[topo.coords[:, 0] > 0.5] = 2.0
+    system = TaskSystem(topo)
+    single_hotspot(system, 512, rng=0)
+    sim = Simulator(topo, system, balancer, node_speeds=speeds, seed=seed)
+    res = sim.run(max_rounds=500)
+    h = system.node_loads
+    fast = float(h[speeds == 2.0].sum())
+    slow = float(h[speeds == 1.0].sum())
+    return {
+        "algorithm": balancer.name,
+        "weighted_cov": round(res.final_cov, 3),
+        "fast/slow_load": round(fast / max(slow, 1e-9), 2),
+        "migrations": res.total_migrations,
+        "converged_round": res.converged_round,
+    }
+
+
+def test_e16_speed_heterogeneity(benchmark):
+    rows = []
+
+    def run_all():
+        aware = ParticlePlaneBalancer(PPLBConfig(beta0=0.0, speed_aware=True))
+        aware.name = "pplb-speed-aware"
+        oblivious = ParticlePlaneBalancer(PPLBConfig(beta0=0.0, speed_aware=False))
+        oblivious.name = "pplb-oblivious"
+        for bal in (aware, oblivious, TaskDiffusion("uniform")):
+            rows.append(_run(bal))
+        return rows
+
+    once(benchmark, run_all)
+    emit(
+        "E16_heterogeneous",
+        format_table(rows, title="E16 — 2x-fast right half (mesh-8x8 hotspot): "
+                                 "capacity-proportional balancing"),
+    )
+
+    by = {r["algorithm"]: r for r in rows}
+    # Speed-aware PPLB approaches the 2:1 capacity split and weighted balance.
+    assert 1.5 < by["pplb-speed-aware"]["fast/slow_load"] < 2.5
+    assert by["pplb-speed-aware"]["weighted_cov"] < 0.3
+    # Oblivious balancers split ~1:1 and carry the implied weighted error.
+    assert by["pplb-oblivious"]["fast/slow_load"] < 1.4
+    assert by["pplb-oblivious"]["weighted_cov"] > by["pplb-speed-aware"]["weighted_cov"]
+    assert by["task-diffusion-uniform"]["weighted_cov"] > by["pplb-speed-aware"][
+        "weighted_cov"
+    ]

@@ -1,0 +1,65 @@
+"""E3 — kinetic friction keeps migration local (§4.1 locality claim).
+
+Paper claim: "The analogy of a system in the presence of kinetic
+friction in load balancing is that a node's additional loads are more
+tended to be assigned to the local neighbors" — larger µk ⇒ shorter
+journeys.
+
+Reproduced artifact: hop-displacement distribution of migrated tasks as
+a function of µk on a 16x16 mesh hotspot.
+
+Expected shape: mean and p95 journey displacement decrease monotonically
+in µk; with very large µk nearly everything lands within a couple of
+hops of the hotspot.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.network import mesh
+
+from _harness import default_pplb, emit, once, run_hotspot
+
+
+def test_e3_muk_locality(benchmark):
+    mu_ks = [0.05, 0.25, 1.0, 4.0]
+    rows = []
+
+    def run_all():
+        for mu_k in mu_ks:
+            sim, res = run_hotspot(
+                mesh(16, 16),
+                default_pplb(mu_k_base=mu_k),
+                n_tasks=512,
+                max_rounds=600,
+                track_journeys=True,
+            )
+            disp = np.array(list(sim.journey_displacements().values()), dtype=float)
+            disp = disp if disp.size else np.zeros(1)
+            rows.append(
+                {
+                    "mu_k": mu_k,
+                    "migrated_tasks": int((disp > 0).sum()),
+                    "mean_hops_from_origin": round(float(disp.mean()), 2),
+                    "p95_hops": round(float(np.percentile(disp, 95)), 2),
+                    "max_hops": int(disp.max()),
+                    "final_cov": round(res.final_cov, 3),
+                    "traffic": round(res.total_traffic, 1),
+                }
+            )
+        return rows
+
+    once(benchmark, run_all)
+    emit(
+        "E3_locality",
+        format_table(rows, title="E3 — journey displacement vs kinetic friction "
+                                 "(mesh-16x16, 512-task hotspot)"),
+    )
+
+    means = [r["mean_hops_from_origin"] for r in rows]
+    p95s = [r["p95_hops"] for r in rows]
+    # Monotone locality in µk (the paper's §4.1 claim).
+    assert all(means[i] >= means[i + 1] for i in range(len(means) - 1)), means
+    assert p95s[0] > p95s[-1]
+    # Traffic also shrinks as journeys shorten.
+    assert rows[0]["traffic"] > rows[-1]["traffic"]

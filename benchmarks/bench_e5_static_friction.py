@@ -1,0 +1,68 @@
+"""E5 — the static friction tradeoff (§4.1, inequality (1)).
+
+Paper claim: "while we are always interested in a perfect distribution
+of loads, this ideal goal may cost us too much due to the communication
+delay ... This can be modeled physically as the presence of static
+friction force. Static friction force hinders the object from movement
+if the slope is not steep enough."
+
+Reproduced artifact: µs sweep on the mesh hotspot — migrations, traffic
+and final balance per µs.
+
+Expected shape: migrations and traffic decrease monotonically in µs;
+final imbalance increases; at extreme µs nothing moves at all (the
+"ignore load balancing completely" regime).
+"""
+
+from repro.analysis import ascii_plot, format_table
+from repro.network import mesh
+
+from _harness import default_pplb, emit, once, run_hotspot
+
+
+def test_e5_mu_s_sweep(benchmark):
+    mu_ss = [0.25, 1.0, 4.0, 16.0, 64.0, 100_000.0]
+    rows = []
+
+    def run_all():
+        for mu_s in mu_ss:
+            _sim, res = run_hotspot(
+                mesh(8, 8), default_pplb(mu_s_base=mu_s), n_tasks=512, max_rounds=500
+            )
+            rows.append(
+                {
+                    "mu_s": mu_s,
+                    "migrations": res.total_migrations,
+                    "traffic": round(res.total_traffic, 1),
+                    "final_cov": round(res.final_cov, 3),
+                    "final_spread": round(res.final_spread, 2),
+                    "converged_round": res.converged_round,
+                }
+            )
+        return rows
+
+    once(benchmark, run_all)
+    table = format_table(
+        rows, title="E5 — static friction sweep (mesh-8x8, 512-task hotspot)"
+    )
+    plot = ascii_plot(
+        {
+            "migrations": [r["migrations"] for r in rows],
+            "final_cov x1000": [r["final_cov"] * 1000 for r in rows],
+        },
+        title="E5 — balance/traffic tradeoff across the µs sweep "
+              "(x = sweep index)",
+        x_label="sweep idx",
+        height=12,
+    )
+    emit("E5_static_friction", table + "\n\n" + plot)
+
+    migr = [r["migrations"] for r in rows]
+    covs = [r["final_cov"] for r in rows]
+    # Monotone-decreasing migrations, with a 3% slack for arbiter noise
+    # between near-identical thresholds.
+    assert all(migr[i] >= 0.97 * migr[i + 1] for i in range(len(migr) - 1)), migr
+    assert migr[1] > migr[3] > migr[5]
+    assert covs[0] < covs[-1]
+    assert migr[-1] == 0, "extreme µs must freeze the system (inequality (1))"
+    assert covs[-1] == rows[-1]["final_cov"]  # untouched hotspot imbalance

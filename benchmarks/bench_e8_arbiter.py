@@ -1,0 +1,107 @@
+"""E8 — the annealed stochastic arbiter (§5.2) and the motion-rule
+ablation.
+
+Paper claims: the arbiter "gives the most of the chance to the links
+which are the steepest [and] considers some rare probabilities for
+choosing the less steep slopes", with rigidity increasing over time "in
+an attempt to make the system converge to an optimal solution".
+
+Reproduced artifacts:
+1. β0 sweep on the two-valleys scenario (two unequal hotspots separated
+   by the mesh): final balance and traffic for greedy (β0=0) through
+   heavy exploration.
+2. Motion-rule ablation: the default ``arbiter-settle`` rule vs the
+   paper-literal ``energy-only`` rule — same scenario, comparing
+   convergence round, hops per journey and traffic.
+
+Expected shapes (and one honest negative result, recorded in
+EXPERIMENTS.md): every β0 converges to near-balance, confirming the
+arbiter never *breaks* convergence; however on this scenario greedy
+(β0=0) already matches or slightly beats exploration on final balance —
+the gradient surface has no deceptive local minima for exploration to
+escape, so the paper's annealing buys nothing here and costs a little
+balance while exploring. The measured assertion is therefore a
+*stability band* (all β0 within a narrow quality/traffic envelope), not
+an exploration win. The motion-rule ablation is the decisive part: the
+paper-literal ``energy-only`` rule produces strictly more hops per
+journey (wandering) than ``arbiter-settle``.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.network import mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import multi_hotspot
+
+from _harness import emit, once
+
+
+def _run(cfg, seed=0, max_rounds=500):
+    topo = mesh(8, 8)
+    system = TaskSystem(topo)
+    multi_hotspot(system, 512, rng=seed, n_spots=2, weights=[0.7, 0.3])
+    bal = ParticlePlaneBalancer(cfg)
+    sim = Simulator(topo, system, bal, seed=seed)
+    res = sim.run(max_rounds=max_rounds)
+    return res, bal
+
+
+def test_e8_beta0_sweep_and_motion_ablation(benchmark):
+    rows = []
+    ablation = []
+
+    def run_all():
+        # --- β0 sweep (3 seeds each, averaged) -------------------------
+        for beta0 in (0.0, 0.1, 0.25, 0.5, 0.8):
+            covs, traffics, rounds = [], [], []
+            for seed in range(3):
+                res, _bal = _run(PPLBConfig(beta0=beta0), seed=seed)
+                covs.append(res.final_cov)
+                traffics.append(res.total_traffic)
+                rounds.append(res.converged_round if res.converged else res.n_rounds)
+            rows.append(
+                {
+                    "beta0": beta0,
+                    "final_cov": round(float(np.mean(covs)), 3),
+                    "traffic": round(float(np.mean(traffics)), 1),
+                    "rounds": round(float(np.mean(rounds)), 1),
+                }
+            )
+        # --- motion-rule ablation --------------------------------------
+        for rule in ("arbiter-settle", "energy-only"):
+            res, bal = _run(PPLBConfig(motion_rule=rule, mu_k_base=0.25), seed=0)
+            journeys = max(bal.stats["initiated"], 1)
+            ablation.append(
+                {
+                    "motion_rule": rule,
+                    "final_cov": round(res.final_cov, 3),
+                    "hops_per_journey": round(bal.stats["hops"] / journeys, 2),
+                    "traffic": round(res.total_traffic, 1),
+                    "rounds": res.converged_round if res.converged else res.n_rounds,
+                }
+            )
+        return rows
+
+    once(benchmark, run_all)
+    table1 = format_table(rows, title="E8a — arbiter exploration sweep "
+                                      "(two unequal hotspots, mesh-8x8, 3 seeds)")
+    table2 = format_table(ablation, title="E8b — motion-rule ablation "
+                                          "(arbiter-settle vs paper-literal energy-only)")
+    emit("E8_arbiter", table1 + "\n\n" + table2)
+
+    # All β0 values converge to sane balance: exploration never breaks
+    # Theorem 2.
+    assert all(r["final_cov"] < 0.5 for r in rows), rows
+    # Stability band: the whole sweep stays within a narrow traffic and
+    # balance envelope (the honest measured result — see module docstring).
+    traffics = [r["traffic"] for r in rows]
+    covs = [r["final_cov"] for r in rows]
+    assert max(traffics) / min(traffics) < 1.15, traffics
+    assert max(covs) - min(covs) < 0.2, covs
+    # Greedy is at least as balanced as heavy exploration here.
+    assert covs[0] <= covs[-1] + 1e-9, covs
+    # The literal energy rule wanders: more hops per journey.
+    assert ablation[1]["hops_per_journey"] > ablation[0]["hops_per_journey"]

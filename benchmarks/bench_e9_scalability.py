@@ -1,0 +1,72 @@
+"""E9 — scalability across machine sizes.
+
+Paper context: a decentralized algorithm's value depends on how its
+convergence scales with the machine. Neither theorem quantifies this;
+the implied claim is graceful scaling through purely local decisions.
+
+Reproduced artifact: rounds-to-quiescence, per-round wall time and
+traffic on meshes 4x4 → 16x16 and hypercubes d=4 → d=8, with load
+proportional to machine size (8 tasks/node).
+
+Expected shape: rounds-to-converge grows with diameter (hotspot drain
+is outflow-limited: the paper's one-load-per-link rule makes ~h0/degree
+rounds a lower bound); per-round wall time grows roughly linearly in
+nodes + in-flight tasks.
+"""
+
+from repro.analysis import format_table
+from repro.network import hypercube, mesh
+
+from _harness import default_pplb, emit, once, run_hotspot
+
+
+def test_e9_scalability(benchmark):
+    topologies = [
+        mesh(4, 4), mesh(8, 8), mesh(12, 12), mesh(16, 16),
+        hypercube(4), hypercube(6), hypercube(8),
+    ]
+    rows = []
+
+    def run_all():
+        for topo in topologies:
+            # candidates_per_node must cover the degree, or departures are
+            # candidate-limited instead of link-limited and high-degree
+            # topologies cannot exploit their extra outflow capacity.
+            bal = default_pplb(candidates_per_node=max(8, topo.max_degree))
+            _sim, res = run_hotspot(
+                topo, bal, n_tasks=8 * topo.n_nodes, max_rounds=1500
+            )
+            rows.append(
+                {
+                    "topology": topo.name,
+                    "nodes": topo.n_nodes,
+                    "diameter": topo.diameter,
+                    "rounds_to_quiesce": res.converged_round,
+                    "final_cov": round(res.final_cov, 3),
+                    "migrations": res.total_migrations,
+                    "ms_per_round": round(1000 * res.wall_time_s / res.n_rounds, 2),
+                }
+            )
+        return rows
+
+    once(benchmark, run_all)
+    emit(
+        "E9_scalability",
+        format_table(rows, title="E9 — PPLB scalability (8 tasks/node hotspot)"),
+    )
+
+    # Everything converges to near-balance.
+    assert all(r["rounds_to_quiesce"] is not None for r in rows), rows
+    assert all(r["final_cov"] < 0.5 for r in rows), rows
+    mesh_rows = [r for r in rows if r["topology"].startswith("mesh")]
+    cube_rows = [r for r in rows if r["topology"].startswith("hypercube")]
+    # Rounds grow with machine size within a family (outflow-limited drain).
+    mesh_rounds = [r["rounds_to_quiesce"] for r in mesh_rows]
+    assert mesh_rounds == sorted(mesh_rounds), mesh_rounds
+    cube_rounds = [r["rounds_to_quiesce"] for r in cube_rows]
+    assert cube_rounds == sorted(cube_rounds), cube_rounds
+    # Hypercubes (log diameter, high degree) quiesce faster than the
+    # equal-sized mesh: 64-node cube vs 8x8 mesh.
+    m64 = next(r for r in rows if r["topology"] == "mesh-8x8")
+    h64 = next(r for r in rows if r["topology"] == "hypercube-6")
+    assert h64["rounds_to_quiesce"] < m64["rounds_to_quiesce"]

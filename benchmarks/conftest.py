@@ -1,0 +1,11 @@
+"""Benchmark-suite conftest: make the local harness importable.
+
+The benchmark modules import shared machinery from ``_harness.py`` in
+this directory; inserting the directory on sys.path keeps that import
+working regardless of pytest's rootdir configuration.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Load balancing as literal physics: a swarm on its own surface.
+
+The paper's §4 analogy run in reverse: instead of mapping physics onto
+a network, drop N unit loads (particles) into continuous space where
+each load *is* a bump in the surface. Every particle slides downhill
+away from the others' mass — and the swarm spreads itself into a
+uniform density with no algorithm anywhere. Friction (µk) makes the
+process terminate; the density CoV is exactly the imbalance metric the
+discrete system uses.
+
+Run:  python examples/continuous_swarm.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.physics import MultiParticleSimulator, PhysicsParams
+from repro.viz import render_heatmap
+
+
+def main() -> None:
+    n = 48
+    rng = np.random.default_rng(7)
+    start = np.asarray([0.5, 0.5]) + rng.uniform(-0.06, 0.06, (n, 2))
+
+    sim = MultiParticleSimulator(
+        masses=np.ones(n),
+        params=PhysicsParams(mu_s=0.02, mu_k=0.25, dt=1e-3, max_steps=80_000),
+        kernel_width=0.08,
+    )
+    res = sim.run(start, max_steps=80_000, snapshot_every=4000)
+
+    rows = []
+    for idx in (0, len(res.trajectory) // 3, -1):
+        frame = res.trajectory[idx]
+        rows.append(
+            {
+                "step": res.snapshot_times[idx],
+                "density_cov": round(sim.density_cov(frame, bins=4), 3),
+                "mean_pairwise_dist": round(sim.mean_pairwise_distance(frame), 3),
+            }
+        )
+    print(format_table(rows, title=f"{n} unit loads, self-generated surface "
+                                   f"(settled={res.settled}, steps={res.steps})"))
+
+    yard = ((0.0, 1.0), (0.0, 1.0))
+    print("\nInitial cluster:")
+    print(render_heatmap(sim.masses, res.trajectory[0], width=32, height=14,
+                         bounds=yard))
+    print("\nFinal spread:")
+    print(render_heatmap(sim.masses, res.positions, width=32, height=14,
+                         bounds=yard))
+    print(
+        "\nNo balancer ran — gravity on the mass-generated surface did "
+        "all the work. The discrete\nPPLB algorithm is this physics, "
+        "constrained to a network."
+    )
+
+
+if __name__ == "__main__":
+    main()

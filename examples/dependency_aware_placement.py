@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Task dependencies: friction from the T matrix keeps partners together.
+
+A fork-join parallel program (layers of tasks with dense inter-layer
+communication) starts on one node. An oblivious balancer scatters the
+program across the machine — great balance, terrible communication
+cost. PPLB with dependency friction (µs, µk grow with co-located
+dependency weight) balances more gently and keeps communicating tasks
+near each other.
+
+This is experiment E7's story in example form (paper §4.2).
+
+Run:  python examples/dependency_aware_placement.py
+"""
+
+from repro import ParticlePlaneBalancer, PPLBConfig, Simulator, TaskSystem, mesh
+from repro.analysis import format_table
+from repro.tasks.generators import fork_join_tasks, place_all_on
+from repro.workloads import balanced
+
+
+def run(w_dependency, seed=0):
+    topology = mesh(8, 8)
+    system = TaskSystem(topology)
+    # Background load so the program lands in a busy machine.
+    balanced(system, tasks_per_node=2, rng=seed)
+    ids, graph = fork_join_tasks(
+        system, width=8, depth=4, placement=place_all_on(27), rng=seed,
+        comm_weight=1.0, mean=1.0,
+    )
+    cfg = PPLBConfig(w_dependency=w_dependency, kappa=1.0, mu_k_base=0.1)
+    balancer = ParticlePlaneBalancer(cfg, task_graph=graph)
+    sim = Simulator(topology, system, balancer, task_graph=graph, seed=seed)
+    result = sim.run(max_rounds=400)
+
+    locations = system.snapshot_placement()
+    hd = topology.hop_distances
+    return {
+        "w_dependency": w_dependency,
+        "final_cov": round(result.final_cov, 3),
+        "comm_cost": round(graph.communication_cost(locations, hd), 1),
+        "pairs_within_1_hop": round(graph.colocated_fraction(locations, hd, 1), 3),
+        "migrations": result.total_migrations,
+    }
+
+
+def main() -> None:
+    rows = [run(w) for w in (0.0, 0.5, 2.0, 8.0)]
+    print(format_table(
+        rows,
+        title="Fork-join program (8 wide x 4 deep) on mesh-8x8: "
+              "dependency friction vs placement quality",
+    ))
+    print(
+        "\nw_dependency = 0 reproduces an oblivious gradient balancer: "
+        "lowest CoV, highest communication cost.\nRaising it buys locality "
+        "(higher within-1-hop fraction, lower comm cost) at a modest "
+        "balance penalty\n— the paper's µs/µk-from-T mechanism in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Dynamic load balancing: task churn, the problem the paper motivates.
+
+"New tasks may enter the system at any time and at any node" (§1).
+Poisson arrivals land skewed on two ingress nodes while tasks complete
+at a fixed rate; static mapping is impossible. Shows the sustained
+imbalance under PPLB vs doing nothing, and the arrival/absorption
+dynamics.
+
+Run:  python examples/dynamic_cluster.py
+"""
+
+import numpy as np
+
+from repro import (
+    DynamicWorkload,
+    ParticlePlaneBalancer,
+    PPLBConfig,
+    Simulator,
+    TaskSystem,
+    torus,
+)
+from repro.analysis import ascii_plot, format_table
+from repro.baselines import NoBalancer, TaskDiffusion
+
+
+def run(balancer_fn, rounds=400, seed=0):
+    topology = torus(8, 8)
+    system = TaskSystem(topology)
+    workload = DynamicWorkload(
+        arrival_rate=6.0,          # ~6 new tasks per round...
+        completion_prob=0.02,      # ...mean lifetime 50 rounds
+        arrival_nodes=[0, 36],     # skewed ingress (two gateways)
+        rng=seed,
+    )
+    sim = Simulator(topology, system, balancer_fn(), dynamic=workload, seed=seed)
+    result = sim.run(max_rounds=rounds)
+    covs = result.series("cov")
+    steady = covs[rounds // 2:]
+    return result, {
+        "algorithm": result.balancer_name,
+        "steady_cov_mean": round(float(steady.mean()), 3),
+        "steady_cov_p95": round(float(np.percentile(steady, 95)), 3),
+        "final_tasks": int(result.records[-1].n_tasks),
+        "migrations": result.total_migrations,
+    }
+
+
+def main() -> None:
+    rows = []
+    curves = {}
+    for fn in (
+        lambda: ParticlePlaneBalancer(PPLBConfig(mu_s_base=0.5)),
+        lambda: TaskDiffusion("uniform"),
+        NoBalancer,
+    ):
+        result, row = run(fn)
+        rows.append(row)
+        curves[row["algorithm"]] = result.series("cov")
+
+    print(format_table(
+        rows,
+        title="Sustained imbalance under churn (torus-8x8, skewed Poisson "
+              "arrivals, geometric completions)",
+    ))
+    print()
+    print(ascii_plot(curves, title="Imbalance (CoV) under churn", height=14))
+    print(
+        "\nWithout balancing the ingress nodes pile up work indefinitely; "
+        "PPLB holds the system near its granularity floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

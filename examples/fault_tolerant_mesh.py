@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fault tolerance: the F matrix steering traffic around unreliable links.
+
+Builds an 8x8 mesh whose left half has fault-prone links (f = 0.5 per
+round), piles work onto the border between the halves, and shows that
+PPLB — whose link cost e_ij = d/(bw·(1−f)^(c1·d/bw)) penalises
+unreliable links — *places* its load preferentially in the reliable
+half. Diffusion also avoids links that are down in a given round (the
+engine exposes availability to everyone), but its placement ignores
+fault probability, so it stores much more load behind flaky links.
+
+Run:  python examples/fault_tolerant_mesh.py
+"""
+
+import numpy as np
+
+from repro import (
+    FaultModel,
+    LinkAttributes,
+    ParticlePlaneBalancer,
+    PPLBConfig,
+    Simulator,
+    TaskSystem,
+    mesh,
+)
+from repro.analysis import format_table
+from repro.baselines import TaskDiffusion
+from repro.workloads import single_hotspot
+
+
+def build_links(topology, fault_prob):
+    """Left-half links are unreliable; right-half links are clean."""
+    coords = topology.coords
+    fault = np.zeros(topology.n_edges)
+    for k, (u, v) in enumerate(topology.edges):
+        if coords[u][0] < 0.5 and coords[v][0] <= 0.5:
+            fault[k] = fault_prob
+    return LinkAttributes(
+        topology,
+        bandwidth=np.ones(topology.n_edges),
+        distance=np.ones(topology.n_edges),
+        fault_prob=fault,
+    )
+
+
+def run(balancer, fault_prob=0.5, seed=0):
+    topology = mesh(8, 8)
+    links = build_links(topology, fault_prob)
+    system = TaskSystem(topology)
+    single_hotspot(system, 512, rng=0, node=28)  # border column
+    fm = FaultModel(links, rng=seed + 1)
+    sim = Simulator(topology, system, balancer, links=links, fault_model=fm,
+                    seed=seed, c1=4.0)
+    result = sim.run(max_rounds=400)
+    coords = topology.coords
+    h = system.node_loads
+    left = float(h[coords[:, 0] < 0.45].sum())
+    right = float(h[coords[:, 0] > 0.55].sum())
+    return {
+        "algorithm": balancer.name,
+        "final_cov": round(result.final_cov, 3),
+        "blocked_transfers": int(result.series("blocked").sum()),
+        "load_left(faulty)": round(left, 1),
+        "load_right(clean)": round(right, 1),
+        "migrations": result.total_migrations,
+    }
+
+
+def main() -> None:
+    rows = [
+        run(ParticlePlaneBalancer(PPLBConfig())),
+        run(TaskDiffusion("uniform")),
+    ]
+    print(format_table(
+        rows,
+        title="Unreliable left half (f=0.5/round), hotspot on the border: "
+              "fault-aware PPLB vs fault-oblivious diffusion",
+    ))
+    print(
+        "\nPPLB never schedules over a down link (blocked = 0) and, because "
+        "F raises e_ij on the left,\nplaces most load in the clean half. "
+        "Diffusion's placement ignores F: it leaves far more load\nstranded "
+        "behind the unreliable links."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The raw physics model (paper §3): particles, terrain, trapping.
+
+Releases a particle on a two-valley terrain at several friction levels
+and reports, for each run: where it settled, how far it travelled, the
+energy ledger, and what Theorem 1 / Corollary 3 predicted — the physical
+intuition behind every load-balancing rule in the paper.
+
+Run:  python examples/physics_playground.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.physics import (
+    HeightField,
+    ParticleSimulator,
+    PhysicsParams,
+    contour_at,
+    escape_radius,
+    max_escape_radius_bound,
+    peak_height,
+)
+
+
+def two_valley_terrain() -> HeightField:
+    """A ridge of height 0.5 at x=0.5 separating two valleys; the right
+    valley is deeper (carved below the plain)."""
+
+    def f(X, Y):
+        ridge = 0.6 * np.exp(-((X - 0.5) ** 2) / (2 * 0.06**2))
+        right_pit = -0.3 * np.exp(
+            -(((X - 0.8) ** 2) + (Y - 0.5) ** 2) / (2 * 0.08**2)
+        )
+        slope = 0.4 * (1.0 - X)  # gentle tilt pushing rightward
+        return ridge + right_pit + slope + 0.3
+
+    return HeightField.from_function(f, shape=(161, 161))
+
+
+def main() -> None:
+    field = two_valley_terrain()
+    start = (0.08, 0.5)
+    h0 = field.height(start)
+    print(f"terrain: z in [{field.min_height():.2f}, {field.max_height():.2f}], "
+          f"release at {start}, h0 = {h0:.3f}\n")
+
+    rows = []
+    for mu_k in (0.02, 0.08, 0.2, 0.6):
+        params = PhysicsParams(mu_s=0.02, mu_k=mu_k, dt=1e-3)
+        sim = ParticleSimulator(field, params, record_every=20)
+        res = sim.release(start)
+
+        # Theorem-1 analysis of the *starting* valley.
+        level = min(h0 + 0.05, field.max_height() - 1e-6)
+        contour = contour_at(field, start, level)
+        r = escape_radius(contour, start)
+        bound = max_escape_radius_bound(h0, mu_k)
+        theorem1_escape_possible = (
+            peak_height(contour) <= h0 - mu_k * r if np.isfinite(r) else False
+        )
+        crossed = res.end[0] > 0.5  # did it cross the ridge?
+
+        rows.append({
+            "mu_k": mu_k,
+            "settled_at": f"({res.end[0]:.2f}, {res.end[1]:.2f})",
+            "crossed_ridge": crossed,
+            "path_len": round(res.path_length, 2),
+            "corollary3_max_path": "inf" if np.isinf(bound) else round(bound, 2),
+            "heat": round(res.ledger.heat, 3),
+            "h*_final": round(res.ledger.potential_height(), 3),
+            "thm1_escape_ok": theorem1_escape_possible,
+        })
+
+    print(format_table(
+        rows,
+        title="One particle, four friction levels (two-valley terrain)",
+    ))
+    print(
+        "\nLow friction: the particle crosses the ridge into the deeper "
+        "valley (global optimum).\nHigh friction: it is trapped in the "
+        "first valley — exactly Corollary 3's r > h*/µk regime,\nwhich is "
+        "the physics behind PPLB's locality (µk ≙ communication cost)."
+    )
+
+
+if __name__ == "__main__":
+    main()

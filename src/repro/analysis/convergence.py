@@ -1,0 +1,77 @@
+"""Convergence analysis of imbalance time series.
+
+Diffusion theory says the imbalance contracts geometrically:
+``spread(t) ≈ spread(0) · γ^t`` with γ the subdominant eigenvalue of the
+diffusion matrix. :func:`fit_convergence_rate` estimates γ from any
+simulated series (least squares on the log-linear tail), letting the
+benchmarks compare measured rates against the spectral prediction and
+against PPLB's empirical behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+
+def rounds_to_fraction(series: np.ndarray, fraction: float = 0.05) -> int | None:
+    """First index where the series drops to *fraction* of its start.
+
+    ``None`` when the series never gets there. A start value of 0 means
+    the system began balanced; index 0 is returned.
+    """
+    s = np.asarray(series, dtype=np.float64)
+    if s.ndim != 1 or s.shape[0] == 0:
+        raise ConvergenceError(f"series must be non-empty 1-D, got shape {s.shape}")
+    if not 0 < fraction < 1:
+        raise ConvergenceError(f"fraction must be in (0, 1), got {fraction}")
+    if s[0] <= 0:
+        return 0
+    target = s[0] * fraction
+    hits = np.nonzero(s <= target)[0]
+    return int(hits[0]) if hits.shape[0] else None
+
+
+def fit_convergence_rate(
+    series: np.ndarray, tail_floor: float = 1e-9
+) -> tuple[float, float]:
+    """Least-squares fit of ``series[t] ≈ A·γ^t``; returns ``(γ, A)``.
+
+    Entries at or below *tail_floor* are excluded (once a run bottoms out
+    numerically, further samples carry no rate information). Requires at
+    least 3 usable points.
+
+    Raises
+    ------
+    ConvergenceError
+        When fewer than 3 positive samples exist (e.g. the run converged
+        instantly, or never produced a decaying signal).
+    """
+    s = np.asarray(series, dtype=np.float64)
+    if s.ndim != 1:
+        raise ConvergenceError(f"series must be 1-D, got shape {s.shape}")
+    mask = s > tail_floor
+    idx = np.nonzero(mask)[0]
+    if idx.shape[0] < 3:
+        raise ConvergenceError(
+            f"need at least 3 positive samples to fit a rate, got {idx.shape[0]}",
+            partial=s,
+        )
+    t = idx.astype(np.float64)
+    y = np.log(s[idx])
+    slope, intercept = np.polyfit(t, y, 1)
+    gamma = float(np.exp(slope))
+    a = float(np.exp(intercept))
+    return gamma, a
+
+
+def spectral_gamma(laplacian: np.ndarray, alpha: float) -> float:
+    """Predicted diffusion contraction factor ``max |1 − α·λ|`` over λ≠0.
+
+    The subdominant eigenvalue magnitude of ``M = I − αL`` — the rate
+    diffusion theory promises and [19]'s optimum minimises.
+    """
+    lam = np.linalg.eigvalsh(np.asarray(laplacian, dtype=np.float64))
+    lam_nonzero = lam[1:]  # λ1 = 0 carries the conserved total
+    return float(np.abs(1.0 - alpha * lam_nonzero).max())

@@ -1,0 +1,87 @@
+"""ASCII line plots for the benchmark harness (headless 'figures').
+
+:func:`ascii_plot` draws one or more named series on a character canvas
+with a log-or-linear y axis — enough to *see* convergence curves and
+crossovers directly in benchmark output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    logy: bool = False,
+    y_label: str = "",
+    x_label: str = "round",
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping name → y-values (x is the sample index; series may have
+        different lengths).
+    logy:
+        Log-scale the y axis (non-positive values are clipped to the
+        smallest positive sample).
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ConfigurationError(f"canvas too small: {width}x{height}")
+
+    data = {k: np.asarray(list(v), dtype=np.float64) for k, v in series.items()}
+    for k, v in data.items():
+        if v.ndim != 1 or v.shape[0] == 0:
+            raise ConfigurationError(f"series {k!r} must be non-empty 1-D")
+
+    max_len = max(v.shape[0] for v in data.values())
+    all_vals = np.concatenate(list(data.values()))
+    if logy:
+        pos = all_vals[all_vals > 0]
+        floor = float(pos.min()) if pos.shape[0] else 1e-12
+        data = {k: np.maximum(v, floor) for k, v in data.items()}
+        all_vals = np.concatenate(list(data.values()))
+        lo, hi = np.log10(all_vals.min()), np.log10(all_vals.max())
+    else:
+        lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, v) in enumerate(data.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        y = np.log10(v) if logy else v
+        for i in range(v.shape[0]):
+            x = int(round(i * (width - 1) / max(max_len - 1, 1)))
+            frac = (float(y[i]) - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            canvas[row][x] = marker
+
+    top = f"{(10**hi if logy else hi):.4g}"
+    bot = f"{(10**lo if logy else lo):.4g}"
+    label_w = max(len(top), len(bot), len(y_label)) + 1
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for r, rowchars in enumerate(canvas):
+        prefix = top if r == 0 else (bot if r == height - 1 else y_label if r == height // 2 else "")
+        out.append(prefix.rjust(label_w) + " |" + "".join(rowchars))
+    out.append(" " * label_w + " +" + "-" * width)
+    out.append(" " * label_w + f"  0{x_label:>{width - 4}}={max_len - 1}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(data)
+    )
+    out.append(" " * label_w + "  " + legend)
+    return "\n".join(out)

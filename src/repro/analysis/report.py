@@ -1,0 +1,82 @@
+"""Experiment report aggregation.
+
+After ``pytest benchmarks/ --benchmark-only`` every experiment has
+written its artifact to ``benchmarks/results/<id>.txt``. This module
+stitches them into one browsable report (and powers ``pplb report``),
+so a reviewer can read the entire reproduction output in one place
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.exceptions import ConfigurationError
+
+#: canonical experiment ordering for the report
+EXPERIMENT_ORDER = [
+    "T1_table1",
+    "E1_convergence",
+    "E2_topologies",
+    "E3_locality",
+    "E4_trap_radius",
+    "E5_static_friction",
+    "E6_faults",
+    "E7_dependencies",
+    "E8_arbiter",
+    "E9_scalability",
+    "E10_dynamic",
+    "E11_physics_model",
+    "E12_heat_traffic",
+    "E13_candidates",
+    "E14_diffusion_limit",
+    "E15_transfer_latency",
+    "E16_heterogeneous",
+]
+
+
+def collect_results(results_dir: str | pathlib.Path) -> dict[str, str]:
+    """Read every experiment artifact in *results_dir* (id -> text)."""
+    d = pathlib.Path(results_dir)
+    if not d.is_dir():
+        raise ConfigurationError(
+            f"results directory {d} does not exist — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    out: dict[str, str] = {}
+    for path in sorted(d.glob("*.txt")):
+        out[path.stem] = path.read_text().rstrip("\n")
+    if not out:
+        raise ConfigurationError(f"no experiment artifacts found in {d}")
+    return out
+
+
+def build_report(results: dict[str, str], title: str = "PPLB experiment report") -> str:
+    """Assemble artifacts into one report, canonical order first."""
+    if not results:
+        raise ConfigurationError("no results to report")
+    ordered = [k for k in EXPERIMENT_ORDER if k in results]
+    extras = sorted(k for k in results if k not in EXPERIMENT_ORDER)
+    bar = "=" * 72
+    parts = [bar, title, bar, ""]
+    missing = [k for k in EXPERIMENT_ORDER if k not in results]
+    parts.append(
+        f"experiments present: {len(ordered) + len(extras)}"
+        + (f"   (missing: {', '.join(missing)})" if missing else "")
+    )
+    for key in ordered + extras:
+        parts.append("")
+        parts.append("-" * 72)
+        parts.append(results[key])
+    return "\n".join(parts)
+
+
+def write_report(
+    results_dir: str | pathlib.Path,
+    output: str | pathlib.Path | None = None,
+) -> str:
+    """Collect + build; optionally write to *output*. Returns the text."""
+    report = build_report(collect_results(results_dir))
+    if output is not None:
+        pathlib.Path(output).write_text(report + "\n")
+    return report

@@ -1,0 +1,89 @@
+"""Parameter-sweep harness.
+
+Runs a user-supplied experiment function over a grid of parameter values
+× repetition seeds, collecting per-point rows. Every benchmark that
+sweeps a knob (µs, µk, β0, fault rate, network size) goes through
+:func:`run_sweep`, so sweep mechanics (seeding discipline, aggregation)
+live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.stats import mean_ci
+from repro.exceptions import ConfigurationError
+from repro.rng import derive
+
+ExperimentFn = Callable[[object, int], Mapping[str, float]]
+"""(parameter value, seed) -> metric dict for one run."""
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a parameter sweep.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the swept knob.
+    points:
+        The swept values, in order.
+    rows:
+        Aggregated row per point: the parameter value plus, for each
+        metric, its mean and CI half-width (keys ``<metric>`` and
+        ``<metric>_ci``).
+    raw:
+        Per-point list of per-seed metric dicts (for deeper analysis).
+    """
+
+    parameter: str
+    points: list[object] = field(default_factory=list)
+    rows: list[dict[str, object]] = field(default_factory=list)
+    raw: list[list[Mapping[str, float]]] = field(default_factory=list)
+
+    def series(self, metric: str) -> list[float]:
+        """Mean values of *metric* across the sweep points."""
+        return [float(row[metric]) for row in self.rows]
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[object],
+    experiment: ExperimentFn,
+    repetitions: int = 3,
+    base_seed: int = 0,
+) -> SweepResult:
+    """Run *experiment* over every value × repetition; aggregate rows.
+
+    Seeding: repetition *r* of point *k* receives the deterministic seed
+    stream ``derive(base_seed, k, r)`` reduced to an int, so adding
+    points or repetitions never perturbs existing ones.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+
+    result = SweepResult(parameter=parameter)
+    for k, value in enumerate(values):
+        per_seed: list[Mapping[str, float]] = []
+        for r in range(repetitions):
+            seed = int(derive(base_seed, k, r).integers(0, 2**31 - 1))
+            metrics = experiment(value, seed)
+            if not metrics:
+                raise ConfigurationError(
+                    f"experiment returned no metrics at {parameter}={value!r}"
+                )
+            per_seed.append(metrics)
+        keys = sorted(per_seed[0].keys())
+        row: dict[str, object] = {parameter: value}
+        for key in keys:
+            m, ci = mean_ci([float(d[key]) for d in per_seed])
+            row[key] = round(m, 6)
+            row[f"{key}_ci"] = round(ci, 6)
+        result.points.append(value)
+        result.rows.append(row)
+        result.raw.append(per_seed)
+    return result

@@ -1,0 +1,64 @@
+"""ASCII table rendering for the benchmark harness.
+
+The environment is headless, so every paper-style table and figure is
+*printed*. :func:`format_table` renders a list of dict rows with aligned
+columns, in the visual style of conference tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    max_col_width: int = 60,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per table row. Missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional caption printed above the table.
+    max_col_width:
+        Cells longer than this are truncated with an ellipsis.
+    """
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    if not cols:
+        raise ConfigurationError("table must have at least one column")
+
+    def cell(v: object) -> str:
+        s = "" if v is None else str(v)
+        if len(s) > max_col_width:
+            s = s[: max_col_width - 1] + "…"
+        return s
+
+    grid = [[cell(c) for c in cols]]
+    for row in rows:
+        grid.append([cell(row.get(c)) for c in cols])
+    widths = [max(len(r[k]) for r in grid) for k in range(len(cols))]
+
+    def line(parts: list[str]) -> str:
+        return "| " + " | ".join(p.ljust(w) for p, w in zip(parts, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(grid[0]))
+    out.append(sep)
+    for r in grid[1:]:
+        out.append(line(r))
+    out.append(sep)
+    return "\n".join(out)

@@ -1,0 +1,45 @@
+"""Baseline load balancers (paper §2, Related Works).
+
+The paper positions PPLB against four families; all are implemented here
+so the comparative experiments (E1/E2/…) can actually be run:
+
+* **Diffusion** [Cybenko '89; Boillat '90; Xu & Lau '94] —
+  :class:`FluidDiffusion` (divisible load, with uniform / Boillat /
+  spectrally-optimal α) and :class:`TaskDiffusion` (task-granular
+  realisation).
+* **Dimension exchange** [Cybenko '89] — :class:`DimensionExchange`
+  (fluid + task variants; native on hypercubes, edge-colored sweep on
+  general graphs).
+* **Gradient model (GM)** [Lin & Keller '87] — :class:`GradientModel`
+  (pressure surface of proximities to lightly-loaded nodes).
+* **CWN** [Shu & Kale '89] — :class:`ContractingWithinNeighborhood`
+  (send to the least-loaded neighbor when above threshold).
+
+Plus controls: :class:`RandomWorkStealing` (receiver-initiated),
+:class:`SenderInitiated` (threshold probing, Eager et al. '86) and
+:class:`NoBalancer`.
+"""
+
+from repro.baselines.cwn import ContractingWithinNeighborhood
+from repro.baselines.diffusion import FluidDiffusion, TaskDiffusion, optimal_alpha
+from repro.baselines.dimension_exchange import DimensionExchange, FluidDimensionExchange
+from repro.baselines.gradient_model import GradientModel
+from repro.baselines.noop import NoBalancer
+from repro.baselines.random_stealing import RandomWorkStealing
+from repro.baselines.second_order import SecondOrderDiffusion, optimal_beta
+from repro.baselines.sender_initiated import SenderInitiated
+
+__all__ = [
+    "FluidDiffusion",
+    "TaskDiffusion",
+    "optimal_alpha",
+    "DimensionExchange",
+    "FluidDimensionExchange",
+    "GradientModel",
+    "ContractingWithinNeighborhood",
+    "RandomWorkStealing",
+    "SenderInitiated",
+    "SecondOrderDiffusion",
+    "optimal_beta",
+    "NoBalancer",
+]

@@ -1,0 +1,54 @@
+"""Shared helpers for the task-granular baseline balancers."""
+
+from __future__ import annotations
+
+from typing import Container
+
+import numpy as np
+
+from repro.interfaces import BalanceContext
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def pick_task_for_quota(
+    ctx: BalanceContext,
+    node: int,
+    quota: float,
+    max_candidates: int = 8,
+    exclude: Container[int] = _EMPTY,
+) -> int | None:
+    """Choose the resident task whose size best realises a *quota* of load.
+
+    Fluid prescriptions ("move φ load over this edge") must be realised
+    with whole tasks. The classic greedy choice: among the node's largest
+    *max_candidates* tasks, pick the one minimising ``|l − φ|`` subject
+    to ``l < 2φ`` (moving more than twice the prescription would
+    overshoot and *worsen* the pairwise imbalance). Returns the task id
+    or None when no task fits.
+
+    *exclude* holds task ids already planned for a move this round — the
+    engine applies all of a round's orders after planning, so the same
+    task must never be ordered twice in one round.
+    """
+    if quota <= 0:
+        return None
+    best: int | None = None
+    best_gap = np.inf
+    for tid in ctx.system.largest_tasks_at(node, max_candidates):
+        tid = int(tid)
+        if tid in exclude:
+            continue
+        load = ctx.system.load_of(tid)
+        if load >= 2.0 * quota:
+            continue
+        gap = abs(load - quota)
+        if gap < best_gap:
+            best_gap = gap
+            best = tid
+    return best
+
+
+def free_and_up(ctx: BalanceContext, used: np.ndarray, eid: int) -> bool:
+    """Whether edge *eid* is both fault-free and unreserved this round."""
+    return bool(ctx.up_mask[eid]) and not bool(used[eid])

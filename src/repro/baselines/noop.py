@@ -1,0 +1,19 @@
+"""The do-nothing control balancer.
+
+Used as the baseline-of-baselines: any metric improvement reported for a
+real algorithm is relative to what :class:`NoBalancer` leaves untouched
+(and under dynamic workloads it shows the unmitigated imbalance drift).
+"""
+
+from __future__ import annotations
+
+from repro.interfaces import BalanceContext, Balancer, Migration
+
+
+class NoBalancer(Balancer):
+    """Never moves anything."""
+
+    name = "none"
+
+    def step(self, ctx: BalanceContext) -> list[Migration]:
+        return []

@@ -1,0 +1,105 @@
+"""Second-order (SOS) diffusion [Muthukrishnan, Ghosh & Schultz '98].
+
+The strongest member of the diffusion family the paper's related work
+builds on: first-order diffusion (FOS) contracts imbalance by
+``γ = max|1 − αλ|`` per round; the second-order scheme
+
+    h_{t+1} = β · (I − αL) h_t + (1 − β) · h_{t−1}
+
+(with the over-relaxation optimum ``β* = 2 / (1 + sqrt(1 − γ²))``)
+contracts asymptotically like ``β* − 1 ≪ γ``, roughly squaring the
+spectral gap. It is the diffusion-family speed limit that PPLB's
+convergence numbers should be judged against (ablation bench E14).
+
+Edge-flow form (what the engine consumes): since
+``h_{t+1} − h_t = β·(M − I)h_t + (1 − β)(h_{t−1} − h_t)`` and
+``h_t − h_{t−1}`` is exactly the divergence of the previous round's
+applied flow,
+
+    flow_t = β · fos_flow(h_t) − (1 − β) · flow_{t−1},
+
+with ``flow_0 = fos_flow(h_0)``. Only a fluid variant exists — the
+scheme's backward term has no task-granular meaning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.diffusion import _edge_alphas, optimal_alpha
+from repro.exceptions import ConfigurationError
+from repro.interfaces import BalanceContext, FluidBalancer
+from repro.network.topology import Topology
+
+
+def optimal_beta(topology: Topology) -> float:
+    """SOS over-relaxation optimum ``β* = 2/(1 + sqrt(1 − γ²))``.
+
+    γ is the FOS contraction factor at the spectrally optimal α.
+    """
+    lam = np.linalg.eigvalsh(topology.laplacian)
+    alpha = optimal_alpha(topology)
+    gamma = float(np.abs(1.0 - alpha * lam[1:]).max())
+    if gamma >= 1.0:
+        raise ConfigurationError("FOS does not contract; SOS undefined")
+    return 2.0 / (1.0 + float(np.sqrt(1.0 - gamma * gamma)))
+
+
+class SecondOrderDiffusion(FluidBalancer):
+    """SOS diffusion on divisible load (see module docstring).
+
+    Parameters
+    ----------
+    beta:
+        Over-relaxation parameter in ``(0, 2)``; ``None`` (default)
+        selects the spectral optimum for the bound topology at reset.
+
+    Notes
+    -----
+    SOS trajectories can momentarily demand more load from a node than
+    it holds (negative intermediate state). The flow is globally damped
+    by the largest factor keeping ``h ≥ 0`` — the standard practical
+    guard; it may slow the final approach but preserves convergence.
+    """
+
+    name = "sos-diffusion"
+
+    def __init__(self, beta: float | None = None):
+        if beta is not None and not 0 < beta < 2:
+            raise ConfigurationError(f"beta must lie in (0, 2), got {beta}")
+        self._beta_arg = beta
+        self.beta: float = float("nan")
+        self._alphas: np.ndarray | None = None
+        self._prev_flow: np.ndarray | None = None
+        self._topology: Topology | None = None
+
+    def reset(self, ctx: BalanceContext) -> None:
+        self._topology = ctx.topology
+        self._alphas = _edge_alphas(ctx.topology, "optimal")
+        self.beta = (
+            self._beta_arg if self._beta_arg is not None else optimal_beta(ctx.topology)
+        )
+        self._prev_flow = None
+
+    def fluid_step(self, h: np.ndarray, ctx: BalanceContext) -> np.ndarray:
+        if self._alphas is None or self._topology is not ctx.topology:
+            self.reset(ctx)
+        e = ctx.topology.edges
+        fos = self._alphas * (h[e[:, 0]] - h[e[:, 1]])
+        if self._prev_flow is None:
+            flow = fos
+        else:
+            flow = self.beta * fos - (1.0 - self.beta) * self._prev_flow
+
+        # Damp globally so no node is driven negative.
+        net_out = np.zeros_like(h)
+        np.add.at(net_out, e[:, 0], flow)
+        np.subtract.at(net_out, e[:, 1], flow)
+        over = net_out > 1e-15
+        if over.any():
+            scale = float(np.min(h[over] / net_out[over]))
+            if scale < 1.0:
+                flow = flow * max(scale, 0.0) * 0.999
+
+        self._prev_flow = flow.copy()
+        return flow

@@ -1,0 +1,141 @@
+"""Command-line interface: run scenarios and print results.
+
+Installed as ``pplb`` (see pyproject). Three subcommands:
+
+* ``pplb run --scenario mesh-hotspot --algorithm pplb`` — one simulation,
+  printed summary + convergence curve.
+* ``pplb compare --scenario mesh-hotspot`` — every algorithm on the same
+  scenario, printed comparison table.
+* ``pplb table1`` — regenerate the paper's Table 1 from the parameter
+  registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis import ascii_plot, format_table
+from repro.baselines import (
+    ContractingWithinNeighborhood,
+    DimensionExchange,
+    GradientModel,
+    NoBalancer,
+    RandomWorkStealing,
+    SenderInitiated,
+    TaskDiffusion,
+)
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.interfaces import Balancer
+from repro.sim import Simulator
+from repro.workloads import SCENARIOS, build_scenario
+
+ALGORITHMS: dict[str, Callable[[], Balancer]] = {
+    "pplb": lambda: ParticlePlaneBalancer(PPLBConfig()),
+    "pplb-greedy": lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.0)),
+    "diffusion": lambda: TaskDiffusion("uniform"),
+    "dimension-exchange": lambda: DimensionExchange(min_quota=0.5),
+    "gradient-model": GradientModel,
+    "cwn": ContractingWithinNeighborhood,
+    "work-stealing": RandomWorkStealing,
+    "sender-initiated": SenderInitiated,
+    "none": NoBalancer,
+}
+
+
+def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int):
+    scenario = build_scenario(scenario_name, seed=seed)
+    balancer = ALGORITHMS[algorithm]()
+    sim = Simulator(
+        scenario.topology, scenario.system, balancer, links=scenario.links, seed=seed
+    )
+    return sim.run(max_rounds=rounds)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _run_one(args.scenario, args.algorithm, args.seed, args.rounds)
+    print(format_table([result.summary_row()],
+                       title=f"{args.algorithm} on {args.scenario} (seed {args.seed})"))
+    print()
+    print(ascii_plot({"cov": result.series("cov")},
+                     title="Imbalance (CoV) vs round", logy=True, height=12))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ALGORITHMS:
+        if name == "none":
+            continue
+        result = _run_one(args.scenario, name, args.seed, args.rounds)
+        rows.append(result.summary_row())
+    print(format_table(
+        rows,
+        columns=["algorithm", "converged_round", "final_cov", "final_spread",
+                 "migrations", "traffic"],
+        title=f"All algorithms on {args.scenario} (seed {args.seed})",
+    ))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    text = write_report(args.results_dir, args.output)
+    print(text)
+    if args.output:
+        print(f"\n(report written to {args.output})")
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    rows = [
+        {"parameter": p, "load-balancing equivalent": m, "implemented by": s}
+        for p, m, s in PPLBConfig.table1_rows()
+    ]
+    print(format_table(rows, title="Paper Table 1 — physical parameters and their "
+                                   "load-balancing equivalents"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pplb",
+        description="Particle & Plane load balancing (IPPS 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one scenario with one algorithm")
+    p_run.add_argument("--scenario", choices=sorted(SCENARIOS), default="mesh-hotspot")
+    p_run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="pplb")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--rounds", type=int, default=500)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run every algorithm on a scenario")
+    p_cmp.add_argument("--scenario", choices=sorted(SCENARIOS), default="mesh-hotspot")
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--rounds", type=int, default=500)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_t1 = sub.add_parser("table1", help="print the paper's Table 1 mapping")
+    p_t1.set_defaults(fn=cmd_table1)
+
+    p_rep = sub.add_parser(
+        "report", help="aggregate benchmarks/results/ into one experiment report"
+    )
+    p_rep.add_argument("--results-dir", default="benchmarks/results")
+    p_rep.add_argument("--output", default=None)
+    p_rep.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

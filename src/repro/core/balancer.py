@@ -1,0 +1,295 @@
+"""The Particle & Plane load balancing algorithm (paper §5).
+
+Each round has two phases, mirroring the paper's two decision points:
+
+**Phase A — in-flight particles** ("as the load reaches node j ..."):
+every task currently in motion evaluates its neighbors through the
+energy model. Neighbor *j* is *energy-feasible* iff
+
+    a_j = h* − c0·µk·e_ij − h(v_j)  >  0                       (§5.1)
+
+i.e. after paying the hop's friction the flag still clears the
+destination's height. Under the default ``motion_rule="arbiter-settle"``
+the arbiter chooses among the feasible hops *and* an explicit settle
+option scored ``a_settle = h* − (h(cur) − l)`` (the particle's own floor,
+no hop cost): descent steep enough to out-earn friction continues the
+journey, anything else settles — with the annealed exploration still able
+to climb barriers early on (§5.2). Under ``motion_rule="energy-only"``
+the paper's literal rule applies: keep hopping while any neighbor is
+feasible.
+
+**Phase B — stationary initiation** ("the condition for initiating the
+motion"): every node offers its ``candidates_per_node`` largest resident
+tasks; task *k* may start moving toward neighbor *j* iff
+
+    tan β = (h(v_i) − h(v_j) − 2·l_k)/e_ij  >  µs(k, i)        (§5.1)
+
+The arbiter picks among the feasible links; the new particle's flag is
+initialised to the departure height ``h* = h(v_i)`` ("the height of the
+initial position of the object, h0") minus the first hop's drop.
+
+Both phases work on a private copy of the load vector updated as
+decisions are made ("the algorithm updates ... the quantity of the loads
+of the source and the destination nodes"), honour link faults, and
+reserve one task per link per round ("at each time unit only a single
+load is transferred over a link").
+
+Termination: every hop costs at least ``c0·µk·min(e) > 0`` of flag
+height while feasibility keeps the flag above the (non-negative) load
+surface, so journeys are finite whenever ``µk > 0`` — the discrete
+Corollary 2, and the bounded-time half of Theorem 2's proof.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.arbiter import GreedyArbiter, StochasticArbiter
+from repro.core.config import PPLBConfig
+from repro.core.energy import MotionState, hop_heat_energy, hop_height_drop
+from repro.core.friction import FrictionModel
+from repro.core.surface import NeighborCache
+from repro.interfaces import BalanceContext, Balancer, Migration
+from repro.tasks.resources import ResourceMap
+from repro.tasks.task_graph import TaskGraph
+
+
+class ParticlePlaneBalancer(Balancer):
+    """The paper's algorithm. See module docstring for the round structure.
+
+    Parameters
+    ----------
+    config:
+        Model constants; defaults to :class:`PPLBConfig`'s defaults.
+    task_graph, resources:
+        Optional ``T``/``R`` structures feeding the friction model. When
+        omitted here they are taken from the engine's context (so one
+        balancer instance can serve any scenario).
+    participation:
+        Optional per-node participation levels ``p_i ∈ (0, 1]`` (Table 1:
+        "degree of participation of a node in the load balancing");
+        divides into µs at the node, so low-participation nodes resist
+        giving up their tasks.
+
+    Attributes
+    ----------
+    stats:
+        Cumulative counters: journeys initiated, settled, hops taken,
+        and heat dissipated (reset by :meth:`reset`).
+    """
+
+    name = "pplb"
+
+    def __init__(
+        self,
+        config: Optional[PPLBConfig] = None,
+        task_graph: Optional[TaskGraph] = None,
+        resources: Optional[ResourceMap] = None,
+        participation=None,
+    ):
+        self.config = config if config is not None else PPLBConfig()
+        self._own_task_graph = task_graph
+        self._own_resources = resources
+        self._participation = participation
+        if self.config.beta0 == 0.0:
+            self.arbiter: StochasticArbiter = GreedyArbiter()
+        else:
+            self.arbiter = StochasticArbiter.from_config(self.config)
+        self._motion: dict[int, MotionState] = {}
+        self._cache: Optional[NeighborCache] = None
+        self._friction: Optional[FrictionModel] = None
+        self.stats: dict[str, float] = {}
+        self._reset_stats()
+
+    def _reset_stats(self) -> None:
+        self.stats = {"initiated": 0, "settled": 0, "hops": 0, "heat": 0.0}
+
+    # ------------------------------------------------------------------ #
+
+    def reset(self, ctx: BalanceContext) -> None:
+        """Bind to the context's topology and clear all journey state."""
+        self._motion.clear()
+        self._cache = NeighborCache(ctx.topology)
+        tg = self._own_task_graph if self._own_task_graph is not None else ctx.task_graph
+        rm = self._own_resources if self._own_resources is not None else ctx.resources
+        self._friction = FrictionModel(self.config, tg, rm, self._participation)
+        self._reset_stats()
+
+    def idle(self) -> bool:
+        """True when no particle is in flight."""
+        return not self._motion
+
+    @property
+    def in_flight(self) -> int:
+        """Number of tasks currently journeying."""
+        return len(self._motion)
+
+    # ------------------------------------------------------------------ #
+
+    def step(self, ctx: BalanceContext) -> list[Migration]:
+        """Plan one round of migrations (Phase A then Phase B)."""
+        if self._cache is None or self._cache.topology is not ctx.topology:
+            self.reset(ctx)
+        cfg = self.config
+        cache = self._cache
+        friction = self._friction
+        system = ctx.system
+        topo = ctx.topology
+        e = ctx.link_costs
+        up = ctx.up_mask
+        rng = ctx.rng
+        t = ctx.round_index
+
+        # Private working copy of the surface. With engine-supplied node
+        # speeds (and speed_aware on) the surface is the *effective* load
+        # h_i/s_i, making the equilibrium capacity-proportional; the
+        # homogeneous case reduces to inv_s = 1 exactly.
+        if cfg.speed_aware and ctx.node_speeds is not None:
+            inv_s = 1.0 / np.asarray(ctx.node_speeds, dtype=np.float64)
+        else:
+            inv_s = np.ones(topo.n_nodes)
+        h = np.array(system.node_loads) * inv_s
+        used = np.zeros(topo.n_edges, dtype=bool)
+        migrations: list[Migration] = []
+
+        # ---------------- Phase A: in-flight particles ---------------- #
+        for tid in sorted(self._motion):
+            if not system.is_alive(tid):
+                del self._motion[tid]
+                continue
+            if system.in_transit(tid):
+                continue  # still on the wire; decides after landing
+            st = self._motion[tid]
+            cur = system.location_of(tid)
+            load = system.load_of(tid)
+
+            if cfg.max_hops is not None and st.hops >= cfg.max_hops:
+                self._settle(tid)
+                continue
+
+            js = cache.nbrs[cur]
+            eids = cache.eids[cur]
+            mu_k = friction.mu_k(system, topo, tid, cur) * self._jitter(t, rng)
+            drops = cfg.c0 * mu_k * e[eids]
+            hop_scores = st.hstar - drops - h[js]
+            feasible = up[eids] & ~used[eids] & (hop_scores > 0.0)
+            idxs = np.nonzero(feasible)[0]
+
+            if idxs.shape[0] == 0:
+                self._settle(tid)
+                continue
+
+            if cfg.motion_rule == "arbiter-settle":
+                settle_score = st.hstar - (h[cur] - load * inv_s[cur])
+                scores = np.concatenate([hop_scores[idxs], [settle_score]])
+                pick = self.arbiter.choose(scores, t, rng)
+                if pick == idxs.shape[0]:
+                    self._settle(tid)
+                    continue
+                k = int(idxs[pick])
+            else:  # "energy-only": the paper's literal rule
+                pick = self.arbiter.choose(hop_scores[idxs], t, rng)
+                k = int(idxs[pick])
+
+            j = int(js[k])
+            eid = int(eids[k])
+            drop = float(drops[k])
+            heat = hop_heat_energy(cfg.g, load, drop)
+            st.record_hop(drop, heat, cur)
+            migrations.append(Migration(tid, cur, j, heat))
+            used[eid] = True
+            h[cur] -= load * inv_s[cur]
+            h[j] += load * inv_s[j]
+            self.stats["hops"] += 1
+            self.stats["heat"] += heat
+
+        # --------------- Phase B: stationary initiation --------------- #
+        max_dep = (
+            cfg.max_departures_per_node
+            if cfg.max_departures_per_node is not None
+            else math.inf
+        )
+        node_order = np.argsort(-h, kind="stable")
+        for i in node_order:
+            i = int(i)
+            if h[i] <= 0.0:
+                break  # descending order: nothing left to shed anywhere
+            departures = 0
+            for tid in system.largest_tasks_at(i, cfg.candidates_per_node):
+                tid = int(tid)
+                if tid in self._motion:
+                    continue
+                load = system.load_of(tid)
+                js = cache.nbrs[i]
+                eids = cache.eids[i]
+                avail = up[eids] & ~used[eids]
+                if not avail.any():
+                    break  # no free links left at this node
+                mu_s, mu_k = friction.both(system, topo, tid, i)
+                jit = self._jitter(t, rng)
+                mu_s *= jit
+                mu_k *= jit
+                # (h_i − h_j − 2l)/e generalised to effective heights:
+                # moving l lowers h_i by l/s_i and raises h_j by l/s_j.
+                corrected = (h[i] - h[js] - load * (inv_s[i] + inv_s[js])) / e[eids]
+                feasible = avail & (corrected > mu_s)
+                idxs = np.nonzero(feasible)[0]
+                if idxs.shape[0] == 0:
+                    continue
+                if cfg.arbiter_score == "corrected":
+                    scores = corrected[idxs]
+                else:
+                    scores = (h[i] - h[js[idxs]]) / e[eids[idxs]]
+                pick = self.arbiter.choose(scores, t, rng)
+                k = int(idxs[pick])
+                j = int(js[k])
+                eid = int(eids[k])
+                drop = hop_height_drop(cfg.c0, mu_k, float(e[eid]))
+                heat = hop_heat_energy(cfg.g, load, drop)
+                st = MotionState(
+                    hstar=float(h[i]) - drop,
+                    origin=i,
+                    released_at=t,
+                    hops=1,
+                    heat=heat,
+                    prev_node=i,
+                )
+                self._motion[tid] = st
+                migrations.append(Migration(tid, i, j, heat))
+                used[eid] = True
+                h[i] -= load * inv_s[i]
+                h[j] += load * inv_s[j]
+                self.stats["initiated"] += 1
+                self.stats["hops"] += 1
+                self.stats["heat"] += heat
+                departures += 1
+                if departures >= max_dep:
+                    break
+
+        return migrations
+
+    # ------------------------------------------------------------------ #
+
+    def _jitter(self, t: int, rng: np.random.Generator) -> float:
+        """§5.2 friction fuzziness: ``1 + jitter(t)·U(−1,1)``, floor 0.
+
+        One factor per friction evaluation; µs and µk share it within a
+        decision (preserving µk ∝ µs), and the level anneals on the same
+        ``exp(−c·t/t_max)`` clock as the arbiter.
+        """
+        j0 = self.config.friction_jitter
+        if j0 == 0.0:
+            return 1.0
+        level = j0 * math.exp(-self.config.anneal_c * t / self.config.t_max)
+        return max(1.0 + level * (2.0 * float(rng.random()) - 1.0), 0.0)
+
+    def _settle(self, tid: int) -> None:
+        del self._motion[tid]
+        self.stats["settled"] += 1
+
+    def journey_of(self, tid: int) -> Optional[MotionState]:
+        """Motion state of task *tid*, or None when it is stationary."""
+        return self._motion.get(tid)

@@ -1,0 +1,252 @@
+"""PPLB configuration: every constant of the paper's model in one place.
+
+The paper leaves several constants "to be configured according to the
+properties of the system being modeled" (§5.1: ``c0``, ``c1``; §5.2:
+``β0``, ``c``, ``tmax``; §4.2: the proportionality constants of ``µs``,
+``µk`` and ``e_ij``). :class:`PPLBConfig` names all of them, validates
+ranges eagerly, and carries the Table-1 registry that maps each physical
+parameter to its load-balancing meaning and the symbol implementing it —
+the benchmark harness regenerates the paper's Table 1 from this registry
+so the table can never drift from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PPLBConfig:
+    """All tunables of the Particle & Plane balancer.
+
+    Friction (paper §4.2)
+    ---------------------
+    mu_s_base:
+        Baseline static friction: minimum perceived slope ``tan β``
+        required to start a transfer even for a dependency-free task.
+        Encodes "sometimes we rather prefer to ignore the load balancing
+        completely" — the communication-delay threshold.
+    w_dependency (paper: µs ∝ Σ T):
+        Weight of co-located dependency mass in ``µs``: a task whose
+        partners live on its node resists leaving it.
+    w_resource (paper: µs ∝ R):
+        Weight of the task's resource affinity to its current node.
+    w_dependency_neighbor:
+        Optional weight of dependency mass on *neighboring* nodes
+        ("or in the nodes in its proximity").
+    mu_k_base, kappa (paper: µk ∝ µs):
+        Kinetic friction is ``µk = mu_k_base + kappa · µs``.
+
+    Heat / link cost (paper §4.2, §5.1)
+    -----------------------------------
+    c0:
+        Heat scale: the potential-height flag drops by ``c0·µk·e_ij``
+        per hop.
+    c1:
+        Fault-exposure constant inside ``e_ij`` (see
+        :func:`repro.network.links.link_costs`).
+    e0:
+        Overall link-cost scale.
+    g:
+        Gravitational constant — converts heights to energies in the
+        heat/traffic metric (``E_h = g·l·Δh*``). Trajectories are
+        ``g``-free.
+
+    Arbiter (paper §5.2)
+    --------------------
+    beta0:
+        Initial exploration probability ("the initial probability of
+        choosing a link other than the steepest one").
+    anneal_c, t_max:
+        Exploration decays as ``β(t) = β0·exp(−anneal_c · t/t_max)`` —
+        "the constants which control the convergence of the stochastic
+        function to the rigid maximum value as the time passes".
+    arbiter_floor:
+        Minimum relative acceptance weight of the least attractive
+        candidate while exploring (keeps every feasible link reachable,
+        as the paper requires: "considers some rare probabilities for
+        choosing the less steep slopes").
+    friction_jitter:
+        §5.2's second stochastic element: "this stochastic nature can
+        also be considered for some other parameters which are not too
+        much rigid like µs and µk", with rigidity growing over time.
+        Each friction evaluation is multiplied by
+        ``1 + jitter(t)·ξ`` with ``ξ ~ U(−1, 1)`` and
+        ``jitter(t) = friction_jitter · exp(−anneal_c·t/t_max)`` —
+        the same annealing clock as the arbiter. 0 (default) disables
+        the perturbation entirely. Values are clipped below at 0.
+
+    Algorithm shape
+    ---------------
+    candidates_per_node:
+        How many (largest-first) resident tasks a node offers for
+        migration each round — bounds per-round work.
+    max_departures_per_node:
+        Cap on new motions initiated per node per round (None = only the
+        per-link capacity limits departures).
+    motion_rule:
+        ``"arbiter-settle"`` (default): an in-flight particle chooses,
+        through the arbiter, among energy-feasible neighbor hops *and*
+        settling in place (scored as the zero-cost option); this is the
+        §5.2-style heuristic that turns the paper's energy wandering into
+        prompt settling while keeping barrier crossing possible.
+        ``"energy-only"``: the paper's literal rule — keep hopping while
+        any neighbor is energy-feasible; settle only when none is.
+        The ablation benchmark (E8) compares the two.
+    max_hops:
+        Hard safety cap on hops per journey (None = rely on the energy
+        budget; finite termination is guaranteed whenever
+        ``c0·µk·min(e) > 0``).
+    arbiter_score:
+        ``"corrected"`` (default) feeds the arbiter the load-corrected
+        slope ``(h_i − h_j − 2l)/e_ij`` (§5.1's final inequality);
+        ``"raw"`` feeds the uncorrected ``(h_i − h_j)/e_ij`` exactly as
+        §5.2 lists it. Identical ranking for equal task sizes.
+    speed_aware:
+        When the engine supplies per-node processing speeds, work on the
+        *effective* surface ``h_i/s_i`` so the equilibrium is
+        capacity-proportional (``h_i ∝ s_i``). False makes PPLB
+        speed-oblivious even on heterogeneous machines (the E16
+        ablation).
+    """
+
+    # friction
+    mu_s_base: float = 1.0
+    w_dependency: float = 0.0
+    w_resource: float = 0.0
+    w_dependency_neighbor: float = 0.0
+    mu_k_base: float = 0.25
+    kappa: float = 0.0
+
+    # heat / link cost
+    c0: float = 1.0
+    c1: float = 1.0
+    e0: float = 1.0
+    g: float = 1.0
+
+    # arbiter / stochasticity
+    beta0: float = 0.25
+    anneal_c: float = 3.0
+    t_max: int = 200
+    arbiter_floor: float = 0.1
+    friction_jitter: float = 0.0
+
+    # algorithm shape
+    candidates_per_node: int = 4
+    max_departures_per_node: int | None = None
+    motion_rule: str = "arbiter-settle"
+    max_hops: int | None = None
+    arbiter_score: str = "corrected"
+    speed_aware: bool = True
+
+    def __post_init__(self) -> None:
+        pos = {"c0": self.c0, "e0": self.e0, "g": self.g,
+               "t_max": self.t_max, "candidates_per_node": self.candidates_per_node}
+        for name, v in pos.items():
+            if v <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {v}")
+        nonneg = {
+            "mu_s_base": self.mu_s_base,
+            "w_dependency": self.w_dependency,
+            "w_resource": self.w_resource,
+            "w_dependency_neighbor": self.w_dependency_neighbor,
+            "mu_k_base": self.mu_k_base,
+            "kappa": self.kappa,
+            "c1": self.c1,
+            "anneal_c": self.anneal_c,
+            "friction_jitter": self.friction_jitter,
+        }
+        for name, v in nonneg.items():
+            if v < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {v}")
+        if not 0 <= self.beta0 < 1:
+            raise ConfigurationError(f"beta0 must be in [0, 1), got {self.beta0}")
+        if not 0 < self.arbiter_floor <= 1:
+            raise ConfigurationError(
+                f"arbiter_floor must be in (0, 1], got {self.arbiter_floor}"
+            )
+        if self.motion_rule not in ("arbiter-settle", "energy-only"):
+            raise ConfigurationError(
+                f"motion_rule must be 'arbiter-settle' or 'energy-only', got "
+                f"{self.motion_rule!r}"
+            )
+        if self.arbiter_score not in ("corrected", "raw"):
+            raise ConfigurationError(
+                f"arbiter_score must be 'corrected' or 'raw', got {self.arbiter_score!r}"
+            )
+        if self.max_hops is not None and self.max_hops <= 0:
+            raise ConfigurationError(f"max_hops must be positive or None, got {self.max_hops}")
+        if self.max_departures_per_node is not None and self.max_departures_per_node <= 0:
+            raise ConfigurationError(
+                "max_departures_per_node must be positive or None, got "
+                f"{self.max_departures_per_node}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def evolve(self, **changes) -> "PPLBConfig":
+        """Copy with the given fields replaced (validates the result)."""
+        return replace(self, **changes)
+
+    def greedy(self) -> "PPLBConfig":
+        """Deterministic variant: no exploration (``β0 = 0``)."""
+        return self.evolve(beta0=0.0)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view of all fields (for result records)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # ------------------------------------------------------------------ #
+    # The Table-1 registry (paper Table 1, regenerated by bench T1)
+    # ------------------------------------------------------------------ #
+
+    TABLE1: ClassVar[tuple[tuple[str, str, str], ...]] = (
+            (
+                "µs",
+                "Degree of participation of a node in balancing; dependency of "
+                "the task to other tasks or resources in the node",
+                "core.friction.FrictionModel.mu_s "
+                "(mu_s_base + w_dependency·ΣT + w_resource·R)",
+            ),
+            (
+                "µk",
+                "Communication cost of sending a task over a link; dependency "
+                "of the task to tasks/resources near its source",
+                "core.friction.FrictionModel.mu_k (mu_k_base + kappa·µs)",
+            ),
+            (
+                "m",
+                "Load quantity (computational complexity / memory size)",
+                "tasks.task.TaskSystem.load_of",
+            ),
+            (
+                "tanβ",
+                "Load difference of neighboring nodes i, j with respect to "
+                "e_ij (the gradient)",
+                "core.surface.tan_beta / tan_beta_corrected",
+            ),
+            (
+                "h",
+                "Total load quantity of a node",
+                "tasks.task.TaskSystem.node_loads",
+            ),
+            (
+                "Eh",
+                "Traffic caused by the transfer of loads on a link",
+                "core.energy.hop_heat_energy (g·l·c0·µk·e_ij)",
+            ),
+            (
+                "e_ij",
+                "Link distance, communication delay and/or fault probability "
+                "per time unit",
+                "network.links.link_costs (d/(bw·(1−f)^(c1·d/bw)))",
+            ),
+    )
+
+    @classmethod
+    def table1_rows(cls) -> list[tuple[str, str, str]]:
+        """(physical parameter, load-balancing meaning, implementing symbol)."""
+        return list(cls.TABLE1)

@@ -1,0 +1,80 @@
+"""The potential-height flag carried by in-flight loads (paper §5.1).
+
+"In order to monitor the changes in the energy state of an object, we
+store the potential height which is a measure of the total energy of the
+object in a flag in the load; this flag is initialized at the start of
+the game with the height of the initial position of the object, h0."
+
+Per hop over link ``e_ij`` the flag drops by
+
+    Δh* = E_h / (m·g) = c0 · µk · e_ij
+
+(the paper's ``h*_t = h*_{t−1} − E_h,t/(m g)`` with
+``E_h = c0·g·µk·e_ij·l``), and a neighbor *j* is reachable only while
+
+    h*_t  >  h(v_j)                                 (§5.1 feasibility,
+                                                    a_ij = h*_{t−1} − Δh* − h(v_j) > 0).
+
+Because every hop costs at least ``c0 · µk_min · e_min > 0`` of flag
+height (when ``µk > 0``), a journey makes at most
+``h*_0 / (c0·µk_min·e_min)`` hops — the discrete incarnation of
+Corollary 2 (friction always traps eventually), and step one of
+Theorem 2's proof (every transfer completes in bounded time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+def hop_height_drop(c0: float, mu_k: float, e_ij: float) -> float:
+    """Potential-height loss for one hop: ``Δh* = c0·µk·e_ij``."""
+    drop = c0 * mu_k * e_ij
+    if drop < 0:
+        raise ConfigurationError(
+            f"height drop must be non-negative (c0={c0}, mu_k={mu_k}, e={e_ij})"
+        )
+    return drop
+
+
+def hop_heat_energy(g: float, load: float, height_drop: float) -> float:
+    """Heat dissipated by the hop: ``E_h = g·l·Δh*`` (the traffic analogy)."""
+    return g * load * height_drop
+
+
+@dataclass
+class MotionState:
+    """Bookkeeping of one in-flight particle (task).
+
+    Attributes
+    ----------
+    hstar:
+        Current potential height ``h*`` (the flag in the load).
+    origin:
+        Node where this journey started.
+    released_at:
+        Round index when motion was initiated.
+    hops:
+        Hops completed so far in this journey.
+    heat:
+        Total heat dissipated by this journey so far.
+    prev_node:
+        The node the particle occupied before its latest hop (lets
+        diagnostics detect immediate backtracking).
+    """
+
+    hstar: float
+    origin: int
+    released_at: int
+    hops: int = 0
+    heat: float = 0.0
+    prev_node: int = -1
+
+    def record_hop(self, height_drop: float, heat: float, from_node: int) -> None:
+        """Apply one hop's bookkeeping: drop the flag, count the hop."""
+        self.hstar -= height_drop
+        self.hops += 1
+        self.heat += heat
+        self.prev_node = from_node

@@ -1,0 +1,71 @@
+"""The discrete load surface and its gradients (paper §4.1, §5.1).
+
+The network + loads form a discrete 3-D manifold: node *v* sits at its
+embedding coordinates with height ``h(v) = Σ_k l_{v,k}``. The *slope*
+toward a neighbor is
+
+    tan β(v_i, v_j, e_ij) = (h(v_i) − h(v_j)) / e_ij
+
+and the *transfer-corrected* slope — accounting for the surface being
+dynamic, i.e. the source losing and the destination gaining the moved
+load ``l`` — is
+
+    tan β = (h(v_i) − h(v_j) − 2·l) / e_ij        (§5.1).
+
+:class:`NeighborCache` precomputes, per node, the neighbor ids and the
+edge ids into the per-edge arrays (``e_ij``, fault mask, link usage), so
+the balancer's inner loop is pure NumPy indexing with no dict lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+
+def tan_beta(h_i: float, h_j: float, e_ij) -> float:
+    """Uncorrected slope ``(h_i − h_j)/e_ij`` (§5.2's arbiter input)."""
+    return (h_i - h_j) / e_ij
+
+
+def tan_beta_corrected(h_i: float, h_j: float, load, e_ij) -> float:
+    """Transfer-corrected slope ``(h_i − h_j − 2l)/e_ij`` (§5.1).
+
+    The ``2l`` term is "the difference of the load quantities of the
+    source and destination nodes before and after transferring": moving
+    *l* lowers the source by *l* and raises the destination by *l*.
+    """
+    return (h_i - h_j - 2.0 * load) / e_ij
+
+
+class NeighborCache:
+    """Per-node neighbor/edge-id arrays for vectorised slope scans.
+
+    For node *i*, ``nbrs[i]`` is the array of neighbor ids and
+    ``eids[i]`` the parallel array of edge indices, so a balancer can
+    evaluate every incident link with::
+
+        js   = cache.nbrs[i]
+        eids = cache.eids[i]
+        slopes = (h[i] - h[js] - 2*load) / e[eids]
+        ok     = up_mask[eids] & ~used[eids] & (slopes > mu_s)
+
+    — one fused NumPy expression per (task, node) decision.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        n = topology.n_nodes
+        self.nbrs: list[np.ndarray] = []
+        self.eids: list[np.ndarray] = []
+        for i in range(n):
+            js = topology.neighbors(i)
+            self.nbrs.append(js)
+            self.eids.append(
+                np.asarray([topology.edge_id(i, int(j)) for j in js], dtype=np.int64)
+            )
+
+    def degree(self, node: int) -> int:
+        """Number of incident links of *node*."""
+        return self.nbrs[node].shape[0]

@@ -1,0 +1,123 @@
+"""Parameter auto-tuning: the paper's promised design methodology.
+
+The paper's conclusion: "The goal of this work is to propose a scheme
+for modeling dynamic load balancing ... in a way that each new system
+can be easily modeled by identifying the effect and strictness of each
+of the considered factors in the system understudy and fine-tuning the
+configuration parameters which describe systems characteristics."
+
+:func:`suggest_config` operationalises that promise: given the actual
+system (topology, task sizes, link costs) and two *intent* knobs — how
+far migration may roam and how large a load difference is worth acting
+on — it derives the physical constants from the paper's own relations:
+
+* **µs from the action threshold.** Motion starts when
+  ``(h_i − h_j − 2l)/e > µs``; to ignore differences smaller than
+  ``threshold_tasks`` average tasks, set
+  ``µs = threshold_tasks · mean_load / e_typ``.
+* **µk from the locality radius via Corollary 3.** A journey's flag
+  budget above the plain is ≈ the departure surplus; the flag drops
+  ``c0·µk·e_typ`` per hop, so capping journeys at ``locality_radius``
+  hops for a typical surplus of one threshold unit gives
+  ``µk = threshold_tasks · mean_load / (c0 · e_typ · locality_radius)``.
+* **candidates_per_node ≥ max degree** so departures are link-limited,
+  not candidate-limited (the E9 finding).
+* **t_max ≈ expected drain time** ``n_tasks / max_degree`` — the
+  one-load-per-link outflow law measured in E9 — so arbiter annealing
+  completes on the same timescale as balancing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PPLBConfig
+from repro.exceptions import ConfigurationError
+from repro.network.links import LinkAttributes, link_costs
+from repro.network.topology import Topology
+from repro.tasks.task import TaskSystem
+
+
+def suggest_config(
+    topology: Topology,
+    system: TaskSystem,
+    links: LinkAttributes | None = None,
+    locality_radius: int | None = None,
+    threshold_tasks: float = 1.0,
+    beta0: float = 0.1,
+    c1: float = 1.0,
+    e0: float = 1.0,
+) -> PPLBConfig:
+    """Derive a :class:`PPLBConfig` from the system's own scales.
+
+    Parameters
+    ----------
+    topology, system:
+        The machine and its (populated) workload. Task sizes set the
+        load scale; an empty system defaults the scale to 1.
+    links:
+        Link attributes; default uniform. The *typical* link cost
+        ``e_typ`` (median of e_ij) calibrates both frictions.
+    locality_radius:
+        Desired maximum journey length in hops (default: half the
+        topology diameter, min 2) — the Corollary-3 trap radius to aim
+        for.
+    threshold_tasks:
+        Load differences below this many average tasks are not worth a
+        migration (sets µs).
+    beta0:
+        Arbiter exploration to start from (pass 0 for deterministic).
+
+    Returns
+    -------
+    PPLBConfig with µs, µk, candidates_per_node and t_max derived as in
+    the module docstring; other fields at their defaults.
+    """
+    if system.topology is not topology:
+        raise ConfigurationError("task system belongs to a different topology")
+    if threshold_tasks <= 0:
+        raise ConfigurationError(f"threshold_tasks must be positive, got {threshold_tasks}")
+    if locality_radius is not None and locality_radius < 1:
+        raise ConfigurationError(f"locality_radius must be >= 1, got {locality_radius}")
+
+    attrs = links if links is not None else LinkAttributes.uniform(topology)
+    e = link_costs(attrs, c1=c1, e0=e0)
+    e_typ = float(np.median(e))
+
+    loads = system.loads_array()
+    mean_load = float(loads.mean()) if loads.shape[0] else 1.0
+
+    radius = (
+        int(locality_radius)
+        if locality_radius is not None
+        else max(2, topology.diameter // 2)
+    )
+
+    mu_s = threshold_tasks * mean_load / e_typ
+    mu_k = threshold_tasks * mean_load / (1.0 * e_typ * radius)
+
+    n_tasks = max(system.n_tasks, 1)
+    drain_rounds = max(int(np.ceil(n_tasks / max(topology.max_degree, 1))), 10)
+
+    return PPLBConfig(
+        mu_s_base=mu_s,
+        mu_k_base=mu_k,
+        beta0=beta0,
+        t_max=drain_rounds,
+        candidates_per_node=max(8, topology.max_degree),
+        c1=c1,
+        e0=e0,
+    )
+
+
+def describe_config(config: PPLBConfig) -> str:
+    """One-line-per-parameter human summary of a configuration."""
+    rows = [
+        f"  mu_s_base           = {config.mu_s_base:.4g}   (action threshold)",
+        f"  mu_k_base           = {config.mu_k_base:.4g}   (heat per hop -> locality)",
+        f"  beta0               = {config.beta0:.4g}   (arbiter exploration)",
+        f"  t_max               = {config.t_max}   (annealing horizon, ~drain time)",
+        f"  candidates_per_node = {config.candidates_per_node}",
+        f"  motion_rule         = {config.motion_rule}",
+    ]
+    return "PPLBConfig:\n" + "\n".join(rows)

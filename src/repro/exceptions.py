@@ -1,0 +1,57 @@
+"""Exception hierarchy for the PPLB reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still being able to discriminate configuration problems from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent.
+
+    Raised eagerly at construction time (fail fast) rather than deep inside
+    a simulation loop, so parameter sweeps abort on the first bad point.
+    """
+
+
+class TopologyError(ReproError):
+    """A topology construction or query is invalid.
+
+    Examples: non-positive dimensions, querying a node id outside
+    ``range(n_nodes)``, or requesting an edge that does not exist.
+    """
+
+
+class TaskError(ReproError):
+    """A task-system operation is invalid.
+
+    Examples: placing a task on a non-existent node, duplicate task ids,
+    or a dependency referencing an unknown task.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistent state.
+
+    This indicates a bug in a balancer implementation (e.g. migrating a
+    task over a non-edge or over a faulted link) and is always a hard
+    failure; the engine never silently repairs balancer output.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An analysis routine failed to reach its convergence criterion.
+
+    Carries the partial result where that is useful for diagnostics.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial

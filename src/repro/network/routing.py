@@ -1,0 +1,43 @@
+"""Hop-distance computation over topologies.
+
+The balancers themselves act locally (one hop per decision — the paper's
+whole point), but the *analysis* layer needs all-pairs hop distances for
+locality metrics (how far did tasks travel? how close are dependent
+tasks?). Distances are computed once per topology with SciPy's BFS-based
+shortest path and cached on the :class:`Topology`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from repro.network.topology import Topology
+
+
+def hop_distances(topology: Topology) -> np.ndarray:
+    """All-pairs unweighted hop distances, shape ``(n, n)``, dtype int32.
+
+    Uses breadth-first search from every node (``method='D'`` on an
+    unweighted CSR adjacency is Dijkstra; for 0/1 weights it degenerates
+    to BFS cost). Unreachable pairs would map to a negative sentinel, but
+    :class:`Topology` guarantees connectivity so all entries are finite.
+    """
+    n = topology.n_nodes
+    e = topology.edges
+    data = np.ones(2 * e.shape[0], dtype=np.int8)
+    rows = np.concatenate([e[:, 0], e[:, 1]])
+    cols = np.concatenate([e[:, 1], e[:, 0]])
+    adj = csr_matrix((data, (rows, cols)), shape=(n, n))
+    d = shortest_path(adj, method="D", unweighted=True, directed=False)
+    return d.astype(np.int32)
+
+
+def path_hops(topology: Topology, route: list[int]) -> int:
+    """Number of hops along an explicit node *route* (validates edges)."""
+    hops = 0
+    for u, v in zip(route[:-1], route[1:]):
+        topology.edge_id(u, v)  # raises TopologyError on non-edges
+        hops += 1
+    return hops

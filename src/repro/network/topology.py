@@ -1,0 +1,186 @@
+"""Topology: the interconnection graph ``G(V, E)`` (paper §4.2).
+
+Nodes are the integers ``0 .. n-1``. The class keeps three synchronised
+views of the same graph:
+
+* a :class:`networkx.Graph` for algorithms that want one (diameter,
+  colorings, layouts),
+* array form — an ``(m, 2)`` edge array and per-node neighbor arrays —
+  for the vectorised hot paths of the balancers,
+* a 2-D embedding (the paper's ``M2: V(G) → R²``) used for the load
+  surface, for locality metrics and for ASCII rendering.
+
+Instances are immutable after construction; fault state lives in
+:class:`repro.network.faults.FaultModel`, not here.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import TopologyError
+
+
+class Topology:
+    """An immutable interconnection network over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    graph:
+        Connected undirected graph whose nodes are exactly
+        ``range(n)``. Self-loops are rejected.
+    name:
+        Human-readable identifier (used in benchmark tables).
+    coords:
+        Optional mapping/array of 2-D coordinates per node (the ``M2``
+        embedding). When omitted a spring layout is computed lazily.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        name: str = "custom",
+        coords: Mapping[int, Iterable[float]] | np.ndarray | None = None,
+    ):
+        n = graph.number_of_nodes()
+        if n == 0:
+            raise TopologyError("topology must have at least one node")
+        if set(graph.nodes) != set(range(n)):
+            raise TopologyError("graph nodes must be exactly 0..n-1; relabel before wrapping")
+        if any(u == v for u, v in graph.edges):
+            raise TopologyError("self-loops are not allowed")
+        if n > 1 and not nx.is_connected(graph):
+            raise TopologyError("topology must be connected")
+
+        self._graph = nx.freeze(graph.copy())
+        self.name = name
+        self.n_nodes = n
+
+        edges = np.asarray(
+            sorted((min(u, v), max(u, v)) for u, v in graph.edges), dtype=np.int64
+        ).reshape(-1, 2)
+        self.edges = edges
+        self.n_edges = edges.shape[0]
+
+        # Per-node neighbor arrays (sorted), and degree vector.
+        nbr: list[list[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            nbr[u].append(int(v))
+            nbr[v].append(int(u))
+        self._neighbors = [np.asarray(sorted(ns), dtype=np.int64) for ns in nbr]
+        self.degree = np.asarray([len(ns) for ns in nbr], dtype=np.int64)
+
+        # Edge lookup: (min, max) -> edge index, for per-edge attribute arrays.
+        self._edge_index: dict[tuple[int, int], int] = {
+            (int(u), int(v)): k for k, (u, v) in enumerate(edges)
+        }
+
+        if coords is not None:
+            arr = np.zeros((n, 2), dtype=np.float64)
+            if isinstance(coords, np.ndarray):
+                if coords.shape != (n, 2):
+                    raise TopologyError(
+                        f"coords array must have shape ({n}, 2), got {coords.shape}"
+                    )
+                arr[:] = coords
+            else:
+                for node, xy in coords.items():
+                    arr[int(node)] = np.asarray(tuple(xy), dtype=np.float64)
+            self._coords: np.ndarray | None = arr
+        else:
+            self._coords = None
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The (frozen) networkx view of the topology."""
+        return self._graph
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of *node* (read-only array)."""
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.n_nodes})")
+        return self._neighbors[node]
+
+    @property
+    def coords(self) -> np.ndarray:
+        """2-D embedding ``M2`` of the nodes, shape ``(n, 2)``.
+
+        Computed with a deterministic spring layout when the builder did
+        not supply natural coordinates.
+        """
+        if self._coords is None:
+            pos = nx.spring_layout(self._graph, seed=0)
+            self._coords = np.asarray([pos[i] for i in range(self.n_nodes)], dtype=np.float64)
+        return self._coords
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is a link of the network."""
+        return (min(u, v), max(u, v)) in self._edge_index
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Index of edge ``{u, v}`` into :attr:`edges` / per-edge arrays."""
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        try:
+            return self._edge_index[key]
+        except KeyError:
+            raise TopologyError(f"no edge between {u} and {v} in topology '{self.name}'")
+
+    # ------------------------------------------------------------------ #
+    # Derived structure (cached)
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def adjacency(self) -> np.ndarray:
+        """Dense boolean adjacency matrix, shape ``(n, n)``."""
+        a = np.zeros((self.n_nodes, self.n_nodes), dtype=bool)
+        a[self.edges[:, 0], self.edges[:, 1]] = True
+        a[self.edges[:, 1], self.edges[:, 0]] = True
+        return a
+
+    @cached_property
+    def laplacian(self) -> np.ndarray:
+        """Dense graph Laplacian ``L = D − A`` as float64."""
+        a = self.adjacency.astype(np.float64)
+        return np.diag(a.sum(axis=1)) - a
+
+    @cached_property
+    def hop_distances(self) -> np.ndarray:
+        """All-pairs unweighted hop distances, shape ``(n, n)`` (int16)."""
+        from repro.network.routing import hop_distances
+
+        return hop_distances(self)
+
+    @cached_property
+    def diameter(self) -> int:
+        """Graph diameter in hops."""
+        return int(self.hop_distances.max())
+
+    @cached_property
+    def max_degree(self) -> int:
+        """Maximum node degree."""
+        return int(self.degree.max())
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Topology('{self.name}', n={self.n_nodes}, m={self.n_edges})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.edges.shape == other.edges.shape
+            and bool((self.edges == other.edges).all())
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_nodes, self.edges.tobytes()))

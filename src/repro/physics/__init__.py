@@ -1,0 +1,60 @@
+"""Classical particle-and-plane physics model (paper §3).
+
+This subpackage implements, standalone and in continuous space, the
+physical system the paper uses as its load-balancing analogy: a point
+particle sliding on a bumpy surface under gravity with static and kinetic
+friction. It exists for two reasons:
+
+1. It lets us validate the paper's *physics-level* claims (Theorem 1,
+   Corollaries 1-3: trapping, escape radius, potential height) directly in
+   their native setting, independent of the load-balancing mapping.
+2. Its energy ledger is the reference implementation against which the
+   discrete load-balancer's potential-height flag (``repro.core.energy``)
+   is tested.
+
+Public surface
+--------------
+:class:`HeightField`
+    A bilinear-interpolated surface ``z = f(x, y)`` with analytic builders
+    (hills, valleys, random smooth terrain).
+:class:`PhysicsParams` / :class:`ParticleState`
+    Simulation parameters and the particle's kinematic state.
+:class:`ParticleSimulator`
+    Time-stepping integrator with the paper's friction model and an exact
+    per-step energy ledger.
+:mod:`repro.physics.contours`
+    Contour extraction, peak, escape radius and the Theorem-1 trapping
+    bound.
+"""
+
+from repro.physics.constants import PhysicsParams
+from repro.physics.contours import (
+    Contour,
+    contour_at,
+    escape_bound_holds,
+    escape_radius,
+    max_escape_radius_bound,
+    peak_height,
+)
+from repro.physics.energy import EnergyLedger
+from repro.physics.heightfield import HeightField
+from repro.physics.particle import ParticleState
+from repro.physics.dynamics import ParticleSimulator, TrajectoryResult
+from repro.physics.multi import MultiParticleSimulator, SwarmResult
+
+__all__ = [
+    "MultiParticleSimulator",
+    "SwarmResult",
+    "PhysicsParams",
+    "HeightField",
+    "ParticleState",
+    "ParticleSimulator",
+    "TrajectoryResult",
+    "EnergyLedger",
+    "Contour",
+    "contour_at",
+    "peak_height",
+    "escape_radius",
+    "escape_bound_holds",
+    "max_escape_radius_bound",
+]

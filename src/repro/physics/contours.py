@@ -1,0 +1,203 @@
+"""Contours, peaks, escape radii and the trapping bounds (paper §3.3).
+
+Definitions reproduced from the paper:
+
+* **Definition 1 (trapped):** a particle is trapped inside contour *c* at
+  time *t* if it cannot exit *c* at any later time.
+* **Definition 2 (peak):** ``P_c`` is the maximum height of any point of
+  *c*'s *rim* — the barrier a particle must climb to leave. (The paper
+  says "within c"; operationally the binding quantity in Theorem 1's
+  proof is the height that must be climbed to exit, so we expose both the
+  rim peak used by the bound and the interior maximum.)
+* **Definition 3 (escape radius):** ``r_{c,p}`` is the minimum horizontal
+  distance from position *p* to a point outside *c*.
+* **Theorem 1:** the particle at potential height ``h*`` is *not* trapped
+  in *c* if ``P_c ≤ h* − µk · r_{c,p}`` (escaping along the shortest exit
+  costs at most ``µk·g·m·r`` of energy, leaving enough to clear the rim).
+* **Corollary 3:** trapping is certain once ``r_{c,p} > h*/µk``.
+
+Discretisation
+--------------
+A contour is represented as a boolean mask over the heightfield grid: the
+connected component (4-neighbour flood fill) of cells with height strictly
+below a level ``L`` that contains a seed cell. Its *rim* is the set of
+cells adjacent to the region but not in it; the rim peak is the minimum
+climb needed to exit is approximated by the *lowest* saddle on the rim —
+both the max-rim and min-rim heights are exposed because Theorem 1 as
+stated uses the peak (worst case over exit paths) while the dynamics can
+exploit the lowest saddle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.physics.heightfield import HeightField
+
+
+@dataclass(frozen=True)
+class Contour:
+    """A grid-discretised contour region of a heightfield.
+
+    Attributes
+    ----------
+    mask:
+        Boolean ``(nx, ny)`` array; True for cells inside the contour.
+    level:
+        The height threshold the flood fill used.
+    field:
+        The heightfield the contour belongs to.
+    """
+
+    mask: np.ndarray
+    level: float
+    field: HeightField
+
+    @property
+    def n_cells(self) -> int:
+        """Number of grid cells inside the contour."""
+        return int(self.mask.sum())
+
+    @property
+    def is_whole_domain(self) -> bool:
+        """True when the contour covers every grid cell (nothing outside)."""
+        return bool(self.mask.all())
+
+    def interior_peak(self) -> float:
+        """Maximum surface height of any cell inside the contour."""
+        return float(self.field.z[self.mask].max())
+
+    def floor(self) -> float:
+        """Minimum surface height inside the contour (valley bottom)."""
+        return float(self.field.z[self.mask].min())
+
+    def contains_point(self, p) -> bool:
+        """Whether continuous point *p* falls in a contour cell."""
+        i, j = _cell_of(self.field, p)
+        return bool(self.mask[i, j])
+
+
+def _cell_of(field: HeightField, p) -> tuple[int, int]:
+    """Nearest grid-node indices for continuous point *p* (clamped)."""
+    p = np.asarray(p, dtype=np.float64)
+    i = int(round(np.clip(p[0] / field.dx, 0, field.nx - 1)))
+    j = int(round(np.clip(p[1] / field.dy, 0, field.ny - 1)))
+    return i, j
+
+
+def contour_at(field: HeightField, p, level: float) -> Contour:
+    """Flood-fill the contour below *level* containing point *p*.
+
+    Raises :class:`ConfigurationError` if the seed cell itself is at or
+    above *level* (no contour contains the point at that level).
+    """
+    si, sj = _cell_of(field, p)
+    z = field.z
+    if z[si, sj] >= level:
+        raise ConfigurationError(
+            f"seed point has height {z[si, sj]:.4g} >= level {level:.4g}; "
+            "no sub-level contour contains it"
+        )
+    mask = np.zeros_like(z, dtype=bool)
+    below = z < level
+    q: deque[tuple[int, int]] = deque([(si, sj)])
+    mask[si, sj] = True
+    nx, ny = z.shape
+    while q:
+        i, j = q.popleft()
+        for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            a, b = i + di, j + dj
+            if 0 <= a < nx and 0 <= b < ny and below[a, b] and not mask[a, b]:
+                mask[a, b] = True
+                q.append((a, b))
+    return Contour(mask=mask, level=float(level), field=field)
+
+
+def rim_mask(contour: Contour) -> np.ndarray:
+    """Cells outside the contour that are 4-adjacent to it (the rim)."""
+    m = contour.mask
+    rim = np.zeros_like(m)
+    rim[1:, :] |= m[:-1, :]
+    rim[:-1, :] |= m[1:, :]
+    rim[:, 1:] |= m[:, :-1]
+    rim[:, :-1] |= m[:, 1:]
+    rim &= ~m
+    return rim
+
+
+def peak_height(contour: Contour) -> float:
+    """``P_c`` — the paper's contour peak (worst-case exit barrier).
+
+    Computed as the maximum height over the contour's rim cells. For a
+    contour covering the whole domain there is no rim; the interior
+    maximum is returned (nothing to climb — the particle is already
+    "outside" every finite barrier).
+    """
+    rim = rim_mask(contour)
+    if not rim.any():
+        return contour.interior_peak()
+    return float(contour.field.z[rim].max())
+
+
+def lowest_saddle(contour: Contour) -> float:
+    """The lowest rim height — the cheapest exit barrier.
+
+    A particle escapes through the lowest saddle if it can; Theorem 1
+    is conservative in using the peak instead.
+    """
+    rim = rim_mask(contour)
+    if not rim.any():
+        return contour.interior_peak()
+    return float(contour.field.z[rim].min())
+
+
+def escape_radius(contour: Contour, p) -> float:
+    """``r_{c,p}`` — minimum horizontal distance from *p* to outside *c*.
+
+    Definition 3 of the paper. Computed exactly over grid cells: the
+    minimum Euclidean distance from *p* to the centre of any cell not in
+    the contour. Returns ``inf`` when the contour covers the whole grid.
+    """
+    if contour.is_whole_domain:
+        return float("inf")
+    field = contour.field
+    outside = ~contour.mask
+    ii, jj = np.nonzero(outside)
+    px, py = float(p[0]), float(p[1])
+    d2 = (ii * field.dx - px) ** 2 + (jj * field.dy - py) ** 2
+    return float(np.sqrt(d2.min()))
+
+
+def escape_bound_holds(
+    contour: Contour, p, potential_height: float, mu_k: float
+) -> bool:
+    """Theorem 1 condition: ``P_c ≤ h* − µk · r_{c,p}``.
+
+    When True the particle is *energetically able* to escape the contour
+    (not trapped in the sense of Definition 1, provided it takes a
+    shortest exit path, which is the assumption of the paper's proof).
+    """
+    r = escape_radius(contour, p)
+    if np.isinf(r):
+        return False
+    return peak_height(contour) <= potential_height - mu_k * r
+
+
+def max_escape_radius_bound(potential_height: float, mu_k: float) -> float:
+    """Corollary 3: radius beyond which trapping is certain, ``h*/µk``.
+
+    Any contour whose escape radius at the particle's position exceeds
+    this value traps the particle regardless of barrier heights, because
+    friction alone exhausts the particle's energy before it can cross.
+    Returns ``inf`` for the frictionless case (Corollary 1: never
+    trapped by sub-``h0`` barriers).
+    """
+    if mu_k < 0:
+        raise ConfigurationError(f"mu_k must be non-negative, got {mu_k}")
+    if mu_k == 0.0:
+        return float("inf")
+    return potential_height / mu_k

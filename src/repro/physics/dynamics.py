@@ -1,0 +1,291 @@
+"""Time-stepping dynamics of the particle on the surface (paper §3.1-3.2).
+
+Model
+-----
+The particle's horizontal position ``p`` evolves under the small-slope
+("shallow terrain") equations of motion
+
+.. math::
+
+    \\dot p = v, \\qquad
+    \\dot v = -g\\,\\nabla f(p) \\; - \\; \\mu_k\\, g\\, \\hat v
+    \\quad (\\text{while } |v| > 0),
+
+with static friction pinning a resting particle wherever the slope
+``|∇f| ≤ µs`` (the paper's inequality (1), ``tan β > µs`` for motion).
+
+Why this model: with these equations the mechanical-energy identity is
+
+.. math::
+
+    \\frac{d}{dt}\\Big(\\tfrac12 |v|^2 + g f(p)\\Big) = -\\mu_k g |v|,
+
+i.e. the energy lost to friction per unit *horizontal* path length is
+exactly ``µk·m·g`` — which is precisely the paper's §3.3 identity
+``E_h = µk·m·g·d⊥`` that Theorem 1 and the potential-height flag are
+built on. The full constrained-bead equations would add
+``(1+|∇f|²)``-type metric factors that the paper itself discards when it
+converts heat to horizontal distance, so the small-slope form is the
+faithful reproduction.
+
+Integration is semi-implicit (symplectic) Euler: ``v`` is updated first,
+then ``p`` with the new velocity. Additionally, every step projects the
+kinetic energy onto the §3.3 ledger (``E_mech ≤ E0 − µk·m·g·path``):
+the ledger is the model's ground truth — Theorem 1 and the load
+balancer's ``h*`` flag are *defined* by it — so the integrator is never
+allowed to hold more energy than the ledger grants. The projection is
+purely dissipative. With it, the Corollary-3 path bound
+``path ≤ h0/µk`` holds to O(dt) relative tolerance (tested at 1%), and
+the potential-height invariant ``h(p) ≤ h*`` to the same order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.physics.constants import PhysicsParams
+from repro.physics.energy import EnergyLedger
+from repro.physics.heightfield import HeightField
+from repro.physics.particle import ParticleState
+
+
+@dataclass
+class TrajectoryResult:
+    """Outcome of one particle run.
+
+    Attributes
+    ----------
+    positions:
+        ``(n_steps+1, 2)`` array of visited positions (including start).
+    heights:
+        Surface height at each recorded position.
+    path_length:
+        Total horizontal arc length travelled.
+    settled:
+        Whether the particle came to rest before ``max_steps``.
+    steps:
+        Number of integration steps taken.
+    ledger:
+        Final :class:`EnergyLedger` (heat, potential height ``h*``).
+    final_state:
+        Particle state at the end of the run.
+    """
+
+    positions: np.ndarray
+    heights: np.ndarray
+    path_length: float
+    settled: bool
+    steps: int
+    ledger: EnergyLedger
+    final_state: ParticleState
+
+    @property
+    def start(self) -> np.ndarray:
+        return self.positions[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.positions[-1]
+
+    @property
+    def displacement(self) -> float:
+        """Straight-line distance from release point to final position."""
+        return float(np.linalg.norm(self.end - self.start))
+
+    @property
+    def max_height_reached(self) -> float:
+        """Highest surface point visited (must stay ≤ h0 within tol)."""
+        return float(self.heights.max())
+
+
+@dataclass
+class ParticleSimulator:
+    """Integrates a particle over a heightfield with the paper's friction.
+
+    Parameters
+    ----------
+    field:
+        The surface.
+    params:
+        Physical constants and integrator settings.
+    record_every:
+        Keep every *record_every*-th position in the trajectory (1 keeps
+        all; larger values save memory on long runs). The start and end
+        positions are always recorded.
+    """
+
+    field: HeightField
+    params: PhysicsParams = field(default_factory=PhysicsParams)
+    record_every: int = 1
+
+    def run(self, state: ParticleState, max_steps: int | None = None) -> TrajectoryResult:
+        """Simulate until the particle rests or *max_steps* elapse.
+
+        The input *state* is not mutated; a copy is evolved. The loop is
+        written in scalar (float-only) form using the heightfield's
+        scalar fast paths — the integrator runs millions of steps and
+        per-step numpy allocation would dominate the runtime (see the
+        HPC notes in :mod:`repro.physics.heightfield`).
+        """
+        p = self.params
+        steps_cap = int(max_steps if max_steps is not None else p.max_steps)
+        if steps_cap <= 0:
+            raise SimulationError(f"max_steps must be positive, got {steps_cap}")
+
+        st = state.copy()
+        hf = self.field
+        x, y = float(st.position[0]), float(st.position[1])
+        vx, vy = float(st.velocity[0]), float(st.velocity[1])
+        h0 = hf.height_scalar(x, y)
+        ledger = EnergyLedger(
+            mass=st.mass, g=p.g, initial_height=h0, initial_speed=math.hypot(vx, vy)
+        )
+
+        positions = [(x, y)]
+        heights = [h0]
+        path_length = 0.0
+        heat_distance = 0.0  # accumulated horizontal distance (for the ledger)
+        settled = False
+        lx, ly = hf.extent
+        stride = max(int(self.record_every), 1)
+        dt = p.dt
+        g = p.g
+        mu_s = p.mu_s
+        mu_k = p.mu_k
+        rest = p.rest_speed
+        e0 = g * h0 + 0.5 * (vx * vx + vy * vy)  # total energy at release
+        stall = 0  # consecutive near-zero-displacement steps (stick-slip)
+
+        n = 0
+        for n in range(1, steps_cap + 1):
+            gx, gy = hf.gradient_scalar(x, y)
+            speed = math.hypot(vx, vy)
+
+            if speed <= rest:
+                # Stationary: static friction holds unless the slope wins
+                # (paper inequality (1): motion iff tanβ = |grad| > µs).
+                # Even past µs, if kinetic friction would immediately
+                # cancel the drive (µk ≥ |grad|), slip is infinitesimal —
+                # the particle sticks (Coulomb stick-slip limit).
+                gmag = math.hypot(gx, gy)
+                if gmag <= mu_s or gmag <= mu_k:
+                    st.velocity[:] = 0.0
+                    st.at_rest = True
+                    settled = True
+                    break
+                # Slope overcomes both frictions: kinetic regime resumes
+                # from (near) rest, friction opposing incipient downhill
+                # motion (i.e. pointing up-gradient).
+                fdx, fdy = gx / gmag, gy / gmag
+            else:
+                fdx, fdy = -vx / speed, -vy / speed
+
+            ax = -g * gx + mu_k * g * fdx
+            ay = -g * gy + mu_k * g * fdy
+            nvx = vx + dt * ax
+            nvy = vy + dt * ay
+
+            # Kinetic friction cannot reverse motion within a step: if the
+            # velocity flipped direction purely due to friction, clamp to
+            # zero instead (prevents friction-driven oscillation at rest).
+            if speed > 0 and (nvx * vx + nvy * vy) < 0.0:
+                if math.hypot(g * gx, g * gy) * dt < speed:
+                    nvx = nvy = 0.0
+
+            vx, vy = nvx, nvy
+            nx_ = x + dt * vx
+            ny_ = y + dt * vy
+
+            # Reflect at the yard walls (nothing leaves the domain).
+            if nx_ < 0.0:
+                nx_ = -nx_
+                vx = -vx
+            elif nx_ > lx:
+                nx_ = 2.0 * lx - nx_
+                vx = -vx
+            if ny_ < 0.0:
+                ny_ = -ny_
+                vy = -vy
+            elif ny_ > ly:
+                ny_ = 2.0 * ly - ny_
+                vy = -vy
+            nx_ = 0.0 if nx_ < 0.0 else (lx if nx_ > lx else nx_)
+            ny_ = 0.0 if ny_ < 0.0 else (ly if ny_ > ly else ny_)
+
+            moved = math.hypot(nx_ - x, ny_ - y)
+            path_length += moved
+            heat_distance += moved
+            x, y = nx_, ny_
+
+            # Energy projection: the paper's §3.3 ledger is the model's
+            # ground truth (Theorem 1 and the h* flag are defined by it),
+            # so the integrator must never hold more mechanical energy
+            # than  E0 − µk·g·(distance travelled).  Explicit integrators
+            # drift upward by O(dt); project the kinetic term back onto
+            # the ledger whenever that happens (purely dissipative, so
+            # it cannot inject energy).
+            h_now = hf.height_scalar(x, y)
+            e_allowed = e0 - mu_k * g * heat_distance
+            ke = 0.5 * (vx * vx + vy * vy)
+            excess = ke + g * h_now - e_allowed
+            if excess > 0.0:
+                ke_new = e_allowed - g * h_now
+                if ke_new <= 0.0:
+                    vx = vy = 0.0
+                    if mu_k > 0.0:
+                        # Ledger exhausted: the particle holds zero kinetic
+                        # budget at its current height, so it can never move
+                        # again — this IS Corollary 2's trapping event.
+                        # (Frictionless particles only get here via transient
+                        # integrator drift and must keep oscillating.)
+                        st.at_rest = True
+                        settled = True
+                        break
+                else:
+                    scale = math.sqrt(ke_new / ke) if ke > 0 else 0.0
+                    vx *= scale
+                    vy *= scale
+
+            # Stick-slip detection: a particle making no real progress for
+            # stall_steps consecutive steps is in a friction-pinned
+            # equilibrium (e.g. pressed against a wall) — declare it
+            # settled rather than micro-oscillating forever.
+            if moved < rest * dt:
+                stall += 1
+                if stall >= p.stall_steps:
+                    vx = vy = 0.0
+                    st.at_rest = True
+                    settled = True
+                    break
+            else:
+                stall = 0
+
+            if n % stride == 0:
+                positions.append((x, y))
+                heights.append(h_now)
+
+        ledger.add_friction_path(mu_k, heat_distance)
+        st.position = np.array([x, y])
+        st.velocity = np.array([vx, vy])
+        if positions[-1] != (x, y) or not settled:
+            positions.append((x, y))
+            heights.append(hf.height_scalar(x, y))
+
+        return TrajectoryResult(
+            positions=np.asarray(positions),
+            heights=np.asarray(heights),
+            path_length=path_length,
+            settled=settled,
+            steps=n,
+            ledger=ledger,
+            final_state=st,
+        )
+
+    def release(self, position, mass: float = 1.0, velocity=None) -> TrajectoryResult:
+        """Convenience: build a :class:`ParticleState` at *position* and run."""
+        vel = np.zeros(2) if velocity is None else np.asarray(velocity, dtype=np.float64)
+        return self.run(ParticleState(position=np.asarray(position, float), velocity=vel, mass=mass))

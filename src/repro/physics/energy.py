@@ -1,0 +1,104 @@
+"""Energy accounting for the particle model (paper §3.3).
+
+The paper tracks three quantities:
+
+* kinetic energy ``E_k = m v² / 2``,
+* potential energy ``E_p = m g h``,
+* cumulative friction heat ``E_h`` with the identity that heat grows by
+  ``µk·m·g`` per unit *horizontal* distance travelled (the paper's
+  ``E_h = µk·m·g·d⊥``),
+
+and defines the **potential height** ``h*_t = h_0 − Σ E_h,i/(m·g)`` — the
+highest surface point the particle could still reach. Theorem 1 and the
+load balancer's per-task flag are both phrased in terms of ``h*``.
+
+:class:`EnergyLedger` maintains these quantities incrementally and exposes
+the invariants the property tests assert:
+
+* total mechanical energy never increases,
+* mechanical + heat is conserved (up to integrator tolerance),
+* the particle's height never exceeds ``h*`` (within tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class EnergyLedger:
+    """Running energy balance of one particle.
+
+    Parameters
+    ----------
+    mass, g:
+        Particle mass and gravitational acceleration.
+    initial_height:
+        Surface height at release, ``h_0``. With zero initial speed the
+        initial total energy is ``m·g·h_0``.
+    initial_speed:
+        Release speed (usually 0, as in the paper's scenario).
+    """
+
+    mass: float
+    g: float
+    initial_height: float
+    initial_speed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0:
+            raise ConfigurationError(f"mass must be positive, got {self.mass}")
+        if self.g <= 0:
+            raise ConfigurationError(f"g must be positive, got {self.g}")
+        self.heat: float = 0.0
+
+    # -- updates ---------------------------------------------------------
+
+    def add_heat(self, delta: float) -> None:
+        """Record friction loss *delta* (must be non-negative)."""
+        if delta < -1e-12:
+            raise ConfigurationError(f"heat increment must be non-negative, got {delta}")
+        self.heat += max(delta, 0.0)
+
+    def add_friction_path(self, mu_k: float, horizontal_distance: float) -> None:
+        """Record heat for sliding *horizontal_distance* with friction µk.
+
+        Implements the paper's ``E_h = µk·m·g·d⊥`` identity.
+        """
+        self.add_heat(mu_k * self.mass * self.g * max(horizontal_distance, 0.0))
+
+    # -- derived quantities -----------------------------------------------
+
+    @property
+    def initial_total(self) -> float:
+        """Total energy at release: ``m g h0 + m v0²/2``."""
+        return self.mass * self.g * self.initial_height + 0.5 * self.mass * self.initial_speed**2
+
+    def total_mechanical(self) -> float:
+        """Mechanical energy remaining = initial − heat."""
+        return self.initial_total - self.heat
+
+    def potential_height(self) -> float:
+        """``h*`` — the highest surface height still reachable.
+
+        Paper §3.3: ``h*_t = h0 − Σ E_h,i / (m g)`` (extended by the
+        initial kinetic term when the release speed is nonzero).
+        """
+        return self.total_mechanical() / (self.mass * self.g)
+
+    def kinetic_at(self, height: float) -> float:
+        """Kinetic energy implied at surface *height* by conservation."""
+        return self.total_mechanical() - self.mass * self.g * height
+
+    def speed_at(self, height: float) -> float:
+        """Speed implied at *height*; 0 if the height is unreachable."""
+        ek = self.kinetic_at(height)
+        if ek <= 0:
+            return 0.0
+        return (2.0 * ek / self.mass) ** 0.5
+
+    def can_reach(self, height: float, tol: float = 1e-9) -> bool:
+        """Whether a point at *height* is energetically reachable now."""
+        return height <= self.potential_height() + tol

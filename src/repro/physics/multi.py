@@ -1,0 +1,278 @@
+"""Many particles on a self-generated surface (paper §4.1, continuous).
+
+The paper's load-balancing surface is *dynamic*: "the hills and valleys
+of the surface may change their height over the time as the loads are
+transferred". In the discrete system the loads themselves are the
+heights; this module realises the same feedback in continuous space:
+
+* Each particle *k* (mass ``m_k``, the load quantity) contributes a
+  Gaussian bump ``m_k·A·exp(−|p − p_k|²/2w²)`` to the surface.
+* Particle *i* feels the gradient of the *other* particles' bumps plus
+  any static terrain — it slides away from concentrations of mass,
+  downhill into empty regions, under the same µs/µk friction laws as
+  the single-particle model.
+* Equilibrium = particles spread to (capacity-)uniform density: load
+  balancing as literal physics, no algorithm in sight.
+
+This is the conceptual bridge the paper draws in §4; the discrete
+balancer (`repro.core`) is its network-constrained counterpart. The
+experiments measure the density CoV over time — the same imbalance
+metric as the load system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.physics.constants import PhysicsParams
+from repro.physics.heightfield import HeightField
+
+
+@dataclass
+class SwarmResult:
+    """Outcome of a multi-particle run.
+
+    Attributes
+    ----------
+    positions:
+        Final particle positions, shape ``(n, 2)``.
+    trajectory:
+        Recorded snapshots, shape ``(n_snapshots, n, 2)``.
+    snapshot_times:
+        Step index of each snapshot.
+    settled:
+        Whether every particle came to rest.
+    steps:
+        Integration steps taken.
+    """
+
+    positions: np.ndarray
+    trajectory: np.ndarray
+    snapshot_times: list[int]
+    settled: bool
+    steps: int
+
+
+class MultiParticleSimulator:
+    """N particles on their own mass-generated surface.
+
+    Parameters
+    ----------
+    masses:
+        Positive particle masses (load quantities), shape ``(n,)``.
+    params:
+        Friction/integrator constants (the single-particle set).
+    kernel_width:
+        Gaussian bump width *w*: how far a particle's presence raises
+        the surface around it (the 'footprint' of a load).
+    kernel_height:
+        Bump amplitude per unit mass.
+    terrain:
+        Optional static heightfield added to the dynamic surface
+        (machine structure: permanently slow/hot regions).
+    extent:
+        Domain size; particles reflect at the walls.
+    """
+
+    def __init__(
+        self,
+        masses: np.ndarray,
+        params: PhysicsParams = PhysicsParams(),
+        kernel_width: float = 0.08,
+        kernel_height: float = 1.0,
+        terrain: HeightField | None = None,
+        extent: tuple[float, float] = (1.0, 1.0),
+    ):
+        masses = np.asarray(masses, dtype=np.float64)
+        if masses.ndim != 1 or masses.shape[0] == 0:
+            raise ConfigurationError(f"masses must be a non-empty 1-D array, got {masses.shape}")
+        if (masses <= 0).any():
+            raise ConfigurationError("all masses must be positive")
+        if kernel_width <= 0 or kernel_height <= 0:
+            raise ConfigurationError(
+                f"kernel width/height must be positive, got {kernel_width}, {kernel_height}"
+            )
+        if terrain is not None and terrain.extent != tuple(extent):
+            raise ConfigurationError(
+                f"terrain extent {terrain.extent} must match domain extent {tuple(extent)}"
+            )
+        self.masses = masses
+        self.n = masses.shape[0]
+        self.params = params
+        self.w = float(kernel_width)
+        self.a = float(kernel_height)
+        self.terrain = terrain
+        self.extent = (float(extent[0]), float(extent[1]))
+
+    # ------------------------------------------------------------------ #
+
+    def surface_height(self, points: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Total surface height at *points* for particles at *positions*."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        diff = pts[:, None, :] - positions[None, :, :]
+        r2 = (diff**2).sum(axis=-1)
+        bumps = (self.a * self.masses[None, :] * np.exp(-r2 / (2 * self.w**2))).sum(axis=1)
+        if self.terrain is not None:
+            bumps = bumps + self.terrain.height(pts)
+        return bumps
+
+    def _gradients(self, positions: np.ndarray) -> np.ndarray:
+        """∇f at each particle, excluding its own bump. Shape (n, 2)."""
+        diff = positions[:, None, :] - positions[None, :, :]  # (n, n, 2)
+        r2 = (diff**2).sum(axis=-1)
+        k = self.a * self.masses[None, :] * np.exp(-r2 / (2 * self.w**2))
+        np.fill_diagonal(k, 0.0)  # no self-force
+        # ∇_p exp(−|p−q|²/2w²) = −(p−q)/w² · kernel, so ∇f points toward
+        # the other particles (the surface rises near mass) and the
+        # −g·∇f acceleration pushes particles apart, downhill.
+        grad = -(diff * k[:, :, None]).sum(axis=1) / (self.w**2)
+        if self.terrain is not None:
+            grad = grad + self.terrain.gradient(positions)
+        return grad
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        positions: np.ndarray,
+        max_steps: int | None = None,
+        snapshot_every: int = 200,
+    ) -> SwarmResult:
+        """Integrate the swarm until everything rests (or *max_steps*)."""
+        p = self.params
+        steps_cap = int(max_steps if max_steps is not None else p.max_steps)
+        pos = np.array(positions, dtype=np.float64)
+        if pos.shape != (self.n, 2):
+            raise ConfigurationError(
+                f"positions must have shape ({self.n}, 2), got {pos.shape}"
+            )
+        vel = np.zeros_like(pos)
+        lx, ly = self.extent
+        dt, g, mu_s, mu_k, rest = p.dt, p.g, p.mu_s, p.mu_k, p.rest_speed
+
+        snaps = [pos.copy()]
+        snap_times = [0]
+        settled = False
+        n_steps = 0
+        # Per-particle stick-slip detection: a particle that makes no real
+        # progress for stall_steps consecutive steps is pinned (typically
+        # against a wall by its neighbors' bumps) and freezes for the rest
+        # of the run; its bump still shapes the surface for the others.
+        stall = np.zeros(self.n, dtype=np.int64)
+        frozen = np.zeros(self.n, dtype=bool)
+        window_start = pos.copy()
+
+        for n_steps in range(1, steps_cap + 1):
+            grad = self._gradients(pos)
+            speed = np.linalg.norm(vel, axis=1)
+            moving = (speed > rest) & ~frozen
+            gmag = np.linalg.norm(grad, axis=1)
+            # Breakaway needs the slope to beat static friction AND the
+            # kinetic friction that instantly applies once moving (the
+            # Coulomb stick-slip limit — otherwise slip is infinitesimal).
+            breakaway = ~moving & ~frozen & (gmag > mu_s) & (gmag > mu_k)
+
+            if not moving.any() and not breakaway.any():
+                vel[:] = 0.0
+                settled = True
+                break
+
+            # friction direction: opposes velocity (moving) or incipient
+            # downhill motion (breakaway, i.e. up-gradient)
+            fric = np.zeros_like(vel)
+            mv = moving
+            fric[mv] = -vel[mv] / speed[mv, None]
+            ba = breakaway
+            fric[ba] = grad[ba] / gmag[ba, None]
+
+            active = moving | breakaway
+            accel = np.zeros_like(vel)
+            accel[active] = -g * grad[active] + mu_k * g * fric[active]
+            new_vel = vel + dt * accel
+            # friction cannot reverse motion within a step
+            flipped = moving & ((new_vel * vel).sum(axis=1) < 0.0)
+            weak_grav = np.linalg.norm(g * grad, axis=1) * dt < speed
+            new_vel[flipped & weak_grav] = 0.0
+            vel = new_vel
+            vel[~active] = 0.0
+
+            prev_pos = pos
+            pos = pos + dt * vel
+            # wall reflections
+            for axis, bound in enumerate((lx, ly)):
+                low = pos[:, axis] < 0.0
+                pos[low, axis] = -pos[low, axis]
+                vel[low, axis] = -vel[low, axis]
+                high = pos[:, axis] > bound
+                pos[high, axis] = 2.0 * bound - pos[high, axis]
+                vel[high, axis] = -vel[high, axis]
+            np.clip(pos[:, 0], 0.0, lx, out=pos[:, 0])
+            np.clip(pos[:, 1], 0.0, ly, out=pos[:, 1])
+
+            # stall bookkeeping: per-step displacement catches dead stops;
+            # the windowed check below catches micro-oscillation (pairs
+            # jiggling in place without net progress).
+            moved = np.linalg.norm(pos - prev_pos, axis=1)
+            stalled_now = moved < rest * dt
+            stall[stalled_now] += 1
+            stall[~stalled_now] = 0
+            newly_frozen = stall >= p.stall_steps
+            if newly_frozen.any():
+                frozen |= newly_frozen
+                vel[newly_frozen] = 0.0
+
+            if n_steps % p.stall_steps == 0:
+                window_moved = np.linalg.norm(pos - window_start, axis=1)
+                jigglers = ~frozen & (window_moved < 1e-4)
+                if jigglers.any():
+                    frozen |= jigglers
+                    vel[jigglers] = 0.0
+                window_start = pos.copy()
+
+            if n_steps % snapshot_every == 0:
+                snaps.append(pos.copy())
+                snap_times.append(n_steps)
+
+        if snap_times[-1] != n_steps:
+            snaps.append(pos.copy())
+            snap_times.append(n_steps)
+
+        return SwarmResult(
+            positions=pos,
+            trajectory=np.asarray(snaps),
+            snapshot_times=snap_times,
+            settled=settled,
+            steps=n_steps,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def density_cov(self, positions: np.ndarray, bins: int = 8) -> float:
+        """Imbalance of the mass distribution: CoV over a bins×bins grid.
+
+        The continuous analogue of the load system's CoV metric; 0 means
+        perfectly uniform mass density.
+        """
+        if bins < 2:
+            raise ConfigurationError(f"bins must be >= 2, got {bins}")
+        hist, _, _ = np.histogram2d(
+            positions[:, 0],
+            positions[:, 1],
+            bins=bins,
+            range=[[0, self.extent[0]], [0, self.extent[1]]],
+            weights=self.masses,
+        )
+        mean = hist.mean()
+        return float(hist.std() / mean) if mean > 0 else 0.0
+
+    def mean_pairwise_distance(self, positions: np.ndarray) -> float:
+        """Average inter-particle distance (spreading measure)."""
+        if self.n < 2:
+            return 0.0
+        diff = positions[:, None, :] - positions[None, :, :]
+        d = np.sqrt((diff**2).sum(axis=-1))
+        iu = np.triu_indices(self.n, k=1)
+        return float(d[iu].mean())

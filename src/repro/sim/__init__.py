@@ -1,0 +1,34 @@
+"""Synchronous-round simulation engine (paper §5's execution model).
+
+The engine realises the paper's implicit machine model: time advances in
+synchronous rounds; in each round every link carries at most a fixed
+number of loads (default 1 — "at each time unit only a single load is
+transferred over a link"); faults are realised at round start; balancers
+observe the state and order one-hop migrations.
+
+* :class:`Simulator` — task-granular simulation (the paper's setting).
+* :class:`FluidSimulator` — divisible-load simulation for the diffusion-
+  family theory checks.
+* :mod:`metrics <repro.sim.metrics>` — imbalance and traffic metrics.
+* :class:`SimulationResult` — per-round history + summary.
+"""
+
+from repro.sim.engine import FluidSimulator, Simulator
+from repro.sim.metrics import (
+    coefficient_of_variation,
+    imbalance_summary,
+    max_min_spread,
+    normalized_spread,
+)
+from repro.sim.results import RoundRecord, SimulationResult
+
+__all__ = [
+    "Simulator",
+    "FluidSimulator",
+    "SimulationResult",
+    "RoundRecord",
+    "coefficient_of_variation",
+    "max_min_spread",
+    "normalized_spread",
+    "imbalance_summary",
+]

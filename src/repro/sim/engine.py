@@ -1,0 +1,487 @@
+"""The synchronous-round simulators.
+
+:class:`Simulator` drives task-granular balancers (PPLB and the discrete
+baselines); :class:`FluidSimulator` drives divisible-load balancers
+(diffusion-family theory checks). Both:
+
+* realise link faults at round start (balancers then see the same
+  ``up_mask`` the engine enforces),
+* validate every order defensively (a bad order is a balancer bug and
+  raises :class:`~repro.exceptions.SimulationError` — the engine never
+  silently repairs),
+* record per-round metrics and detect convergence.
+
+Convergence (task mode): the system is converged when, for
+``quiet_rounds`` consecutive rounds, no migrations were applied *and*
+the balancer reports itself idle (no in-flight particles). The recorded
+``converged_round`` is the first round of that quiet window — the round
+after which nothing ever changed. Fluid mode instead converges when the
+max−min spread drops below ``spread_tol``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.interfaces import BalanceContext, Balancer, FluidBalancer, Migration
+from repro.network.faults import FaultModel
+from repro.network.links import LinkAttributes, link_costs
+from repro.network.topology import Topology
+from repro.rng import RngLike, ensure_rng
+from repro.sim.metrics import imbalance_summary
+from repro.sim.results import RoundRecord, SimulationResult
+from repro.tasks.resources import ResourceMap
+from repro.tasks.task import TaskSystem
+from repro.tasks.task_graph import TaskGraph
+from repro.workloads.dynamic import DynamicWorkload
+
+
+@dataclass(frozen=True)
+class ConvergenceCriteria:
+    """When to stop early.
+
+    Attributes
+    ----------
+    quiet_rounds:
+        Consecutive migration-free, balancer-idle rounds that count as
+        converged (task mode).
+    spread_tol:
+        Max−min spread threshold (fluid mode; also used by task mode as
+        an *additional* early-exit when > 0 and the balancer is idle).
+    min_rounds:
+        Never declare convergence before this many rounds.
+    """
+
+    quiet_rounds: int = 5
+    spread_tol: float = 0.0
+    min_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.quiet_rounds < 1:
+            raise ConfigurationError(f"quiet_rounds must be >= 1, got {self.quiet_rounds}")
+        if self.spread_tol < 0:
+            raise ConfigurationError(f"spread_tol must be >= 0, got {self.spread_tol}")
+        if self.min_rounds < 0:
+            raise ConfigurationError(f"min_rounds must be >= 0, got {self.min_rounds}")
+
+
+class Simulator:
+    """Task-granular synchronous simulation (the paper's machine model).
+
+    Parameters
+    ----------
+    topology, system:
+        The network and its (pre-populated) task system.
+    balancer:
+        Any :class:`~repro.interfaces.Balancer`.
+    links:
+        Link attributes; defaults to uniform unit links.
+    fault_model:
+        Optional fault realisation (defaults to fault-free).
+    task_graph, resources:
+        Optional ``T``/``R`` passed through to the balancer context.
+    dynamic:
+        Optional workload churn applied at the start of each round.
+    link_capacity:
+        Tasks per link per round (paper: 1).
+    transfer_latency:
+        Rounds a migration spends on the wire before the task lands.
+        0 (default) = instantaneous (the classical model); an ``int``
+        applies uniformly; ``"size"`` computes ``ceil(load·d/bw)`` per
+        hop — the paper's §1 concern that migration "means the transfer
+        of a considerable amount of data" made concrete. While in
+        transit the task's load is on no node (the hill already shrank,
+        the valley hasn't filled).
+    c1, e0:
+        Link-cost constants (see :func:`repro.network.links.link_costs`).
+    seed:
+        Seed for the context RNG handed to stochastic balancers.
+    criteria:
+        Convergence criteria.
+    track_journeys:
+        When True, record per-task journeys: hop counts and origin →
+        settle displacement (used by the locality experiments).
+    node_speeds:
+        Optional per-node processing speeds ``s_i > 0``. The balance
+        target becomes capacity-proportional: all recorded imbalance
+        metrics are computed on the *effective* loads ``h_i / s_i``
+        (CoV 0 ⟺ every node holds load proportional to its speed), and
+        the speeds are exposed to balancers through the context.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        system: TaskSystem,
+        balancer: Balancer,
+        links: Optional[LinkAttributes] = None,
+        fault_model: Optional[FaultModel] = None,
+        task_graph: Optional[TaskGraph] = None,
+        resources: Optional[ResourceMap] = None,
+        dynamic: Optional[DynamicWorkload] = None,
+        link_capacity: int = 1,
+        transfer_latency: int | str = 0,
+        c1: float = 1.0,
+        e0: float = 1.0,
+        seed: RngLike = None,
+        criteria: ConvergenceCriteria = ConvergenceCriteria(),
+        track_journeys: bool = False,
+        node_speeds: Optional[np.ndarray] = None,
+    ):
+        if system.topology is not topology:
+            raise ConfigurationError("task system was built for a different topology")
+        if node_speeds is not None:
+            node_speeds = np.asarray(node_speeds, dtype=np.float64)
+            if node_speeds.shape != (topology.n_nodes,):
+                raise ConfigurationError(
+                    f"node_speeds must have shape ({topology.n_nodes},), got "
+                    f"{node_speeds.shape}"
+                )
+            if (node_speeds <= 0).any():
+                raise ConfigurationError("node speeds must be positive")
+        if link_capacity < 1:
+            raise ConfigurationError(f"link_capacity must be >= 1, got {link_capacity}")
+        if isinstance(transfer_latency, str):
+            if transfer_latency != "size":
+                raise ConfigurationError(
+                    f"transfer_latency must be an int >= 0 or 'size', got "
+                    f"{transfer_latency!r}"
+                )
+        elif transfer_latency < 0:
+            raise ConfigurationError(
+                f"transfer_latency must be >= 0, got {transfer_latency}"
+            )
+        self.topology = topology
+        self.system = system
+        self.balancer = balancer
+        self.links = links if links is not None else LinkAttributes.uniform(topology)
+        if self.links.topology is not topology:
+            raise ConfigurationError("link attributes were built for a different topology")
+        self.fault_model = fault_model
+        self.task_graph = task_graph
+        self.resources = resources
+        self.dynamic = dynamic
+        self.link_capacity = link_capacity
+        self.transfer_latency = transfer_latency
+        self.criteria = criteria
+        self.track_journeys = track_journeys
+        self.node_speeds = node_speeds
+        # wire: arrival round -> list of (task id, destination node)
+        self._wire: dict[int, list[tuple[int, int]]] = {}
+        self.rng = ensure_rng(seed)
+        self.link_costs = link_costs(self.links, c1=c1, e0=e0)
+        self._all_up = np.ones(topology.n_edges, dtype=bool)
+        # journey tracking: task id -> (origin node, hops so far)
+        self.task_hops: dict[int, int] = {}
+        self.task_origin: dict[int, int] = {}
+        self._rounds_done = 0  # global round counter across chained runs
+
+    # ------------------------------------------------------------------ #
+
+    def _context(self, round_index: int, up_mask: np.ndarray) -> BalanceContext:
+        return BalanceContext(
+            topology=self.topology,
+            system=self.system,
+            links=self.links,
+            link_costs=self.link_costs,
+            up_mask=up_mask,
+            round_index=round_index,
+            rng=self.rng,
+            task_graph=self.task_graph,
+            resources=self.resources,
+            node_speeds=self.node_speeds,
+        )
+
+    def _effective_loads(self) -> np.ndarray:
+        """Loads normalised by speed (the metric surface)."""
+        h = self.system.node_loads
+        if self.node_speeds is None:
+            return h
+        return h / self.node_speeds
+
+    def _latency_of(self, load: float, eid: int) -> int:
+        if self.transfer_latency == 0:
+            return 0
+        if self.transfer_latency == "size":
+            bw = float(self.links.bandwidth[eid])
+            d = float(self.links.distance[eid])
+            return max(int(np.ceil(load * d / bw)), 1)
+        return int(self.transfer_latency)
+
+    def _deliver_due(self, round_index: int) -> int:
+        """Land tasks whose transit completes at *round_index*."""
+        due = self._wire.pop(round_index, [])
+        for tid, dest in due:
+            if self.system.is_alive(tid):  # may have completed on the wire
+                self.system.deliver(tid, dest)
+        return len(due)
+
+    def _apply(
+        self, migrations: list[Migration], up_mask: np.ndarray, round_index: int
+    ) -> tuple[int, float, float, int]:
+        """Validate and apply orders; returns (applied, work, heat, blocked)."""
+        capacity = np.zeros(self.topology.n_edges, dtype=np.int64)
+        applied = 0
+        work = 0.0
+        heat = 0.0
+        blocked = 0
+        for m in migrations:
+            if not self.system.is_alive(m.task_id):
+                raise SimulationError(f"balancer ordered a move of dead task {m.task_id}")
+            loc = self.system.location_of(m.task_id)
+            if loc != m.src:
+                raise SimulationError(
+                    f"task {m.task_id} is at node {loc}, not at claimed source {m.src}"
+                )
+            eid = self.topology.edge_id(m.src, m.dst)  # raises on non-edges
+            if not up_mask[eid]:
+                # A fault-oblivious balancer tried a dead link: the
+                # transfer simply does not happen this round.
+                blocked += 1
+                continue
+            capacity[eid] += 1
+            if capacity[eid] > self.link_capacity:
+                raise SimulationError(
+                    f"link ({m.src}, {m.dst}) over capacity: "
+                    f"{capacity[eid]} > {self.link_capacity}"
+                )
+            load = self.system.load_of(m.task_id)
+            latency = self._latency_of(load, eid)
+            if latency == 0:
+                self.system.move(m.task_id, m.dst)
+            else:
+                self.system.send_to_transit(m.task_id)
+                self._wire.setdefault(round_index + latency, []).append(
+                    (m.task_id, m.dst)
+                )
+            applied += 1
+            work += load * float(self.link_costs[eid])
+            heat += m.heat
+            if self.track_journeys:
+                if m.task_id not in self.task_origin:
+                    self.task_origin[m.task_id] = m.src
+                self.task_hops[m.task_id] = self.task_hops.get(m.task_id, 0) + 1
+        return applied, work, heat, blocked
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_rounds: int = 1000, reset: bool = True) -> SimulationResult:
+        """Simulate up to *max_rounds* rounds (early exit on convergence).
+
+        With ``reset=False`` the run *continues* a previous one: the
+        balancer keeps its in-flight state, the round counter (and thus
+        the arbiter's annealing clock) keeps advancing, and the returned
+        result covers only the new rounds. Used to photograph the load
+        surface mid-flight (``examples/surface_watch.py``).
+        """
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        result = SimulationResult(balancer_name=self.balancer.name)
+        result.initial_summary = imbalance_summary(self._effective_loads())
+
+        start = time.perf_counter()
+        if reset or self._rounds_done == 0:
+            ctx0 = self._context(0, self._all_up)
+            self.balancer.reset(ctx0)
+            self._rounds_done = 0
+            self.task_hops.clear()
+            self.task_origin.clear()
+            # Land anything still on the wire from a previous run so the
+            # fresh run starts with every task on a node.
+            for due in sorted(self._wire):
+                self._deliver_due(due)
+            self._wire.clear()
+
+        quiet = 0
+        converged_at: int | None = None
+        crit = self.criteria
+        base = self._rounds_done
+
+        for r in range(base, base + max_rounds):
+            if self.fault_model is not None:
+                self.fault_model.advance(r)
+                up = self.fault_model.up_mask()
+            else:
+                up = self._all_up
+
+            self._deliver_due(r)  # in-transit tasks landing this round
+
+            if self.dynamic is not None:
+                created, removed = self.dynamic.step(self.system)
+                if self.task_graph is not None:
+                    for tid in removed:
+                        self.task_graph.drop_task(tid)
+                if self.resources is not None:
+                    for tid in removed:
+                        self.resources.drop_task(tid)
+
+            ctx = self._context(r, up)
+            migrations = self.balancer.step(ctx)
+            applied, work, heat, blocked = self._apply(migrations, up, r)
+
+            summ = imbalance_summary(self._effective_loads())
+            in_flight = 0 if self.balancer.idle() else getattr(self.balancer, "in_flight", 1)
+            result.records.append(
+                RoundRecord(
+                    round_index=r,
+                    n_migrations=applied,
+                    traffic_work=work,
+                    heat=heat,
+                    cov=summ["cov"],
+                    spread=summ["spread"],
+                    max_load=summ["max"],
+                    min_load=summ["min"],
+                    in_flight=in_flight,
+                    blocked=blocked,
+                    n_tasks=self.system.n_tasks,
+                )
+            )
+
+            # Convergence detection (skipped under churn: there is no
+            # quiescent state to converge to).
+            if self.dynamic is None:
+                balanced_enough = (
+                    crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
+                )
+                if (
+                    applied == 0
+                    and self.balancer.idle()
+                    and self.system.n_in_transit == 0
+                ):
+                    quiet += 1
+                else:
+                    quiet = 0
+                if r + 1 >= crit.min_rounds and (
+                    quiet >= crit.quiet_rounds
+                    or (balanced_enough and self.balancer.idle())
+                ):
+                    converged_at = r - quiet + 1 if quiet >= crit.quiet_rounds else r
+                    break
+
+        self._rounds_done = r + 1
+        result.converged_round = converged_at
+        result.final_summary = imbalance_summary(self._effective_loads())
+        result.wall_time_s = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def journey_displacements(self) -> dict[int, int]:
+        """Hop distance from each tracked task's origin to its final node.
+
+        Requires ``track_journeys=True``. The *displacement* (shortest-
+        path hops between endpoints) is bounded by the hop count and is
+        the quantity Corollary 3 bounds via ``h*/µk``.
+        """
+        if not self.track_journeys:
+            raise ConfigurationError("journey tracking was not enabled for this run")
+        hd = self.topology.hop_distances
+        out: dict[int, int] = {}
+        for tid, origin in self.task_origin.items():
+            if self.system.is_alive(tid):
+                out[tid] = int(hd[origin, self.system.location_of(tid)])
+        return out
+
+
+class FluidSimulator:
+    """Divisible-load simulation for :class:`FluidBalancer` algorithms.
+
+    Owns the load vector ``h`` directly (no tasks). Used for the theory
+    validations: diffusion convergence, optimal-α comparisons, and the
+    dimension-exchange one-sweep hypercube result.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        initial_loads: np.ndarray,
+        balancer: FluidBalancer,
+        links: Optional[LinkAttributes] = None,
+        c1: float = 1.0,
+        e0: float = 1.0,
+        seed: RngLike = None,
+        criteria: ConvergenceCriteria = ConvergenceCriteria(spread_tol=1e-6),
+    ):
+        h = np.asarray(initial_loads, dtype=np.float64).copy()
+        if h.shape != (topology.n_nodes,):
+            raise ConfigurationError(
+                f"initial loads must have shape ({topology.n_nodes},), got {h.shape}"
+            )
+        if (h < 0).any():
+            raise ConfigurationError("initial loads must be non-negative")
+        self.topology = topology
+        self.h = h
+        self.balancer = balancer
+        self.links = links if links is not None else LinkAttributes.uniform(topology)
+        self.link_costs = link_costs(self.links, c1=c1, e0=e0)
+        self.rng = ensure_rng(seed)
+        self.criteria = criteria
+        self._all_up = np.ones(topology.n_edges, dtype=bool)
+
+    def _context(self, round_index: int) -> BalanceContext:
+        # Fluid mode has no TaskSystem; balancers must not touch ctx.system.
+        return BalanceContext(
+            topology=self.topology,
+            system=None,  # type: ignore[arg-type]
+            links=self.links,
+            link_costs=self.link_costs,
+            up_mask=self._all_up,
+            round_index=round_index,
+            rng=self.rng,
+        )
+
+    def run(self, max_rounds: int = 10_000) -> SimulationResult:
+        """Iterate fluid steps until the spread tolerance or *max_rounds*."""
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        result = SimulationResult(balancer_name=self.balancer.name)
+        result.initial_summary = imbalance_summary(self.h)
+        start = time.perf_counter()
+        ctx0 = self._context(0)
+        self.balancer.reset(ctx0)
+        e = self.topology.edges
+        converged_at: int | None = None
+
+        for r in range(max_rounds):
+            ctx = self._context(r)
+            flow = np.asarray(self.balancer.fluid_step(self.h, ctx), dtype=np.float64)
+            if flow.shape != (self.topology.n_edges,):
+                raise SimulationError(
+                    f"fluid balancer returned flow of shape {flow.shape}, "
+                    f"expected ({self.topology.n_edges},)"
+                )
+            np.subtract.at(self.h, e[:, 0], flow)
+            np.add.at(self.h, e[:, 1], flow)
+            if (self.h < -1e-9).any():
+                raise SimulationError(
+                    "fluid step drove a node's load negative — flow exceeds supply"
+                )
+            self.h = np.maximum(self.h, 0.0)
+
+            summ = imbalance_summary(self.h)
+            work = float(np.abs(flow) @ self.link_costs)
+            result.records.append(
+                RoundRecord(
+                    round_index=r,
+                    n_migrations=int((np.abs(flow) > 0).sum()),
+                    traffic_work=work,
+                    heat=0.0,
+                    cov=summ["cov"],
+                    spread=summ["spread"],
+                    max_load=summ["max"],
+                    min_load=summ["min"],
+                )
+            )
+            if summ["spread"] <= self.criteria.spread_tol and r + 1 >= self.criteria.min_rounds:
+                converged_at = r
+                break
+
+        result.converged_round = converged_at
+        result.final_summary = imbalance_summary(self.h)
+        result.wall_time_s = time.perf_counter() - start
+        return result

@@ -1,0 +1,144 @@
+"""Simulation results: per-round history and summaries.
+
+Each round appends one :class:`RoundRecord`; :class:`SimulationResult`
+bundles the full history with convergence information and exposes the
+time-series arrays the benchmark harness prints (imbalance vs round,
+cumulative traffic, migration counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics of one synchronous round (captured *after* applying it).
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round number.
+    n_migrations:
+        One-hop moves applied this round.
+    traffic_work:
+        Σ load·e_ij of this round's hops (uniform measure).
+    heat:
+        Σ balancer-reported heat of this round's hops (PPLB's E_h; 0 for
+        balancers that do not model heat).
+    cov, spread, max_load, min_load:
+        Imbalance metrics of the post-round load vector.
+    in_flight:
+        Tasks still journeying after the round (0 for memoryless
+        balancers).
+    blocked:
+        Migrations refused this round because their link was faulted
+        (the balancer ordered them anyway — engine-level fault refusal,
+        only possible for fault-oblivious balancers).
+    n_tasks:
+        Alive tasks after the round (varies under dynamic workloads).
+    """
+
+    round_index: int
+    n_migrations: int
+    traffic_work: float
+    heat: float
+    cov: float
+    spread: float
+    max_load: float
+    min_load: float
+    in_flight: int = 0
+    blocked: int = 0
+    n_tasks: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Full outcome of one simulation run.
+
+    Attributes
+    ----------
+    records:
+        Per-round history (round 0 first). ``records[0]`` reflects the
+        state after the first balancing round; the *initial* state is in
+        :attr:`initial_summary`.
+    converged_round:
+        First round at which the convergence criterion held (None when
+        the run hit ``max_rounds`` without converging).
+    initial_summary / final_summary:
+        Imbalance summaries of the initial and final load vectors.
+    balancer_name:
+        The algorithm that produced this run.
+    wall_time_s:
+        Wall-clock time of the run (whole loop, excluding setup).
+    """
+
+    records: list[RoundRecord] = field(default_factory=list)
+    converged_round: int | None = None
+    initial_summary: dict[str, float] = field(default_factory=dict)
+    final_summary: dict[str, float] = field(default_factory=dict)
+    balancer_name: str = ""
+    wall_time_s: float = 0.0
+
+    # ----------------------------- series ----------------------------- #
+
+    def series(self, field_name: str) -> np.ndarray:
+        """Per-round array of one :class:`RoundRecord` field."""
+        return np.asarray([getattr(r, field_name) for r in self.records], dtype=np.float64)
+
+    @property
+    def n_rounds(self) -> int:
+        """Rounds simulated."""
+        return len(self.records)
+
+    @property
+    def total_migrations(self) -> int:
+        """Total one-hop moves across the run."""
+        return int(sum(r.n_migrations for r in self.records))
+
+    @property
+    def total_traffic(self) -> float:
+        """Cumulative Σ load·e over the run."""
+        return float(sum(r.traffic_work for r in self.records))
+
+    @property
+    def total_heat(self) -> float:
+        """Cumulative balancer-reported heat over the run."""
+        return float(sum(r.heat for r in self.records))
+
+    @property
+    def final_cov(self) -> float:
+        """Imbalance (CoV) at the end of the run."""
+        return self.final_summary.get("cov", float("nan"))
+
+    @property
+    def final_spread(self) -> float:
+        """Max−min spread at the end of the run."""
+        return self.final_summary.get("spread", float("nan"))
+
+    @property
+    def converged(self) -> bool:
+        """Whether the convergence criterion was met."""
+        return self.converged_round is not None
+
+    def rounds_to_spread(self, target: float) -> int | None:
+        """First round whose post-round spread is ≤ *target* (None if never)."""
+        for r in self.records:
+            if r.spread <= target:
+                return r.round_index
+        return None
+
+    def summary_row(self) -> dict[str, object]:
+        """One-line summary for benchmark tables."""
+        return {
+            "algorithm": self.balancer_name,
+            "rounds": self.n_rounds,
+            "converged_round": self.converged_round,
+            "final_cov": round(self.final_cov, 4),
+            "final_spread": round(self.final_spread, 4),
+            "migrations": self.total_migrations,
+            "traffic": round(self.total_traffic, 2),
+            "heat": round(self.total_heat, 2),
+        }

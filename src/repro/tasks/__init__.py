@@ -1,0 +1,38 @@
+"""Task substrate (paper §4.2).
+
+The paper refines the load model with three structures this subpackage
+provides:
+
+* :class:`TaskSystem` — the set of tasks (``load quantity`` = particle
+  mass), their current node placement, and incremental per-node load
+  totals ``h(v_i) = Σ_k l_{i,k}``.
+* :class:`TaskGraph` — the dependency matrix ``T`` (weighted task-task
+  communication affinities).
+* :class:`ResourceMap` — the matrix ``R_{|L|×|V|}`` of task-to-node
+  resource affinities.
+* :mod:`generators <repro.tasks.generators>` — synthetic task systems
+  (independent, fork-join, pipeline, random DAG) with configurable load
+  size distributions.
+"""
+
+from repro.tasks.task import TaskSystem
+from repro.tasks.task_graph import TaskGraph
+from repro.tasks.resources import ResourceMap
+from repro.tasks.generators import (
+    fork_join_tasks,
+    independent_tasks,
+    load_sizes,
+    pipeline_tasks,
+    random_dag_tasks,
+)
+
+__all__ = [
+    "TaskSystem",
+    "TaskGraph",
+    "ResourceMap",
+    "independent_tasks",
+    "fork_join_tasks",
+    "pipeline_tasks",
+    "random_dag_tasks",
+    "load_sizes",
+]

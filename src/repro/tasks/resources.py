@@ -1,0 +1,90 @@
+"""The task-resource affinity matrix ``R`` (paper §4.2).
+
+"The tasks can also be dependent to a node due to the need for the
+resources which are present in that node. We show these dependencies
+with another matrix R_{|L|×|V|}."
+
+Stored sparsely (most tasks need no pinned resource). ``R[t, v] > 0``
+makes node *v* sticky for task *t*: it raises the task's static friction
+``µs`` on that node, so a larger load gradient is required to pull the
+task away — and proportionally raises ``µk``, so if it does move it stays
+nearby (both effects flow through :mod:`repro.core.friction`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TaskError
+
+
+class ResourceMap:
+    """Sparse task-to-node resource affinities.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the topology (for bounds checking).
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes <= 0:
+            raise TaskError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self._aff: dict[int, dict[int, float]] = {}
+
+    def set_affinity(self, tid: int, node: int, weight: float) -> None:
+        """Set ``R[tid, node] = weight`` (0 removes the entry)."""
+        if not 0 <= node < self.n_nodes:
+            raise TaskError(f"node {node} out of range [0, {self.n_nodes})")
+        if weight < 0:
+            raise TaskError(f"affinity weight must be >= 0, got {weight}")
+        if weight == 0:
+            row = self._aff.get(tid)
+            if row is not None:
+                row.pop(node, None)
+                if not row:
+                    del self._aff[tid]
+            return
+        self._aff.setdefault(tid, {})[node] = float(weight)
+
+    def affinity(self, tid: int, node: int) -> float:
+        """``R[tid, node]`` (0 when the task has no tie to the node)."""
+        return self._aff.get(tid, {}).get(node, 0.0)
+
+    def nodes_for(self, tid: int) -> dict[int, float]:
+        """All nonzero affinities of task *tid* as ``{node: weight}``."""
+        return dict(self._aff.get(tid, {}))
+
+    def drop_task(self, tid: int) -> None:
+        """Forget all affinities of a removed task."""
+        self._aff.pop(tid, None)
+
+    def has_affinities(self, tid: int) -> bool:
+        """Whether the task is pinned to any node at all."""
+        return bool(self._aff.get(tid))
+
+    def to_dense(self, n_tasks: int) -> np.ndarray:
+        """Dense ``(n_tasks, n_nodes)`` matrix (tests / small systems only)."""
+        out = np.zeros((n_tasks, self.n_nodes), dtype=np.float64)
+        for tid, row in self._aff.items():
+            if tid < n_tasks:
+                for node, w in row.items():
+                    out[tid, node] = w
+        return out
+
+    def satisfied_weight(self, locations: dict[int, int]) -> tuple[float, float]:
+        """(satisfied, total) affinity weight under a placement.
+
+        A task's affinity to a node is *satisfied* when the task sits on
+        that node. Analysis metric for experiment E7's resource variant.
+        """
+        sat = 0.0
+        tot = 0.0
+        for tid, row in self._aff.items():
+            loc = locations.get(tid)
+            for node, w in row.items():
+                tot += w
+                if loc == node:
+                    sat += w
+        return sat, tot

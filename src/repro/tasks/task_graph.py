@@ -1,0 +1,144 @@
+"""The task-dependency graph ``T`` (paper §4.2).
+
+"We model these dependencies between the tasks with a task graph T whose
+vertices are the tasks labeled by their load quantity and the edges
+represent the dependency relations between the tasks. The edges have
+different weights which model the amount of communication between two
+tasks."
+
+``TaskGraph`` stores the symmetric weighted adjacency sparsely (dict of
+dicts) because task counts can grow dynamically and typical dependency
+degrees are small. It feeds two consumers:
+
+* the friction model — ``µs`` for a task sums the dependency weights to
+  its *co-located* (and optionally neighboring) tasks, so dependent
+  tasks resist being pulled apart;
+* the analysis layer — communication cost of a placement,
+  ``Σ_{(i,j)} T_ij · hops(loc_i, loc_j)``, used by experiment E7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import TaskError
+
+
+class TaskGraph:
+    """Symmetric weighted dependency graph over task ids.
+
+    Edges are undirected: ``T[i, j] == T[j, i]`` (the paper's
+    communication affinity is mutual). Weights must be positive; setting
+    a weight of 0 removes the edge.
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[int, dict[int, float]] = {}
+        self._n_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def set_dependency(self, i: int, j: int, weight: float) -> None:
+        """Set ``T[i, j] = T[j, i] = weight`` (0 deletes the edge)."""
+        if i == j:
+            raise TaskError(f"a task cannot depend on itself (task {i})")
+        if weight < 0:
+            raise TaskError(f"dependency weight must be >= 0, got {weight}")
+        existing = self._adj.get(i, {}).get(j)
+        if weight == 0:
+            if existing is not None:
+                del self._adj[i][j]
+                del self._adj[j][i]
+                self._n_edges -= 1
+            return
+        if existing is None:
+            self._n_edges += 1
+        self._adj.setdefault(i, {})[j] = float(weight)
+        self._adj.setdefault(j, {})[i] = float(weight)
+
+    def add_dependencies(self, edges: Iterable[tuple[int, int, float]]) -> None:
+        """Bulk :meth:`set_dependency`."""
+        for i, j, w in edges:
+            self.set_dependency(i, j, w)
+
+    def drop_task(self, tid: int) -> None:
+        """Remove every dependency touching *tid* (task completed)."""
+        for other in list(self._adj.get(tid, {})):
+            self.set_dependency(tid, other, 0.0)
+        self._adj.pop(tid, None)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (undirected) dependency edges."""
+        return self._n_edges
+
+    def weight(self, i: int, j: int) -> float:
+        """``T[i, j]`` (0 when the tasks are independent)."""
+        return self._adj.get(i, {}).get(j, 0.0)
+
+    def partners(self, tid: int) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, weights) of tasks that *tid* depends on / that depend on it."""
+        d = self._adj.get(tid)
+        if not d:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        ids = np.fromiter(d.keys(), dtype=np.int64, count=len(d))
+        ws = np.fromiter(d.values(), dtype=np.float64, count=len(d))
+        order = np.argsort(ids)
+        return ids[order], ws[order]
+
+    def total_weight(self, tid: int) -> float:
+        """Sum of all dependency weights incident to *tid*."""
+        return float(sum(self._adj.get(tid, {}).values()))
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(i, j, w)`` with ``i < j``."""
+        for i, nbrs in self._adj.items():
+            for j, w in nbrs.items():
+                if i < j:
+                    yield i, j, w
+
+    def communication_cost(
+        self, locations: dict[int, int], hop_dist: np.ndarray
+    ) -> float:
+        """Total placement cost ``Σ T_ij · hops(loc_i, loc_j)``.
+
+        Tasks missing from *locations* (e.g. completed) are skipped.
+        This is experiment E7's headline metric: dependency-aware
+        balancing should keep it low where oblivious balancing inflates it.
+        """
+        cost = 0.0
+        for i, j, w in self.iter_edges():
+            li = locations.get(i)
+            lj = locations.get(j)
+            if li is None or lj is None:
+                continue
+            cost += w * float(hop_dist[li, lj])
+        return cost
+
+    def colocated_fraction(
+        self, locations: dict[int, int], hop_dist: np.ndarray, within_hops: int = 0
+    ) -> float:
+        """Fraction of dependent pairs placed within *within_hops* of each other.
+
+        ``within_hops=0`` means same node. Returns 1.0 when there are no
+        dependency edges among placed tasks (vacuously satisfied).
+        """
+        total = 0
+        close = 0
+        for i, j, _w in self.iter_edges():
+            li = locations.get(i)
+            lj = locations.get(j)
+            if li is None or lj is None:
+                continue
+            total += 1
+            if hop_dist[li, lj] <= within_hops:
+                close += 1
+        return close / total if total else 1.0

@@ -1,0 +1,11 @@
+"""Terminal visualisation of the load surface.
+
+The paper's whole intuition is *seeing* load as terrain. This
+subpackage renders the discrete load surface (and its evolution) as
+ASCII heat maps in the terminal — the closest a headless environment
+gets to the paper's Figure-style surface pictures.
+"""
+
+from repro.viz.heatmap import render_heatmap, render_surface, surface_film
+
+__all__ = ["render_heatmap", "render_surface", "surface_film"]

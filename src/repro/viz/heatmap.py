@@ -1,0 +1,130 @@
+"""ASCII heat maps of the load surface.
+
+Nodes are binned onto a character grid using the topology's 2-D
+embedding (the paper's ``M2`` mapping); each cell shows a density
+character for the total load in it. Mesh/torus topologies map 1:1 onto
+the grid; irregular embeddings aggregate nearby nodes per cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Topology
+
+#: Density ramp from empty to full.
+RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    values: np.ndarray,
+    coords: np.ndarray,
+    width: int = 32,
+    height: int = 16,
+    vmax: float | None = None,
+    bounds: tuple[tuple[float, float], tuple[float, float]] | None = None,
+) -> str:
+    """Render per-point *values* at 2-D *coords* as an ASCII heat map.
+
+    Parameters
+    ----------
+    values:
+        Non-negative value per point (the load heights ``h``).
+    coords:
+        ``(n, 2)`` positions; scaled to fill the canvas.
+    width, height:
+        Character-cell canvas size.
+    vmax:
+        Value mapped to the densest character (default: ``values.max()``;
+        pass a fixed value to keep a film's frames on one scale).
+    bounds:
+        Optional fixed coordinate window ``((x_lo, x_hi), (y_lo, y_hi))``.
+        Default: the points' bounding box (which makes a tight cluster
+        fill the canvas — pass explicit bounds to show absolute scale,
+        e.g. ``((0, 1), (0, 1))`` for the unit yard).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    coords = np.asarray(coords, dtype=np.float64)
+    if values.ndim != 1 or coords.shape != (values.shape[0], 2):
+        raise ConfigurationError(
+            f"need n values and (n, 2) coords, got {values.shape} and {coords.shape}"
+        )
+    if width < 2 or height < 2:
+        raise ConfigurationError(f"canvas too small: {width}x{height}")
+    if (values < 0).any():
+        raise ConfigurationError("values must be non-negative")
+
+    if bounds is not None:
+        (x_lo, x_hi), (y_lo, y_hi) = bounds
+        if x_hi <= x_lo or y_hi <= y_lo:
+            raise ConfigurationError(f"invalid bounds: {bounds}")
+        lo = np.array([x_lo, y_lo])
+        span = np.array([x_hi - x_lo, y_hi - y_lo])
+        coords = np.clip(coords, lo, lo + span)
+    else:
+        lo = coords.min(axis=0)
+        span = coords.max(axis=0) - lo
+        span[span == 0] = 1.0
+    xs = ((coords[:, 0] - lo[0]) / span[0] * (width - 1)).round().astype(int)
+    # invert y so larger coordinates render at the top
+    ys = ((coords[:, 1] - lo[1]) / span[1] * (height - 1)).round().astype(int)
+
+    grid = np.zeros((height, width))
+    np.add.at(grid, (height - 1 - ys, xs), values)
+
+    top = float(vmax) if vmax is not None else float(grid.max())
+    if top <= 0:
+        top = 1.0
+    out_rows = []
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            frac = min(grid[r, c] / top, 1.0)
+            chars.append(RAMP[int(round(frac * (len(RAMP) - 1)))])
+        out_rows.append("".join(chars))
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + row + "|" for row in out_rows)
+    return f"{border}\n{body}\n{border}  max={top:.3g}"
+
+
+def render_surface(
+    topology: Topology,
+    h: np.ndarray,
+    width: int = 32,
+    height: int = 16,
+    vmax: float | None = None,
+) -> str:
+    """Heat map of load vector *h* over *topology*'s embedding."""
+    h = np.asarray(h, dtype=np.float64)
+    if h.shape != (topology.n_nodes,):
+        raise ConfigurationError(
+            f"h must have shape ({topology.n_nodes},), got {h.shape}"
+        )
+    return render_heatmap(h, topology.coords, width=width, height=height, vmax=vmax)
+
+
+def surface_film(
+    topology: Topology,
+    frames: list[np.ndarray],
+    labels: list[str] | None = None,
+    width: int = 32,
+    height: int = 16,
+) -> str:
+    """Render several load snapshots on a shared scale, side by side in time.
+
+    Used by the examples to show the hotspot melting into the plain.
+    """
+    if not frames:
+        raise ConfigurationError("need at least one frame")
+    if labels is not None and len(labels) != len(frames):
+        raise ConfigurationError(
+            f"got {len(labels)} labels for {len(frames)} frames"
+        )
+    vmax = max(float(np.asarray(f).max()) for f in frames)
+    parts = []
+    for k, frame in enumerate(frames):
+        title = labels[k] if labels is not None else f"frame {k}"
+        parts.append(title)
+        parts.append(render_surface(topology, frame, width, height, vmax=vmax))
+    return "\n".join(parts)

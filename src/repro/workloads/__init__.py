@@ -1,0 +1,35 @@
+"""Workload generation (paper §1, §4).
+
+Initial load distributions (*where the hills start*) and dynamic task
+arrival/departure processes (*new tasks may enter the system at any time
+and at any node* — the paper's motivation for dynamic over static
+balancing).
+"""
+
+from repro.workloads.distributions import (
+    balanced,
+    gaussian_blob,
+    linear_ramp,
+    multi_hotspot,
+    single_hotspot,
+    uniform_random,
+)
+from repro.workloads.dynamic import DynamicWorkload
+from repro.workloads.scenarios import Scenario, build_scenario, SCENARIOS
+from repro.workloads.traces import TraceReplay, WorkloadTrace, record_trace
+
+__all__ = [
+    "WorkloadTrace",
+    "TraceReplay",
+    "record_trace",
+    "single_hotspot",
+    "multi_hotspot",
+    "uniform_random",
+    "linear_ramp",
+    "gaussian_blob",
+    "balanced",
+    "DynamicWorkload",
+    "Scenario",
+    "build_scenario",
+    "SCENARIOS",
+]

@@ -1,0 +1,162 @@
+"""Initial load distributions: the starting shape of the load surface.
+
+Each function populates a :class:`~repro.tasks.task.TaskSystem` with
+tasks and returns the created ids. The names describe the initial *hill*
+shape in the paper's surface picture:
+
+* :func:`single_hotspot` — one towering hill (the canonical gradient-
+  model benchmark; a burst of work arrives at one processor).
+* :func:`multi_hotspot` — several hills, possibly of different heights
+  (tests escape from local minima between them).
+* :func:`uniform_random` — rough random terrain.
+* :func:`linear_ramp` — a tilted plane (constant gradient everywhere).
+* :func:`gaussian_blob` — a smooth hill spread over hop-distance from a
+  centre.
+* :func:`balanced` — flat surface (control: nothing should move).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TaskError
+from repro.network.topology import Topology
+from repro.rng import RngLike, ensure_rng
+from repro.tasks.generators import load_sizes
+from repro.tasks.task import TaskSystem
+
+
+def _create(system: TaskSystem, nodes: np.ndarray, sizes: np.ndarray) -> list[int]:
+    return [system.add_task(float(s), int(v)) for v, s in zip(nodes, sizes)]
+
+
+def single_hotspot(
+    system: TaskSystem,
+    n_tasks: int,
+    rng: RngLike = None,
+    node: int | None = None,
+    **size_kwargs,
+) -> list[int]:
+    """All tasks on one node (defaults to the most central node).
+
+    Centrality = minimum eccentricity under hop distance, so the hotspot
+    sits mid-mesh rather than in a corner unless requested.
+    """
+    rng = ensure_rng(rng)
+    topo = system.topology
+    if node is None:
+        ecc = topo.hop_distances.max(axis=1)
+        node = int(np.argmin(ecc))
+    sizes = load_sizes(n_tasks, rng, **size_kwargs)
+    return _create(system, np.full(n_tasks, node), sizes)
+
+
+def multi_hotspot(
+    system: TaskSystem,
+    n_tasks: int,
+    rng: RngLike = None,
+    nodes: list[int] | None = None,
+    n_spots: int = 2,
+    weights: list[float] | None = None,
+    **size_kwargs,
+) -> list[int]:
+    """Tasks split across several hotspot nodes.
+
+    When *nodes* is omitted, *n_spots* nodes are chosen to be pairwise
+    far apart (greedy k-center on hop distances), which produces the
+    multi-valley surface used by the arbiter experiment E8. *weights*
+    sets the fraction of tasks per spot (defaults to equal).
+    """
+    rng = ensure_rng(rng)
+    topo = system.topology
+    if nodes is None:
+        if n_spots < 1:
+            raise TaskError(f"n_spots must be >= 1, got {n_spots}")
+        hd = topo.hop_distances
+        chosen = [int(np.argmax(hd.max(axis=1)))]  # a peripheral node
+        while len(chosen) < min(n_spots, topo.n_nodes):
+            d_to_chosen = hd[:, chosen].min(axis=1)
+            chosen.append(int(np.argmax(d_to_chosen)))
+        nodes = chosen
+    if not nodes:
+        raise TaskError("hotspot node list must be non-empty")
+    k = len(nodes)
+    if weights is None:
+        weights = [1.0 / k] * k
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape[0] != k or (w < 0).any() or w.sum() <= 0:
+        raise TaskError(f"invalid hotspot weights: {weights}")
+    w = w / w.sum()
+    assignment = rng.choice(k, size=n_tasks, p=w)
+    node_arr = np.asarray(nodes, dtype=np.int64)[assignment]
+    sizes = load_sizes(n_tasks, rng, **size_kwargs)
+    return _create(system, node_arr, sizes)
+
+
+def uniform_random(
+    system: TaskSystem, n_tasks: int, rng: RngLike = None, **size_kwargs
+) -> list[int]:
+    """Each task lands on a uniformly random node."""
+    rng = ensure_rng(rng)
+    nodes = rng.integers(0, system.topology.n_nodes, n_tasks)
+    sizes = load_sizes(n_tasks, rng, **size_kwargs)
+    return _create(system, nodes, sizes)
+
+
+def linear_ramp(
+    system: TaskSystem, n_tasks: int, rng: RngLike = None, axis: int = 0, **size_kwargs
+) -> list[int]:
+    """Load density increases linearly along one embedding axis.
+
+    Produces a constant-gradient surface: every balancer should transport
+    load 'downhill' along the axis.
+    """
+    rng = ensure_rng(rng)
+    topo = system.topology
+    x = topo.coords[:, axis]
+    span = x.max() - x.min()
+    density = 0.05 + (x - x.min()) / span if span > 0 else np.ones_like(x)
+    p = density / density.sum()
+    nodes = rng.choice(topo.n_nodes, size=n_tasks, p=p)
+    sizes = load_sizes(n_tasks, rng, **size_kwargs)
+    return _create(system, nodes, sizes)
+
+
+def gaussian_blob(
+    system: TaskSystem,
+    n_tasks: int,
+    rng: RngLike = None,
+    center: int | None = None,
+    sigma_hops: float = 2.0,
+    **size_kwargs,
+) -> list[int]:
+    """Load concentrated around *center* with Gaussian falloff in hops."""
+    if sigma_hops <= 0:
+        raise TaskError(f"sigma_hops must be positive, got {sigma_hops}")
+    rng = ensure_rng(rng)
+    topo = system.topology
+    if center is None:
+        ecc = topo.hop_distances.max(axis=1)
+        center = int(np.argmin(ecc))
+    d = topo.hop_distances[center].astype(np.float64)
+    p = np.exp(-0.5 * (d / sigma_hops) ** 2)
+    p /= p.sum()
+    nodes = rng.choice(topo.n_nodes, size=n_tasks, p=p)
+    sizes = load_sizes(n_tasks, rng, **size_kwargs)
+    return _create(system, nodes, sizes)
+
+
+def balanced(
+    system: TaskSystem, tasks_per_node: int, rng: RngLike = None, **size_kwargs
+) -> list[int]:
+    """Identical task count per node with constant sizes by default.
+
+    The flat-surface control: with equal sizes nothing exceeds the static
+    friction threshold and no balancer should move anything.
+    """
+    rng = ensure_rng(rng)
+    n = system.topology.n_nodes
+    size_kwargs.setdefault("distribution", "constant")
+    sizes = load_sizes(tasks_per_node * n, rng, **size_kwargs)
+    nodes = np.repeat(np.arange(n), tasks_per_node)
+    return _create(system, nodes, sizes)

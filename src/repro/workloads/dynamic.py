@@ -1,0 +1,94 @@
+"""Dynamic task arrival/departure processes (paper §1).
+
+"The second class of approaches is designed to adapt the distributed
+systems where new tasks may enter the system at any time and at any
+node." — the raison d'être of dynamic load balancing. The quiescent
+assumption under which diffusion's convergence is proved (*no new
+workload generated, none completed*) is exactly what this module breaks,
+so experiment E10 can measure sustained imbalance under churn.
+
+:class:`DynamicWorkload` injects Poisson task arrivals and geometric
+task completions each round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import RngLike, ensure_rng
+from repro.tasks.task import TaskSystem
+
+
+@dataclass
+class DynamicWorkload:
+    """Round-wise task churn.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Expected number of new tasks per round (Poisson).
+    completion_prob:
+        Per-task probability of completing in a round (geometric
+        lifetime with mean ``1/completion_prob`` rounds).
+    arrival_nodes:
+        Nodes where arrivals land. ``None`` = uniformly random node
+        ("at any node"); a list restricts arrivals to those nodes
+        (skewed churn — the hard case).
+    mean_size, spread:
+        Size distribution of arriving tasks (uniform around the mean).
+    rng:
+        Seeded generator.
+    """
+
+    arrival_rate: float = 1.0
+    completion_prob: float = 0.02
+    arrival_nodes: list[int] | None = None
+    mean_size: float = 1.0
+    spread: float = 0.5
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ConfigurationError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
+        if not 0 <= self.completion_prob <= 1:
+            raise ConfigurationError(
+                f"completion_prob must be in [0, 1], got {self.completion_prob}"
+            )
+        if self.mean_size <= 0:
+            raise ConfigurationError(f"mean_size must be positive, got {self.mean_size}")
+        if not 0 <= self.spread < 1:
+            raise ConfigurationError(f"spread must be in [0, 1), got {self.spread}")
+        self.rng = ensure_rng(self.rng)
+
+    def step(self, system: TaskSystem) -> tuple[list[int], list[int]]:
+        """Apply one round of churn; returns ``(created_ids, removed_ids)``."""
+        rng = self.rng
+
+        # Completions first (a task created this round cannot complete
+        # within the same round).
+        removed: list[int] = []
+        if self.completion_prob > 0:
+            alive = system.alive_ids()
+            if alive.shape[0]:
+                done = rng.random(alive.shape[0]) < self.completion_prob
+                for tid in alive[done]:
+                    system.remove_task(int(tid))
+                    removed.append(int(tid))
+
+        created: list[int] = []
+        n_new = int(rng.poisson(self.arrival_rate)) if self.arrival_rate > 0 else 0
+        if n_new:
+            n_nodes = system.topology.n_nodes
+            if self.arrival_nodes is None:
+                nodes = rng.integers(0, n_nodes, n_new)
+            else:
+                nodes = rng.choice(np.asarray(self.arrival_nodes, dtype=np.int64), n_new)
+            lo = self.mean_size * (1 - self.spread)
+            hi = self.mean_size * (1 + self.spread)
+            sizes = rng.uniform(lo, hi, n_new) if hi > lo else np.full(n_new, lo)
+            for node, size in zip(nodes, sizes):
+                created.append(system.add_task(float(size), int(node)))
+        return created, removed

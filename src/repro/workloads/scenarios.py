@@ -1,0 +1,137 @@
+"""Named end-to-end scenarios used by examples, tests and benchmarks.
+
+A :class:`Scenario` bundles a topology, link attributes and an initial
+workload into one reproducible object, so every experiment names its
+setting instead of re-rolling bespoke setup code. ``build_scenario`` is
+the single entry point; the registry :data:`SCENARIOS` maps names to
+constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.network import builders
+from repro.network.links import LinkAttributes
+from repro.network.topology import Topology
+from repro.rng import RngLike, derive, ensure_rng
+from repro.tasks.task import TaskSystem
+from repro.workloads import distributions
+
+
+@dataclass
+class Scenario:
+    """One fully-built experimental setting.
+
+    Attributes
+    ----------
+    name:
+        Registry key this scenario was built from.
+    topology, links, system:
+        The network, its link attributes, and the populated task system.
+    task_ids:
+        Ids of the initially created tasks.
+    """
+
+    name: str
+    topology: Topology
+    links: LinkAttributes
+    system: TaskSystem
+    task_ids: list[int] = field(default_factory=list)
+
+
+def _mesh_hotspot(seed: RngLike, **kw) -> Scenario:
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-hotspot", topo, links, system, ids)
+
+
+def _torus_hotspot(seed: RngLike, **kw) -> Scenario:
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.torus(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("torus-hotspot", topo, links, system, ids)
+
+
+def _hypercube_hotspot(seed: RngLike, **kw) -> Scenario:
+    dim = int(kw.get("dim", 6))
+    n_tasks = int(kw.get("n_tasks", 8 * (1 << dim)))
+    topo = builders.hypercube(dim)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("hypercube-hotspot", topo, links, system, ids)
+
+
+def _mesh_random(seed: RngLike, **kw) -> Scenario:
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-random", topo, links, system, ids)
+
+
+def _mesh_two_valleys(seed: RngLike, **kw) -> Scenario:
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.multi_hotspot(
+        system, n_tasks, derive(seed, 0), n_spots=2, weights=[0.7, 0.3]
+    )
+    return Scenario("mesh-two-valleys", topo, links, system, ids)
+
+
+def _mesh_faulty(seed: RngLike, **kw) -> Scenario:
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    fault = float(kw.get("fault_prob", 0.05))
+    topo = builders.mesh(side, side)
+    rng = ensure_rng(derive(seed, 1))
+    links = LinkAttributes.heterogeneous(
+        topo,
+        seed=rng,
+        bandwidth_range=(0.5, 2.0),
+        distance_range=(1.0, 1.0),
+        fault_range=(0.0, fault),
+    )
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-faulty", topo, links, system, ids)
+
+
+SCENARIOS: dict[str, Callable[..., Scenario]] = {
+    "mesh-hotspot": _mesh_hotspot,
+    "torus-hotspot": _torus_hotspot,
+    "hypercube-hotspot": _hypercube_hotspot,
+    "mesh-random": _mesh_random,
+    "mesh-two-valleys": _mesh_two_valleys,
+    "mesh-faulty": _mesh_faulty,
+}
+
+
+def build_scenario(name: str, seed: RngLike = 0, **kwargs) -> Scenario:
+    """Build a registered scenario by *name* (see :data:`SCENARIOS`).
+
+    Extra keyword arguments override scenario-specific sizes (e.g.
+    ``side=16``, ``n_tasks=2048``).
+    """
+    try:
+        ctor = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    return ctor(seed, **kwargs)

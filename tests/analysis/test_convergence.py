@@ -1,0 +1,62 @@
+"""Unit tests for repro.analysis.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_convergence_rate, rounds_to_fraction
+from repro.analysis.convergence import spectral_gamma
+from repro.baselines import FluidDiffusion, optimal_alpha
+from repro.exceptions import ConvergenceError
+from repro.network import mesh
+from repro.sim import FluidSimulator
+
+
+class TestRoundsToFraction:
+    def test_basic(self):
+        s = np.array([100.0, 50.0, 10.0, 5.0, 1.0])
+        assert rounds_to_fraction(s, 0.05) == 3  # 5.0 <= 100*0.05
+        assert rounds_to_fraction(s, 0.04) == 4
+        assert rounds_to_fraction(s, 0.5) == 1
+
+    def test_never_reaches(self):
+        assert rounds_to_fraction(np.array([10.0, 9.0]), 0.05) is None
+
+    def test_starts_at_zero(self):
+        assert rounds_to_fraction(np.array([0.0, 1.0]), 0.1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConvergenceError):
+            rounds_to_fraction(np.array([]), 0.1)
+        with pytest.raises(ConvergenceError):
+            rounds_to_fraction(np.array([1.0]), 1.5)
+
+
+class TestRateFit:
+    def test_exact_geometric(self):
+        gamma = 0.8
+        s = 100.0 * gamma ** np.arange(50)
+        g, a = fit_convergence_rate(s)
+        assert g == pytest.approx(gamma, rel=1e-6)
+        assert a == pytest.approx(100.0, rel=1e-6)
+
+    def test_ignores_bottomed_out_tail(self):
+        s = np.concatenate([100.0 * 0.5 ** np.arange(20), np.zeros(30)])
+        g, _ = fit_convergence_rate(s)
+        assert g == pytest.approx(0.5, rel=1e-6)
+
+    def test_too_few_points(self):
+        with pytest.raises(ConvergenceError):
+            fit_convergence_rate(np.array([1.0, 0.0]))
+
+    def test_measured_diffusion_matches_spectral_prediction(self):
+        topo = mesh(4, 4)
+        alpha = optimal_alpha(topo)
+        predicted = spectral_gamma(topo.laplacian, alpha)
+        h0 = np.zeros(16)
+        h0[0] = 160.0
+        sim = FluidSimulator(topo, h0, FluidDiffusion("optimal"))
+        res = sim.run(max_rounds=300)
+        # CoV decays at the subdominant eigenvalue rate (asymptotically).
+        series = res.series("cov")[20:150]
+        g, _ = fit_convergence_rate(series)
+        assert g == pytest.approx(predicted, abs=0.05)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis.report import build_report, collect_results, write_report
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "E1_convergence.txt").write_text("E1 table\nrow\n")
+    (tmp_path / "T1_table1.txt").write_text("T1 table\n")
+    (tmp_path / "X9_custom.txt").write_text("custom experiment\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_reads_all(self, results_dir):
+        res = collect_results(results_dir)
+        assert set(res) == {"E1_convergence", "T1_table1", "X9_custom"}
+        assert res["T1_table1"] == "T1 table"
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect_results(tmp_path / "nope")
+
+    def test_empty_dir(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect_results(tmp_path)
+
+
+class TestBuild:
+    def test_canonical_order_then_extras(self, results_dir):
+        report = build_report(collect_results(results_dir))
+        assert report.index("T1 table") < report.index("E1 table")
+        assert report.index("E1 table") < report.index("custom experiment")
+
+    def test_reports_missing_experiments(self, results_dir):
+        report = build_report(collect_results(results_dir))
+        assert "missing:" in report
+        assert "E2_topologies" in report  # listed as missing
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_report({})
+
+
+class TestWrite:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = tmp_path / "report.txt"
+        text = write_report(results_dir, out)
+        assert out.read_text().rstrip("\n") == text.rstrip("\n")
+
+    def test_cli_report_command(self, results_dir, capsys):
+        from repro.cli import main
+
+        rc = main(["report", "--results-dir", str(results_dir)])
+        assert rc == 0
+        assert "T1 table" in capsys.readouterr().out

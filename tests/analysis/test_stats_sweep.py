@@ -1,0 +1,107 @@
+"""Unit tests for repro.analysis.stats and repro.analysis.sweep."""
+
+import pytest
+
+from repro.analysis import mean_ci, run_sweep, summarize_runs
+from repro.exceptions import ConfigurationError
+from repro.sim import RoundRecord, SimulationResult
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        m, ci = mean_ci([3.0])
+        assert m == 3.0 and ci == 0.0
+
+    def test_identical_values(self):
+        m, ci = mean_ci([2.0, 2.0, 2.0])
+        assert m == 2.0 and ci == 0.0
+
+    def test_symmetric_values(self):
+        m, ci = mean_ci([1.0, 3.0])
+        assert m == 2.0
+        assert ci > 0
+
+    def test_ci_shrinks_with_n(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        small = mean_ci(rng.normal(0, 1, 5).tolist())[1]
+        large = mean_ci(rng.normal(0, 1, 500).tolist())[1]
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([])
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0], confidence=1.5)
+
+
+def _fake_run(name="algo", cov=0.1, rounds=10, converged=5):
+    res = SimulationResult(balancer_name=name)
+    for r in range(rounds):
+        res.records.append(
+            RoundRecord(r, 1, 1.0, 0.5, cov, cov * 10, 1.0, 0.0)
+        )
+    res.converged_round = converged
+    res.initial_summary = {"cov": 1.0, "spread": 10.0}
+    res.final_summary = {"cov": cov, "spread": cov * 10}
+    return res
+
+
+class TestSummarizeRuns:
+    def test_aggregates(self):
+        row = summarize_runs([_fake_run(cov=0.1), _fake_run(cov=0.2)])
+        assert row["algorithm"] == "algo"
+        assert row["n_runs"] == 2
+        assert row["converged"] == "2/2"
+        assert "±" in row["final_cov"]
+
+    def test_rejects_mixed_algorithms(self):
+        with pytest.raises(ConfigurationError):
+            summarize_runs([_fake_run("a"), _fake_run("b")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize_runs([])
+
+    def test_unconverged_marked(self):
+        row = summarize_runs([_fake_run(converged=None)])
+        assert row["converged"] == "0/1"
+        assert row["converged_round"] == "—"
+
+
+class TestRunSweep:
+    def test_grid_and_aggregation(self):
+        def experiment(value, seed):
+            return {"metric": float(value) * 2.0, "noise": float(seed % 7)}
+
+        res = run_sweep("knob", [1, 2, 3], experiment, repetitions=3, base_seed=0)
+        assert res.points == [1, 2, 3]
+        assert res.series("metric") == [2.0, 4.0, 6.0]
+        assert len(res.raw) == 3
+        assert all(len(r) == 3 for r in res.raw)
+        assert "metric_ci" in res.rows[0]
+
+    def test_deterministic_seeding(self):
+        seen = {}
+
+        def experiment(value, seed):
+            seen.setdefault(value, []).append(seed)
+            return {"m": 0.0}
+
+        run_sweep("k", [1, 2], experiment, repetitions=2, base_seed=9)
+        first = dict(seen)
+        seen.clear()
+        run_sweep("k", [1, 2], experiment, repetitions=2, base_seed=9)
+        assert seen == first
+        # distinct seeds across (point, repetition) pairs
+        all_seeds = [s for v in first.values() for s in v]
+        assert len(set(all_seeds)) == len(all_seeds)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep("k", [], lambda v, s: {"m": 0.0})
+        with pytest.raises(ConfigurationError):
+            run_sweep("k", [1], lambda v, s: {"m": 0.0}, repetitions=0)
+        with pytest.raises(ConfigurationError):
+            run_sweep("k", [1], lambda v, s: {})

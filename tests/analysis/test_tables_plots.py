@@ -1,0 +1,58 @@
+"""Unit tests for repro.analysis.tables and repro.analysis.plots."""
+
+import pytest
+
+from repro.analysis import ascii_plot, format_table
+from repro.exceptions import ConfigurationError
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = out.splitlines()
+        assert lines[1].startswith("| a")
+        assert "22" in out and "yy" in out
+        # all rows equal width
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_title_and_column_order(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b", "a"], title="T1")
+        assert out.splitlines()[0] == "T1"
+        header = out.splitlines()[2]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_keys_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "2" in out
+
+    def test_truncation(self):
+        out = format_table([{"a": "z" * 200}], max_col_width=10)
+        assert "…" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_markers_and_legend(self):
+        out = ascii_plot({"one": [1, 2, 3], "two": [3, 2, 1]})
+        assert "*" in out and "o" in out
+        assert "one" in out and "two" in out
+
+    def test_logy_handles_zeros(self):
+        out = ascii_plot({"s": [100.0, 1.0, 0.0]}, logy=True)
+        assert "s" in out
+
+    def test_constant_series(self):
+        out = ascii_plot({"c": [5.0, 5.0, 5.0]})
+        assert "c" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": []})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": [1.0]}, width=4)

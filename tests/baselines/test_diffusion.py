@@ -1,0 +1,112 @@
+"""Unit tests for repro.baselines.diffusion."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FluidDiffusion, TaskDiffusion, optimal_alpha
+from repro.exceptions import ConfigurationError
+from repro.network import hypercube, mesh, torus
+from repro.sim import FluidSimulator, Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+from tests.conftest import make_context
+
+
+class TestOptimalAlpha:
+    def test_hypercube_known_value(self):
+        # Hypercube-d Laplacian eigenvalues are 2k, k=0..d: λ2=2, λn=2d
+        # → α* = 2/(2 + 2d) = 1/(d+1).
+        for d in (3, 4, 5):
+            assert optimal_alpha(hypercube(d)) == pytest.approx(1.0 / (d + 1))
+
+    def test_stable_range(self):
+        for topo in (mesh(4, 4), torus(4, 4)):
+            a = optimal_alpha(topo)
+            lam_max = np.linalg.eigvalsh(topo.laplacian)[-1]
+            assert 0 < a < 2.0 / lam_max * 1.0001  # inside the stability window
+
+
+class TestFluidDiffusion:
+    @pytest.mark.parametrize("policy", ["uniform", "boillat", "optimal"])
+    def test_converges_on_mesh(self, policy):
+        topo = mesh(4, 4)
+        h0 = np.zeros(16)
+        h0[0] = 160.0
+        sim = FluidSimulator(topo, h0, FluidDiffusion(policy))
+        res = sim.run(max_rounds=2000)
+        assert res.converged
+        np.testing.assert_allclose(sim.h, 10.0, atol=1e-4)
+
+    def test_conserves_total(self):
+        topo = mesh(4, 4)
+        h0 = np.arange(16, dtype=float)
+        sim = FluidSimulator(topo, h0, FluidDiffusion("uniform"))
+        sim.run(max_rounds=50)
+        assert sim.h.sum() == pytest.approx(h0.sum())
+
+    def test_optimal_not_slower_than_uniform(self):
+        topo = torus(6, 6)
+        h0 = np.zeros(36)
+        h0[0] = 360.0
+
+        def rounds(policy):
+            sim = FluidSimulator(topo, h0, FluidDiffusion(policy))
+            res = sim.run(max_rounds=5000)
+            assert res.converged
+            return res.converged_round
+
+        assert rounds("optimal") <= rounds("uniform")
+
+    def test_unknown_policy(self):
+        topo = mesh(3, 3)
+        sim = FluidSimulator(topo, np.ones(9), FluidDiffusion("magic"))
+        with pytest.raises(ConfigurationError):
+            sim.run(max_rounds=2)
+
+    def test_matches_matrix_iteration(self):
+        # Fluid diffusion must equal h <- (I - αL) h exactly.
+        topo = mesh(3, 3)
+        alpha = optimal_alpha(topo)
+        h0 = np.arange(9, dtype=float)
+        sim = FluidSimulator(topo, h0, FluidDiffusion("optimal"),
+                             )
+        sim.run(max_rounds=5)
+        m = np.eye(9) - alpha * topo.laplacian
+        expected = np.linalg.matrix_power(m, 5) @ h0
+        np.testing.assert_allclose(sim.h, expected, atol=1e-9)
+
+
+class TestTaskDiffusion:
+    def test_balances_hotspot(self, mesh8):
+        system = TaskSystem(mesh8)
+        single_hotspot(system, 512, rng=0)
+        sim = Simulator(mesh8, system, TaskDiffusion(), seed=0)
+        res = sim.run(max_rounds=400)
+        assert res.final_cov < 0.5
+        assert system.total_load == pytest.approx(res.initial_summary["mean"] * 64)
+
+    def test_respects_link_capacity(self, mesh4):
+        system = TaskSystem(mesh4)
+        single_hotspot(system, 64, rng=0, node=5)
+        bal = TaskDiffusion()
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        links = [(min(m.src, m.dst), max(m.src, m.dst)) for m in migrations]
+        assert len(links) == len(set(links))
+        tids = [m.task_id for m in migrations]
+        assert len(tids) == len(set(tids))
+
+    def test_min_quota_quiesces_near_balance(self, mesh4):
+        system = TaskSystem(mesh4)
+        from repro.workloads import balanced
+
+        balanced(system, tasks_per_node=4, rng=0)
+        bal = TaskDiffusion(min_quota=0.5)
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        assert bal.step(ctx) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskDiffusion(min_quota=-1.0)

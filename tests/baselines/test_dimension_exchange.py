@@ -1,0 +1,85 @@
+"""Unit tests for repro.baselines.dimension_exchange."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DimensionExchange, FluidDimensionExchange
+from repro.baselines.dimension_exchange import edge_coloring
+from repro.network import hypercube, mesh, ring
+from repro.sim import FluidSimulator, Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+
+class TestEdgeColoring:
+    def test_hypercube_colors_are_dimensions(self):
+        topo = hypercube(3)
+        colors, n = edge_coloring(topo)
+        assert n == 3
+        for k, (u, v) in enumerate(topo.edges):
+            assert colors[k] == (int(u) ^ int(v)).bit_length() - 1
+
+    def test_coloring_is_proper(self):
+        for topo in (mesh(4, 4), ring(7), hypercube(4)):
+            colors, n = edge_coloring(topo)
+            assert n >= 1
+            # No two same-colored edges share a node.
+            for c in range(n):
+                seen: set[int] = set()
+                for k in np.nonzero(colors == c)[0]:
+                    u, v = topo.edges[k]
+                    assert u not in seen and v not in seen
+                    seen.add(int(u))
+                    seen.add(int(v))
+
+
+class TestFluidDE:
+    def test_hypercube_one_sweep_exact(self):
+        """Cybenko: one exchange with every neighbor balances a hypercube."""
+        d = 4
+        topo = hypercube(d)
+        rng = np.random.default_rng(0)
+        h0 = rng.uniform(0, 10, topo.n_nodes)
+        sim = FluidSimulator(topo, h0, FluidDimensionExchange())
+        sim.run(max_rounds=d)  # exactly one sweep of all d dimensions
+        np.testing.assert_allclose(sim.h, h0.mean(), atol=1e-9)
+
+    def test_conserves_total(self):
+        topo = mesh(4, 4)
+        h0 = np.arange(16, dtype=float)
+        sim = FluidSimulator(topo, h0, FluidDimensionExchange())
+        sim.run(max_rounds=40)
+        assert sim.h.sum() == pytest.approx(h0.sum())
+
+    def test_converges_on_general_graph(self):
+        topo = mesh(4, 4)
+        h0 = np.zeros(16)
+        h0[0] = 160.0
+        sim = FluidSimulator(topo, h0, FluidDimensionExchange())
+        res = sim.run(max_rounds=2000)
+        assert res.converged
+
+
+class TestTaskDE:
+    def test_balances_hotspot_hypercube(self):
+        topo = hypercube(4)
+        system = TaskSystem(topo)
+        single_hotspot(system, 160, rng=0, node=0)
+        sim = Simulator(topo, system, DimensionExchange(min_quota=0.5), seed=0)
+        res = sim.run(max_rounds=300)
+        assert res.final_cov < 0.5
+
+    def test_only_active_color_used(self):
+        topo = hypercube(3)
+        system = TaskSystem(topo)
+        single_hotspot(system, 64, rng=0, node=0)
+        bal = DimensionExchange()
+        from tests.conftest import make_context
+
+        ctx = make_context(topo, system, round_index=0)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        colors, _ = edge_coloring(topo)
+        active = 0 % colors.max() + 1 if False else 0  # round 0 -> color 0
+        for m in migrations:
+            assert colors[topo.edge_id(m.src, m.dst)] == active

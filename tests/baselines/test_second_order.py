@@ -1,0 +1,75 @@
+"""Unit tests for the second-order diffusion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FluidDiffusion, SecondOrderDiffusion, optimal_beta
+from repro.exceptions import ConfigurationError
+from repro.network import hypercube, mesh, torus
+from repro.sim import FluidSimulator
+from repro.sim.engine import ConvergenceCriteria
+
+
+class TestOptimalBeta:
+    def test_in_valid_range(self):
+        for topo in (mesh(4, 4), torus(5, 5), hypercube(4)):
+            b = optimal_beta(topo)
+            assert 1.0 < b < 2.0
+
+    def test_better_connected_graphs_need_less_overrelaxation(self):
+        # Larger spectral gap (hypercube) -> smaller gamma -> beta closer to 1.
+        assert optimal_beta(hypercube(4)) < optimal_beta(mesh(6, 6))
+
+
+class TestSecondOrderDiffusion:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecondOrderDiffusion(beta=0.0)
+        with pytest.raises(ConfigurationError):
+            SecondOrderDiffusion(beta=2.0)
+
+    def test_converges_and_conserves(self):
+        topo = mesh(6, 6)
+        h0 = np.zeros(36)
+        h0[0] = 360.0
+        sim = FluidSimulator(topo, h0, SecondOrderDiffusion(),
+                             criteria=ConvergenceCriteria(spread_tol=1e-6))
+        res = sim.run(max_rounds=3000)
+        assert res.converged
+        assert sim.h.sum() == pytest.approx(360.0)
+        np.testing.assert_allclose(sim.h, 10.0, atol=1e-5)
+
+    def test_faster_than_fos_on_mesh(self):
+        """The point of SOS: beats first-order diffusion's round count."""
+        topo = mesh(8, 8)
+        h0 = np.zeros(64)
+        h0[0] = 640.0
+
+        def rounds(balancer):
+            sim = FluidSimulator(topo, h0, balancer,
+                                 criteria=ConvergenceCriteria(spread_tol=1e-3))
+            res = sim.run(max_rounds=20000)
+            assert res.converged
+            return res.converged_round
+
+        assert rounds(SecondOrderDiffusion()) < rounds(FluidDiffusion("optimal"))
+
+    def test_never_negative(self):
+        topo = mesh(5, 5)
+        h0 = np.zeros(25)
+        h0[12] = 25.0
+        sim = FluidSimulator(topo, h0, SecondOrderDiffusion())
+        sim.run(max_rounds=500)  # engine would raise on negative loads
+        assert (sim.h >= 0).all()
+
+    def test_round0_equals_fos(self):
+        topo = mesh(4, 4)
+        h = np.arange(16, dtype=float)
+        sos = SecondOrderDiffusion()
+        fos = FluidDiffusion("optimal")
+        from tests.conftest import make_context
+
+        ctx = make_context(topo, None)
+        sos.reset(ctx)
+        fos.reset(ctx)
+        np.testing.assert_allclose(sos.fluid_step(h, ctx), fos.fluid_step(h, ctx))

@@ -1,0 +1,85 @@
+"""Unit tests for work stealing, sender-initiated and no-op baselines."""
+
+import pytest
+
+from repro.baselines import NoBalancer, RandomWorkStealing, SenderInitiated
+from repro.exceptions import ConfigurationError
+from repro.network import complete
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import balanced, single_hotspot, uniform_random
+from tests.conftest import make_context
+
+
+class TestWorkStealing:
+    def test_improves_on_rich_neighborhoods(self):
+        # On a complete graph every hungry node can reach the hotspot.
+        # Random probing has no-progress rounds, so quiescence detection
+        # is loosened to let the stochastic process run its course.
+        from repro.sim.engine import ConvergenceCriteria
+
+        topo = complete(16)
+        system = TaskSystem(topo)
+        single_hotspot(system, 256, rng=0, node=0)
+        sim = Simulator(topo, system, RandomWorkStealing(), seed=0,
+                        criteria=ConvergenceCriteria(quiet_rounds=50))
+        res = sim.run(max_rounds=600)
+        assert res.final_cov < res.initial_summary["cov"] / 2
+
+    def test_flat_no_moves(self, mesh4):
+        system = TaskSystem(mesh4)
+        balanced(system, tasks_per_node=4, rng=0)
+        bal = RandomWorkStealing()
+        ctx = make_context(mesh4, system)
+        assert bal.step(ctx) == []
+
+    def test_empty_system_no_moves(self, mesh4):
+        system = TaskSystem(mesh4)
+        bal = RandomWorkStealing()
+        ctx = make_context(mesh4, system)
+        assert bal.step(ctx) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWorkStealing(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWorkStealing(delta=1.0)
+
+
+class TestSenderInitiated:
+    def test_improves_random_imbalance(self, mesh8):
+        system = TaskSystem(mesh8)
+        uniform_random(system, 512, rng=0)
+        sim = Simulator(mesh8, system, SenderInitiated(probes=3), seed=0)
+        res = sim.run(max_rounds=300)
+        assert res.final_cov <= res.initial_summary["cov"]
+
+    def test_sends_only_to_probed_light_nodes(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(20):
+            system.add_task(1.0, 5)
+        for n in range(16):
+            if n != 5:
+                system.add_task(1.0, n)
+        bal = SenderInitiated(probes=4)
+        ctx = make_context(mesh4, system)
+        migrations = bal.step(ctx)
+        for m in migrations:
+            assert m.src == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SenderInitiated(delta=1.5)
+        with pytest.raises(ConfigurationError):
+            SenderInitiated(probes=0)
+
+
+class TestNoBalancer:
+    def test_never_moves(self, mesh4):
+        system = TaskSystem(mesh4)
+        single_hotspot(system, 64, rng=0)
+        sim = Simulator(mesh4, system, NoBalancer(), seed=0)
+        res = sim.run(max_rounds=20)
+        assert res.total_migrations == 0
+        assert res.final_cov == pytest.approx(res.initial_summary["cov"])
+        assert res.converged_round == 0

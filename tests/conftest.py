@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PPLBConfig, ParticlePlaneBalancer
+from repro.network import LinkAttributes, mesh
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mesh4():
+    """A 4x4 mesh topology."""
+    return mesh(4, 4)
+
+
+@pytest.fixture
+def mesh8():
+    """An 8x8 mesh topology."""
+    return mesh(8, 8)
+
+
+@pytest.fixture
+def hotspot_system(mesh4):
+    """A 4x4 mesh with 64 unit-ish tasks piled on the central node."""
+    system = TaskSystem(mesh4)
+    ids = single_hotspot(system, 64, rng=0)
+    return system, ids
+
+
+@pytest.fixture
+def uniform_links(mesh4):
+    """Unit link attributes on the 4x4 mesh."""
+    return LinkAttributes.uniform(mesh4)
+
+
+@pytest.fixture
+def default_config():
+    """Default PPLB configuration."""
+    return PPLBConfig()
+
+
+@pytest.fixture
+def pplb(default_config):
+    """A fresh default PPLB balancer."""
+    return ParticlePlaneBalancer(default_config)
+
+
+def make_context(topology, system, *, round_index=0, seed=0, links=None,
+                 task_graph=None, resources=None, up_mask=None,
+                 c1=1.0, e0=1.0):
+    """Hand-build a BalanceContext for direct balancer unit tests."""
+    from repro.interfaces import BalanceContext
+    from repro.network.links import LinkAttributes, link_costs
+
+    links = links if links is not None else LinkAttributes.uniform(topology)
+    costs = link_costs(links, c1=c1, e0=e0)
+    mask = up_mask if up_mask is not None else np.ones(topology.n_edges, dtype=bool)
+    return BalanceContext(
+        topology=topology,
+        system=system,
+        links=links,
+        link_costs=costs,
+        up_mask=mask,
+        round_index=round_index,
+        rng=np.random.default_rng(seed),
+        task_graph=task_graph,
+        resources=resources,
+    )

@@ -1,0 +1,78 @@
+"""Property-based tests (hypothesis) for the stochastic arbiter."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StochasticArbiter
+
+_SETTINGS = dict(max_examples=100, deadline=None)
+
+scores_strategy = st.lists(
+    st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(**_SETTINGS)
+@given(
+    scores=scores_strategy,
+    beta0=st.floats(0.0, 0.95),
+    t=st.integers(0, 1000),
+)
+def test_distribution_is_valid(scores, beta0, t):
+    arb = StochasticArbiter(beta0=beta0)
+    p = arb.probabilities(np.asarray(scores), t)
+    assert abs(p.sum() - 1.0) < 1e-9
+    assert (p >= -1e-12).all()
+
+
+@settings(**_SETTINGS)
+@given(
+    scores=scores_strategy,
+    beta0=st.floats(0.0, 0.95),
+    t=st.integers(0, 1000),
+)
+def test_best_candidate_weakly_dominates(scores, beta0, t):
+    """P1: probability is monotone non-increasing in score rank."""
+    arb = StochasticArbiter(beta0=beta0)
+    a = np.asarray(scores)
+    p = arb.probabilities(a, t)
+    order = np.argsort(-a, kind="stable")
+    ranked = p[order]
+    assert (np.diff(ranked) <= 1e-9).all()
+    assert p.argmax() == order[0] or np.isclose(p[order[0]], p.max())
+
+
+@settings(**_SETTINGS)
+@given(scores=scores_strategy, beta0=st.floats(0.01, 0.95))
+def test_everyone_reachable_at_t0(scores, beta0):
+    """P2: nonzero probability for every candidate while exploring."""
+    arb = StochasticArbiter(beta0=beta0, anneal_c=1.0)
+    p = arb.probabilities(np.asarray(scores), t=0)
+    assert (p > 0).all()
+
+
+@settings(**_SETTINGS)
+@given(scores=scores_strategy, beta0=st.floats(0.0, 0.95))
+def test_late_time_collapses_to_argmax(scores, beta0):
+    """P3: as t → ∞ the distribution converges to the argmax."""
+    arb = StochasticArbiter(beta0=beta0, anneal_c=5.0, t_max=10)
+    a = np.asarray(scores)
+    p = arb.probabilities(a, t=100_000)
+    best = int(np.argsort(-a, kind="stable")[0])
+    assert p[best] > 0.999
+
+
+@settings(**_SETTINGS)
+@given(
+    scores=scores_strategy,
+    beta0=st.floats(0.0, 0.95),
+    t=st.integers(0, 500),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_choose_returns_valid_index(scores, beta0, t, seed):
+    arb = StochasticArbiter(beta0=beta0)
+    idx = arb.choose(np.asarray(scores), t, np.random.default_rng(seed))
+    assert 0 <= idx < len(scores)

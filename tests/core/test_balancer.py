@@ -1,0 +1,249 @@
+"""Unit tests for repro.core.balancer.ParticlePlaneBalancer (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.tasks import TaskSystem
+from tests.conftest import make_context
+
+
+def greedy_cfg(**kw):
+    base = dict(beta0=0.0, mu_s_base=1.0, mu_k_base=0.25)
+    base.update(kw)
+    return PPLBConfig(**base)
+
+
+class TestStationaryInitiation:
+    def test_moves_down_steep_gradient(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(4.0, 0)  # h = [4, 0, ...]; neighbors of 0: 1, 4
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        # tanβ = (4 - 0 - 2*4)/1 = -4 < µs: the 2l correction forbids
+        # moving a task bigger than the gradient supports.
+        assert migrations == []
+
+    def test_correction_term_respected(self, mesh4):
+        system = TaskSystem(mesh4)
+        # Load 8 split as two tasks of 1 and one of 6 on node 0.
+        big = system.add_task(6.0, 0)
+        system.add_task(1.0, 0)
+        system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        # h=8: big task tanβ = (8-0-12) < µs -> infeasible;
+        # small tasks tanβ = (8-0-2)/1 = 6 > 1 -> feasible.
+        assert len(migrations) >= 1
+        assert all(m.task_id != big for m in migrations)
+        assert all(m.src == 0 for m in migrations)
+
+    def test_static_friction_blocks_small_gradients(self, mesh4):
+        system = TaskSystem(mesh4)
+        system.add_task(1.0, 0)
+        system.add_task(1.0, 0)  # h[0]=2, tanβ=(2-0-2)/1=0 < µs=1
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        assert bal.step(ctx) == []
+        assert bal.idle()
+
+    def test_high_mu_s_freezes_everything(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(20):
+            system.add_task(1.0, 5)
+        bal = ParticlePlaneBalancer(greedy_cfg(mu_s_base=100.0))
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        assert bal.step(ctx) == []
+
+    def test_one_task_per_link(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(40):
+            system.add_task(1.0, 5)  # node 5 has degree 4
+        bal = ParticlePlaneBalancer(greedy_cfg(candidates_per_node=10))
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        links = [(min(m.src, m.dst), max(m.src, m.dst)) for m in migrations]
+        assert len(links) == len(set(links))
+        assert len(migrations) <= 4
+
+    def test_max_departures_per_node(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(40):
+            system.add_task(1.0, 5)
+        bal = ParticlePlaneBalancer(
+            greedy_cfg(candidates_per_node=10, max_departures_per_node=1)
+        )
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        assert len([m for m in migrations if m.src == 5]) == 1
+
+    def test_flag_initialised_to_departure_height(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(10):
+            system.add_task(1.0, 0)
+        cfg = greedy_cfg(mu_k_base=0.25, c0=1.0)
+        bal = ParticlePlaneBalancer(cfg)
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        assert migrations
+        st = bal.journey_of(migrations[0].task_id)
+        # h* = h(origin) - c0*mu_k*e = 10 - 0.25
+        assert st.hstar == pytest.approx(10.0 - 0.25)
+        assert st.hops == 1
+
+    def test_heat_reported_on_migrations(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(10):
+            system.add_task(2.0, 0)
+        cfg = greedy_cfg(g=2.0, mu_k_base=0.5, c0=1.0)
+        bal = ParticlePlaneBalancer(cfg)
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        # E_h = g*l*c0*mu_k*e = 2*2*0.5 = 2.0
+        assert migrations[0].heat == pytest.approx(2.0)
+
+
+class TestMotionPhase:
+    def _run_rounds(self, mesh4, system, bal, rounds, seed=0):
+        out = []
+        for r in range(rounds):
+            ctx = make_context(mesh4, system, round_index=r, seed=seed + r)
+            if r == 0:
+                bal.reset(ctx)
+            migrations = bal.step(ctx)
+            for m in migrations:
+                system.move(m.task_id, m.dst)
+            out.append(migrations)
+        return out
+
+    def test_particle_continues_downhill_and_settles(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(16):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        self._run_rounds(mesh4, system, bal, 40)
+        assert bal.idle()
+        # The hotspot drained: the corner cannot stay at 16.
+        assert system.node_loads[0] < 16.0
+        assert system.node_loads.sum() == pytest.approx(16.0)
+
+    def test_energy_only_rule_also_terminates(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(16):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg(motion_rule="energy-only"))
+        self._run_rounds(mesh4, system, bal, 300)
+        assert bal.idle()  # flag decay guarantees settling
+
+    def test_max_hops_caps_journeys(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(16):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg(max_hops=1, mu_k_base=1e-6))
+        self._run_rounds(mesh4, system, bal, 60)
+        assert bal.idle()
+        # With 1-hop journeys nothing can be further than 1 hop... per
+        # journey; tasks may take several journeys, but each journey
+        # recorded at most 1 hop.
+        assert bal.stats["hops"] <= bal.stats["initiated"] * 1 + 1e-9
+
+    def test_flag_monotonically_decreases(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(32):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        flags: dict[int, float] = {}
+        for r in range(30):
+            ctx = make_context(mesh4, system, round_index=r)
+            if r == 0:
+                bal.reset(ctx)
+            migrations = bal.step(ctx)
+            for m in migrations:
+                system.move(m.task_id, m.dst)
+                st = bal.journey_of(m.task_id)
+                if st is not None:
+                    prev = flags.get(m.task_id)
+                    if prev is not None:
+                        assert st.hstar < prev
+                    flags[m.task_id] = st.hstar
+
+    def test_dead_in_motion_task_dropped(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(10):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        for m in migrations:
+            system.move(m.task_id, m.dst)
+        moving = migrations[0].task_id
+        system.remove_task(moving)
+        ctx = make_context(mesh4, system, round_index=1)
+        out = bal.step(ctx)
+        assert all(m.task_id != moving for m in out)
+        assert bal.journey_of(moving) is None
+
+
+class TestFaultAwareness:
+    def test_never_uses_down_links(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(20):
+            system.add_task(1.0, 5)
+        up = np.ones(mesh4.n_edges, dtype=bool)
+        for j in (1, 4, 6):  # kill 3 of node 5's 4 links; only 5-9 lives
+            up[mesh4.edge_id(5, j)] = False
+        bal = ParticlePlaneBalancer(greedy_cfg(candidates_per_node=8))
+        ctx = make_context(mesh4, system, up_mask=up)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        from_5 = [m for m in migrations if m.src == 5]
+        assert from_5
+        assert all(m.dst == 9 for m in from_5)
+
+    def test_all_links_down_no_migrations(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(20):
+            system.add_task(1.0, 5)
+        up = np.zeros(mesh4.n_edges, dtype=bool)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system, up_mask=up)
+        bal.reset(ctx)
+        assert bal.step(ctx) == []
+
+
+class TestStatsAndState:
+    def test_stats_accumulate_and_reset(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(16):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        bal.step(ctx)
+        assert bal.stats["initiated"] >= 1
+        assert bal.stats["heat"] > 0
+        bal.reset(ctx)
+        assert bal.stats["initiated"] == 0
+        assert bal.idle()
+
+    def test_in_flight_count(self, mesh4):
+        system = TaskSystem(mesh4)
+        for _ in range(16):
+            system.add_task(1.0, 0)
+        bal = ParticlePlaneBalancer(greedy_cfg())
+        ctx = make_context(mesh4, system)
+        bal.reset(ctx)
+        migrations = bal.step(ctx)
+        assert bal.in_flight == len(migrations)
+        assert not bal.idle()

@@ -1,0 +1,105 @@
+"""Property-based tests on the PPLB balancer's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.network import mesh, ring, torus
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import multi_hotspot, single_hotspot, uniform_random
+
+_SETTINGS = dict(max_examples=15, deadline=None)
+
+TOPOLOGIES = {0: lambda: mesh(5, 5), 1: lambda: torus(5, 5), 2: lambda: ring(10)}
+DISTS = {0: single_hotspot, 1: uniform_random, 2: multi_hotspot}
+
+
+def config_strategy():
+    return st.builds(
+        PPLBConfig,
+        mu_s_base=st.floats(0.1, 8.0),
+        mu_k_base=st.floats(0.05, 2.0),
+        beta0=st.floats(0.0, 0.8),
+        candidates_per_node=st.integers(1, 8),
+        motion_rule=st.sampled_from(["arbiter-settle", "energy-only"]),
+        arbiter_score=st.sampled_from(["corrected", "raw"]),
+        friction_jitter=st.floats(0.0, 0.5),
+    )
+
+
+@settings(**_SETTINGS)
+@given(
+    cfg=config_strategy(),
+    topo_key=st.integers(0, 2),
+    dist_key=st.integers(0, 2),
+    n_tasks=st.integers(25, 120),
+    seed=st.integers(0, 10_000),
+)
+def test_balancer_hard_invariants(cfg, topo_key, dist_key, n_tasks, seed):
+    """For ANY config: conservation, valid orders, finite journeys.
+
+    The engine raises on any invalid order (wrong source, over-capacity,
+    non-edge), so simply completing a run under strict validation is
+    itself the assertion of order validity.
+    """
+    topo = TOPOLOGIES[topo_key]()
+    system = TaskSystem(topo)
+    DISTS[dist_key](system, n_tasks, rng=seed)
+    total0 = system.total_load
+    bal = ParticlePlaneBalancer(cfg)
+    sim = Simulator(topo, system, bal, seed=seed)
+    res = sim.run(max_rounds=120)
+
+    assert system.total_load == pytest.approx(total0)
+    assert (system.node_loads >= -1e-9).all()
+    # stats ledger is self-consistent
+    assert bal.stats["settled"] <= bal.stats["initiated"]
+    assert bal.stats["initiated"] - bal.stats["settled"] == bal.in_flight
+    assert bal.stats["hops"] >= bal.stats["initiated"]
+    assert bal.stats["heat"] >= 0.0
+    # heat reported on migrations matches the balancer's ledger
+    assert res.total_heat == pytest.approx(bal.stats["heat"])
+
+
+@settings(**_SETTINGS)
+@given(
+    cfg=config_strategy(),
+    seed=st.integers(0, 10_000),
+)
+def test_journeys_bounded_by_energy(cfg, seed):
+    """Flag decay bounds every journey: hops ≤ h*_0/(c0·µk·e_min) + 1."""
+    topo = mesh(5, 5)
+    system = TaskSystem(topo)
+    single_hotspot(system, 75, rng=seed)
+    h0_max = float(system.node_loads.max())
+    bal = ParticlePlaneBalancer(cfg)
+    sim = Simulator(topo, system, bal, seed=seed, track_journeys=True)
+    sim.run(max_rounds=200)
+    # Jitter can scale a single hop's µk down to (1 − jitter); use the
+    # worst-case effective µk for the bound.
+    mu_k_min = cfg.mu_k_base * max(1.0 - cfg.friction_jitter, 1e-9)
+    bound = h0_max / (cfg.c0 * mu_k_min) + 1
+    for hops in sim.task_hops.values():
+        assert hops <= bound
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000), mu_s=st.floats(0.5, 4.0))
+def test_quiescent_state_is_stable(seed, mu_s):
+    """Once PPLB quiesces, re-running from that state does nothing."""
+    topo = mesh(5, 5)
+    system = TaskSystem(topo)
+    single_hotspot(system, 80, rng=seed)
+    cfg = PPLBConfig(beta0=0.0, mu_s_base=mu_s)
+    sim = Simulator(topo, system, ParticlePlaneBalancer(cfg), seed=seed)
+    first = sim.run(max_rounds=400)
+    if not first.converged:
+        return
+    frozen = system.node_loads.copy()
+    again = Simulator(topo, system, ParticlePlaneBalancer(cfg), seed=seed + 1)
+    second = again.run(max_rounds=50)
+    assert second.total_migrations == 0
+    np.testing.assert_allclose(system.node_loads, frozen)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.config.PPLBConfig."""
+
+import pytest
+
+from repro.core import PPLBConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = PPLBConfig()
+        assert cfg.mu_s_base == 1.0
+        assert cfg.motion_rule == "arbiter-settle"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"c0": 0.0},
+            {"e0": -1.0},
+            {"g": 0.0},
+            {"t_max": 0},
+            {"candidates_per_node": 0},
+            {"mu_s_base": -0.1},
+            {"mu_k_base": -0.1},
+            {"kappa": -1.0},
+            {"w_dependency": -1.0},
+            {"w_resource": -1.0},
+            {"c1": -0.5},
+            {"anneal_c": -1.0},
+            {"beta0": 1.0},
+            {"beta0": -0.1},
+            {"arbiter_floor": 0.0},
+            {"arbiter_floor": 1.5},
+            {"motion_rule": "fly"},
+            {"arbiter_score": "both"},
+            {"max_hops": 0},
+            {"max_departures_per_node": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PPLBConfig(**kwargs)
+
+    def test_none_sentinels_allowed(self):
+        cfg = PPLBConfig(max_hops=None, max_departures_per_node=None)
+        assert cfg.max_hops is None
+
+
+class TestHelpers:
+    def test_evolve(self):
+        cfg = PPLBConfig().evolve(mu_k_base=0.7)
+        assert cfg.mu_k_base == 0.7
+        assert cfg.mu_s_base == 1.0  # untouched
+
+    def test_evolve_validates(self):
+        with pytest.raises(ConfigurationError):
+            PPLBConfig().evolve(beta0=2.0)
+
+    def test_greedy(self):
+        assert PPLBConfig(beta0=0.4).greedy().beta0 == 0.0
+
+    def test_as_dict_round_trip(self):
+        cfg = PPLBConfig(mu_s_base=0.5, beta0=0.1)
+        d = cfg.as_dict()
+        assert d["mu_s_base"] == 0.5
+        rebuilt = PPLBConfig(**{k: v for k, v in d.items()})
+        assert rebuilt == cfg
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PPLBConfig().mu_s_base = 2.0  # type: ignore[misc]
+
+
+class TestTable1Registry:
+    def test_has_all_seven_parameters(self):
+        rows = PPLBConfig.table1_rows()
+        params = [r[0] for r in rows]
+        assert params == ["µs", "µk", "m", "tanβ", "h", "Eh", "e_ij"]
+
+    def test_rows_reference_real_symbols(self):
+        import importlib
+
+        for _param, _meaning, symbol in PPLBConfig.table1_rows():
+            dotted = "repro." + symbol.split(" ")[0]
+            parts = dotted.split(".")
+            # Import the longest importable module prefix, then getattr
+            # the remainder (which may be Class.method).
+            obj = None
+            for cut in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:cut]))
+                    rest = parts[cut:]
+                    break
+                except ModuleNotFoundError:
+                    continue
+            assert obj is not None, f"unresolvable module in {symbol!r}"
+            for part in rest:
+                obj = getattr(obj, part)
+            assert obj is not None

@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.friction.FrictionModel (paper §4.2)."""
+
+import pytest
+
+from repro.core import FrictionModel, PPLBConfig
+from repro.tasks import ResourceMap, TaskGraph, TaskSystem
+
+
+def build(mesh4, *, w_dep=0.0, w_dep_nbr=0.0, w_res=0.0, kappa=0.0,
+          mu_s_base=1.0, mu_k_base=0.25):
+    cfg = PPLBConfig(
+        mu_s_base=mu_s_base,
+        mu_k_base=mu_k_base,
+        w_dependency=w_dep,
+        w_dependency_neighbor=w_dep_nbr,
+        w_resource=w_res,
+        kappa=kappa,
+    )
+    system = TaskSystem(mesh4)
+    graph = TaskGraph()
+    resources = ResourceMap(mesh4.n_nodes)
+    return cfg, system, graph, resources
+
+
+class TestBaseline:
+    def test_constant_without_structure(self, mesh4):
+        cfg, system, _g, _r = build(mesh4)
+        fm = FrictionModel(cfg)
+        tid = system.add_task(1.0, 0)
+        assert fm.mu_s(system, mesh4, tid, 0) == 1.0
+        assert fm.mu_k(system, mesh4, tid, 0) == 0.25
+
+    def test_kappa_couples_mu_k_to_mu_s(self, mesh4):
+        cfg, system, _g, _r = build(mesh4, kappa=2.0, mu_s_base=0.5, mu_k_base=0.1)
+        fm = FrictionModel(cfg)
+        tid = system.add_task(1.0, 0)
+        assert fm.mu_k(system, mesh4, tid, 0) == pytest.approx(0.1 + 2.0 * 0.5)
+
+
+class TestDependencyTerm:
+    def test_colocated_partner_raises_mu_s(self, mesh4):
+        cfg, system, graph, _r = build(mesh4, w_dep=0.5)
+        a = system.add_task(1.0, 0)
+        b = system.add_task(1.0, 0)
+        graph.set_dependency(a, b, 2.0)
+        fm = FrictionModel(cfg, task_graph=graph)
+        assert fm.mu_s(system, mesh4, a, 0) == pytest.approx(1.0 + 0.5 * 2.0)
+
+    def test_remote_partner_does_not(self, mesh4):
+        cfg, system, graph, _r = build(mesh4, w_dep=0.5)
+        a = system.add_task(1.0, 0)
+        b = system.add_task(1.0, 15)  # far away
+        graph.set_dependency(a, b, 2.0)
+        fm = FrictionModel(cfg, task_graph=graph)
+        assert fm.mu_s(system, mesh4, a, 0) == pytest.approx(1.0)
+
+    def test_neighbor_partner_with_neighbor_weight(self, mesh4):
+        cfg, system, graph, _r = build(mesh4, w_dep=0.5, w_dep_nbr=0.25)
+        a = system.add_task(1.0, 0)
+        b = system.add_task(1.0, 1)  # node 1 is adjacent to node 0
+        graph.set_dependency(a, b, 2.0)
+        fm = FrictionModel(cfg, task_graph=graph)
+        assert fm.mu_s(system, mesh4, a, 0) == pytest.approx(1.0 + 0.25 * 2.0)
+
+    def test_dead_partner_ignored(self, mesh4):
+        cfg, system, graph, _r = build(mesh4, w_dep=0.5)
+        a = system.add_task(1.0, 0)
+        b = system.add_task(1.0, 0)
+        graph.set_dependency(a, b, 2.0)
+        system.remove_task(b)
+        fm = FrictionModel(cfg, task_graph=graph)
+        assert fm.mu_s(system, mesh4, a, 0) == pytest.approx(1.0)
+
+    def test_zero_weight_skips_scan(self, mesh4):
+        cfg, system, graph, _r = build(mesh4, w_dep=0.0)
+        a = system.add_task(1.0, 0)
+        b = system.add_task(1.0, 0)
+        graph.set_dependency(a, b, 5.0)
+        fm = FrictionModel(cfg, task_graph=graph)
+        assert not fm._needs_t
+        assert fm.mu_s(system, mesh4, a, 0) == pytest.approx(1.0)
+
+
+class TestResourceTerm:
+    def test_affinity_raises_mu_s_on_that_node_only(self, mesh4):
+        cfg, system, _g, resources = build(mesh4, w_res=2.0)
+        a = system.add_task(1.0, 0)
+        resources.set_affinity(a, 0, 1.5)
+        fm = FrictionModel(cfg, resources=resources)
+        assert fm.mu_s(system, mesh4, a, 0) == pytest.approx(1.0 + 2.0 * 1.5)
+        assert fm.mu_s(system, mesh4, a, 1) == pytest.approx(1.0)
+
+
+class TestBoth:
+    def test_both_matches_individual_calls(self, mesh4):
+        cfg, system, graph, resources = build(mesh4, w_dep=0.3, w_res=0.7, kappa=1.5)
+        a = system.add_task(1.0, 0)
+        b = system.add_task(1.0, 0)
+        graph.set_dependency(a, b, 1.0)
+        resources.set_affinity(a, 0, 2.0)
+        fm = FrictionModel(cfg, task_graph=graph, resources=resources)
+        mu_s, mu_k = fm.both(system, mesh4, a, 0)
+        assert mu_s == pytest.approx(fm.mu_s(system, mesh4, a, 0))
+        assert mu_k == pytest.approx(fm.mu_k(system, mesh4, a, 0))
+
+    def test_dependency_pull_split(self, mesh4):
+        cfg, system, graph, _r = build(mesh4, w_dep=1.0, w_dep_nbr=1.0)
+        a = system.add_task(1.0, 5)
+        local = system.add_task(1.0, 5)
+        nbr = system.add_task(1.0, 6)
+        far = system.add_task(1.0, 15)
+        graph.set_dependency(a, local, 1.0)
+        graph.set_dependency(a, nbr, 2.0)
+        graph.set_dependency(a, far, 4.0)
+        fm = FrictionModel(cfg, task_graph=graph)
+        loc, near = fm.dependency_pull(system, mesh4, a, 5)
+        assert loc == pytest.approx(1.0)
+        assert near == pytest.approx(2.0)

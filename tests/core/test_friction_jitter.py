@@ -1,0 +1,67 @@
+"""Tests for §5.2's annealed friction fuzziness (friction_jitter)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.exceptions import ConfigurationError
+from repro.network import mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+
+class TestJitterFactor:
+    def test_zero_is_identity(self):
+        bal = ParticlePlaneBalancer(PPLBConfig(friction_jitter=0.0))
+        rng = np.random.default_rng(0)
+        state = rng.bit_generator.state
+        assert bal._jitter(0, rng) == 1.0
+        assert rng.bit_generator.state == state  # no draws consumed
+
+    def test_bounded_and_annealed(self):
+        cfg = PPLBConfig(friction_jitter=0.5, anneal_c=3.0, t_max=100)
+        bal = ParticlePlaneBalancer(cfg)
+        rng = np.random.default_rng(0)
+        early = [bal._jitter(0, rng) for _ in range(500)]
+        late = [bal._jitter(10_000, rng) for _ in range(500)]
+        assert all(0.5 - 1e-9 <= f <= 1.5 + 1e-9 for f in early)
+        # late factors collapse onto 1 (rigidity grows with time)
+        assert max(abs(f - 1.0) for f in late) < 1e-3
+        assert np.std(early) > np.std(late)
+
+    def test_never_negative(self):
+        cfg = PPLBConfig(friction_jitter=0.9)
+        bal = ParticlePlaneBalancer(cfg)
+        rng = np.random.default_rng(1)
+        assert all(bal._jitter(0, rng) >= 0.0 for _ in range(1000))
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PPLBConfig(friction_jitter=-0.1)
+
+
+class TestJitterInSimulation:
+    def _run(self, jitter, seed=0):
+        topo = mesh(8, 8)
+        system = TaskSystem(topo)
+        single_hotspot(system, 256, rng=0)
+        cfg = PPLBConfig(beta0=0.0, friction_jitter=jitter)
+        sim = Simulator(topo, system, ParticlePlaneBalancer(cfg), seed=seed)
+        res = sim.run(max_rounds=400)
+        return system.node_loads.copy(), res
+
+    def test_still_converges(self):
+        _h, res = self._run(jitter=0.4)
+        assert res.converged
+        assert res.final_cov < 0.3
+
+    def test_deterministic_under_seed(self):
+        h1, _ = self._run(jitter=0.4, seed=5)
+        h2, _ = self._run(jitter=0.4, seed=5)
+        np.testing.assert_allclose(h1, h2)
+
+    def test_jitter_changes_trajectory(self):
+        h0, _ = self._run(jitter=0.0)
+        h1, _ = self._run(jitter=0.4)
+        assert not np.allclose(h0, h1)

@@ -1,0 +1,91 @@
+"""Tests for the per-node participation level (Table 1's µs row)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrictionModel, ParticlePlaneBalancer, PPLBConfig
+from repro.exceptions import ConfigurationError
+from repro.network import mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import multi_hotspot
+
+
+class TestFrictionParticipation:
+    def test_full_participation_is_identity(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        base = FrictionModel(PPLBConfig())
+        part = FrictionModel(PPLBConfig(), participation=np.ones(16))
+        assert part.mu_s(system, mesh4, tid, 0) == base.mu_s(system, mesh4, tid, 0)
+
+    def test_half_participation_doubles_mu_s(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        p = np.ones(16)
+        p[0] = 0.5
+        fm = FrictionModel(PPLBConfig(mu_s_base=2.0), participation=p)
+        assert fm.mu_s(system, mesh4, tid, 0) == pytest.approx(4.0)
+        assert fm.mu_s(system, mesh4, tid, 1) == pytest.approx(2.0)
+
+    def test_mu_k_inherits_via_kappa(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        p = np.ones(16)
+        p[0] = 0.25
+        fm = FrictionModel(
+            PPLBConfig(mu_s_base=1.0, mu_k_base=0.1, kappa=1.0), participation=p
+        )
+        assert fm.mu_k(system, mesh4, tid, 0) == pytest.approx(0.1 + 4.0)
+
+    def test_both_consistent(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        p = np.full(16, 0.5)
+        fm = FrictionModel(PPLBConfig(kappa=0.5), participation=p)
+        mu_s, mu_k = fm.both(system, mesh4, tid, 3)
+        assert mu_s == pytest.approx(fm.mu_s(system, mesh4, tid, 3))
+        assert mu_k == pytest.approx(fm.mu_k(system, mesh4, tid, 3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrictionModel(PPLBConfig(), participation=np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            FrictionModel(PPLBConfig(), participation=np.full(4, 1.5))
+        with pytest.raises(ConfigurationError):
+            FrictionModel(PPLBConfig(), participation=np.ones((2, 2)))
+
+    def test_out_of_range_node(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        fm = FrictionModel(PPLBConfig(), participation=np.ones(2))
+        with pytest.raises(ConfigurationError):
+            fm.mu_s(system, mesh4, tid, 5)
+
+
+class TestBalancerParticipation:
+    def test_reluctant_hotspot_sheds_less(self):
+        """Two hotspots; the non-participating one keeps its pile."""
+        topo = mesh(8, 8)
+
+        def run(participation):
+            system = TaskSystem(topo)
+            multi_hotspot(system, 512, rng=0, nodes=[0, 63], weights=[0.5, 0.5])
+            bal = ParticlePlaneBalancer(
+                PPLBConfig(beta0=0.0), participation=participation
+            )
+            sim = Simulator(topo, system, bal, seed=0)
+            sim.run(max_rounds=300)
+            return system.node_loads.copy()
+
+        h_full = run(None)
+        p = np.ones(64)
+        p[0] = 1e-6  # node 0 effectively refuses to participate
+        h_reluctant = run(p)
+
+        # With full participation both hotspots drain similarly; with a
+        # reluctant node 0 its pile stays nearly intact.
+        assert h_full[0] < 50
+        assert h_reluctant[0] > 200
+        # Node 63's side still balances fine.
+        assert h_reluctant[63] < 50

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.tuning (the derived design methodology)."""
+
+import pytest
+
+from repro.core import PPLBConfig, ParticlePlaneBalancer, describe_config, suggest_config
+from repro.exceptions import ConfigurationError
+from repro.network import LinkAttributes, hypercube, mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+
+class TestSuggestConfig:
+    def test_basic_derivation_uniform_links(self, mesh8):
+        system = TaskSystem(mesh8)
+        single_hotspot(system, 512, rng=0, distribution="constant")
+        cfg = suggest_config(mesh8, system, threshold_tasks=1.0)
+        # mean load 1, e_typ 1 -> mu_s = 1; radius = diam/2 = 7 -> mu_k = 1/7
+        assert cfg.mu_s_base == pytest.approx(1.0)
+        assert cfg.mu_k_base == pytest.approx(1.0 / 7.0)
+        assert cfg.candidates_per_node >= mesh8.max_degree
+        assert cfg.t_max >= 512 // 4
+
+    def test_scales_with_task_size(self, mesh8):
+        big = TaskSystem(mesh8)
+        single_hotspot(big, 64, rng=0, mean=10.0, distribution="constant")
+        small = TaskSystem(mesh8)
+        single_hotspot(small, 64, rng=0, mean=1.0, distribution="constant")
+        cfg_big = suggest_config(mesh8, big)
+        cfg_small = suggest_config(mesh8, small)
+        assert cfg_big.mu_s_base == pytest.approx(10.0 * cfg_small.mu_s_base)
+
+    def test_scales_with_link_cost(self, mesh8):
+        system = TaskSystem(mesh8)
+        single_hotspot(system, 64, rng=0, distribution="constant")
+        cheap = suggest_config(mesh8, system)
+        costly = suggest_config(
+            mesh8, system, links=LinkAttributes.uniform(mesh8, distance=4.0)
+        )
+        assert costly.mu_s_base == pytest.approx(cheap.mu_s_base / 4.0)
+
+    def test_locality_radius_controls_mu_k(self, mesh8):
+        system = TaskSystem(mesh8)
+        single_hotspot(system, 64, rng=0, distribution="constant")
+        near = suggest_config(mesh8, system, locality_radius=2)
+        far = suggest_config(mesh8, system, locality_radius=10)
+        assert near.mu_k_base > far.mu_k_base
+        assert near.mu_k_base == pytest.approx(far.mu_k_base * 5.0)
+
+    def test_hypercube_candidates_cover_degree(self):
+        topo = hypercube(7)  # degree 7
+        system = TaskSystem(topo)
+        single_hotspot(system, 64, rng=0)
+        cfg = suggest_config(topo, system)
+        assert cfg.candidates_per_node >= 7
+
+    def test_empty_system_defaults(self, mesh4):
+        cfg = suggest_config(mesh4, TaskSystem(mesh4))
+        assert cfg.mu_s_base > 0
+
+    def test_validation(self, mesh4):
+        other = TaskSystem(mesh(3, 3))
+        with pytest.raises(ConfigurationError):
+            suggest_config(mesh4, other)
+        system = TaskSystem(mesh4)
+        with pytest.raises(ConfigurationError):
+            suggest_config(mesh4, system, threshold_tasks=0.0)
+        with pytest.raises(ConfigurationError):
+            suggest_config(mesh4, system, locality_radius=0)
+
+    def test_suggested_config_actually_balances(self, mesh8):
+        system = TaskSystem(mesh8)
+        single_hotspot(system, 512, rng=0)
+        cfg = suggest_config(mesh8, system)
+        sim = Simulator(mesh8, system, ParticlePlaneBalancer(cfg), seed=0)
+        res = sim.run(max_rounds=500)
+        assert res.converged
+        assert res.final_cov < 0.3
+
+
+class TestDescribe:
+    def test_mentions_all_key_fields(self):
+        text = describe_config(PPLBConfig())
+        for key in ("mu_s_base", "mu_k_base", "beta0", "t_max", "motion_rule"):
+            assert key in text

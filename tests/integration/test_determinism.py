@@ -1,0 +1,84 @@
+"""Determinism: identical seeds produce identical simulations."""
+
+import numpy as np
+
+from repro.baselines import RandomWorkStealing, TaskDiffusion
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.network import mesh, random_connected
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import DynamicWorkload, single_hotspot, uniform_random
+
+
+def run_once(balancer_fn, seed, dynamic=False):
+    topo = mesh(8, 8)
+    system = TaskSystem(topo)
+    uniform_random(system, 256, rng=seed)
+    wl = (
+        DynamicWorkload(arrival_rate=2.0, completion_prob=0.02, rng=seed + 1)
+        if dynamic
+        else None
+    )
+    sim = Simulator(topo, system, balancer_fn(), seed=seed, dynamic=wl)
+    res = sim.run(max_rounds=120)
+    return system.node_loads.copy(), res
+
+
+class TestDeterminism:
+    def test_pplb_stochastic_reproducible(self):
+        f = lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.4))
+        h1, r1 = run_once(f, 7)
+        h2, r2 = run_once(f, 7)
+        np.testing.assert_allclose(h1, h2)
+        assert r1.total_migrations == r2.total_migrations
+        assert r1.total_heat == r2.total_heat
+
+    def test_pplb_different_seeds_differ(self):
+        f = lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.4))
+        h1, _ = run_once(f, 7)
+        h2, _ = run_once(f, 8)
+        assert not np.allclose(h1, h2)
+
+    def test_greedy_pplb_seed_independent(self):
+        """β0 = 0 removes every stochastic choice from the balancer."""
+        f = lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.0))
+        topo = mesh(8, 8)
+
+        def run(seed):
+            system = TaskSystem(topo)
+            single_hotspot(system, 256, rng=0)  # same workload
+            sim = Simulator(topo, system, f(), seed=seed)
+            sim.run(max_rounds=120)
+            return system.node_loads.copy()
+
+        np.testing.assert_allclose(run(1), run(999))
+
+    def test_work_stealing_reproducible(self):
+        h1, _ = run_once(RandomWorkStealing, 3)
+        h2, _ = run_once(RandomWorkStealing, 3)
+        np.testing.assert_allclose(h1, h2)
+
+    def test_with_dynamic_workload(self):
+        f = lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.3))
+        h1, r1 = run_once(f, 11, dynamic=True)
+        h2, r2 = run_once(f, 11, dynamic=True)
+        np.testing.assert_allclose(h1, h2)
+        np.testing.assert_allclose(r1.series("n_tasks"), r2.series("n_tasks"))
+
+    def test_task_diffusion_deterministic(self):
+        h1, _ = run_once(TaskDiffusion, 5)
+        h2, _ = run_once(TaskDiffusion, 5)
+        np.testing.assert_allclose(h1, h2)
+
+    def test_random_topology_reproducible_end_to_end(self):
+        def run(seed):
+            topo = random_connected(30, avg_degree=4, seed=2)
+            system = TaskSystem(topo)
+            uniform_random(system, 120, rng=3)
+            sim = Simulator(
+                topo, system, ParticlePlaneBalancer(PPLBConfig(beta0=0.25)), seed=seed
+            )
+            sim.run(max_rounds=80)
+            return system.node_loads.copy()
+
+        np.testing.assert_allclose(run(4), run(4))

@@ -1,0 +1,143 @@
+"""Integration tests for the paper's 'real-system' claims:
+
+fault tolerance (§4.2 ``F`` matrix) and task/resource dependencies
+(§4.2 ``T``/``R`` matrices) — the axes on which PPLB claims to go beyond
+classical schemes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.network import FaultModel, LinkAttributes, mesh
+from repro.sim import Simulator
+from repro.tasks import ResourceMap, TaskSystem
+from repro.tasks.generators import fork_join_tasks, place_all_on
+from repro.workloads import single_hotspot
+
+
+class TestFaultInjection:
+    def test_balances_despite_transient_faults(self):
+        topo = mesh(8, 8)
+        attrs = LinkAttributes.uniform(topo, fault_prob=0.2)
+        system = TaskSystem(topo)
+        single_hotspot(system, 256, rng=0)
+        fm = FaultModel(attrs, rng=1)
+        sim = Simulator(
+            topo,
+            system,
+            ParticlePlaneBalancer(PPLBConfig()),
+            links=attrs,
+            fault_model=fm,
+            seed=0,
+        )
+        res = sim.run(max_rounds=600)
+        assert res.final_cov < 0.5
+        # PPLB reads the up-mask, so nothing should ever be blocked.
+        assert res.series("blocked").sum() == 0
+
+    def test_fault_prob_raises_link_cost_discourages_use(self):
+        """The F matrix enters e_ij: traffic avoids fault-prone links."""
+        topo = mesh(8, 8)
+        m = topo.n_edges
+        fault = np.zeros(m)
+        # Make the entire left half of the mesh unreliable.
+        coords = topo.coords
+        for k, (u, v) in enumerate(topo.edges):
+            if coords[u][0] < 0.5 and coords[v][0] <= 0.5:
+                fault[k] = 0.6
+        attrs = LinkAttributes(
+            topo,
+            bandwidth=np.ones(m),
+            distance=np.ones(m),
+            fault_prob=fault,
+        )
+        system = TaskSystem(topo)
+        # Hotspot on the border column between the two halves.
+        single_hotspot(system, 256, rng=0, node=28)
+        bal = ParticlePlaneBalancer(PPLBConfig())
+        sim = Simulator(topo, system, bal, links=attrs, seed=0, c1=4.0,
+                        track_journeys=True)
+        sim.run(max_rounds=300)
+        h = system.node_loads
+        right = h[coords[:, 0] > 0.5].sum()
+        left = h[coords[:, 0] < 0.45].sum()
+        assert right > left  # load flowed toward the reliable half
+
+    def test_permanent_fault_routes_around(self):
+        topo = mesh(4, 4)
+        attrs = LinkAttributes.uniform(topo)
+        system = TaskSystem(topo)
+        single_hotspot(system, 64, rng=0, node=5)
+        fm = FaultModel(attrs, rng=0, permanent={0: [(5, 6), (5, 9)]})
+        sim = Simulator(
+            topo,
+            system,
+            ParticlePlaneBalancer(PPLBConfig()),
+            links=attrs,
+            fault_model=fm,
+            seed=0,
+        )
+        res = sim.run(max_rounds=300)
+        assert res.final_cov < 1.0
+        assert res.series("blocked").sum() == 0
+
+
+class TestDependencies:
+    def _run(self, w_dep, kappa=1.0, seed=0):
+        topo = mesh(8, 8)
+        system = TaskSystem(topo)
+        # One fork-join program piled on a hotspot + background tasks.
+        ids, graph = fork_join_tasks(
+            system, width=6, depth=4, placement=place_all_on(27), rng=seed,
+            comm_weight=1.0,
+        )
+        cfg = PPLBConfig(w_dependency=w_dep, kappa=kappa, mu_k_base=0.1)
+        bal = ParticlePlaneBalancer(cfg, task_graph=graph)
+        sim = Simulator(topo, system, bal, task_graph=graph, seed=seed)
+        sim.run(max_rounds=300)
+        locations = system.snapshot_placement()
+        cost = graph.communication_cost(locations, topo.hop_distances)
+        cov = float(np.std(system.node_loads) / max(np.mean(system.node_loads), 1e-12))
+        return cost, cov
+
+    def test_dependency_friction_lowers_comm_cost(self):
+        cost_oblivious, _ = self._run(w_dep=0.0)
+        cost_aware, _ = self._run(w_dep=2.0)
+        assert cost_aware < cost_oblivious
+
+    def test_dependency_friction_trades_balance(self):
+        _, cov_oblivious = self._run(w_dep=0.0)
+        _, cov_aware = self._run(w_dep=8.0)
+        # Sticky tasks ⇒ no better balance than the oblivious run.
+        assert cov_aware >= cov_oblivious - 1e-9
+
+
+class TestResourceAffinity:
+    def test_pinned_task_stays_near_resource(self):
+        topo = mesh(8, 8)
+        system = TaskSystem(topo)
+        ids = single_hotspot(system, 512, rng=0, node=27)
+        resources = ResourceMap(topo.n_nodes)
+        pinned = ids[0]
+        # The pin must beat the steepest possible gradient (the full
+        # hotspot height ~528), else physics rightly drags the task off.
+        resources.set_affinity(pinned, 27, 1000.0)
+        cfg = PPLBConfig(w_resource=1.0, kappa=1.0)
+        bal = ParticlePlaneBalancer(cfg, resources=resources)
+        sim = Simulator(topo, system, bal, resources=resources, seed=0)
+        res = sim.run(max_rounds=400)
+        assert res.final_cov < 0.4  # still balances the rest
+        assert system.location_of(pinned) == 27  # the pinned task never left
+
+    def test_unpinned_control_leaves(self):
+        topo = mesh(8, 8)
+        system = TaskSystem(topo)
+        ids = single_hotspot(system, 128, rng=0, node=27)
+        bal = ParticlePlaneBalancer(PPLBConfig())
+        sim = Simulator(topo, system, bal, seed=0)
+        sim.run(max_rounds=300)
+        # With 128 tasks on one node and none pinned, the vast majority
+        # must have migrated away.
+        remaining = sum(1 for t in ids if system.location_of(t) == 27)
+        assert remaining < 32

@@ -1,0 +1,101 @@
+"""Tests for capacity-proportional balancing on heterogeneous machines."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.exceptions import ConfigurationError
+from repro.network import mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+
+def two_speed_mesh():
+    """8x8 mesh where the right half is twice as fast."""
+    topo = mesh(8, 8)
+    speeds = np.ones(64)
+    speeds[topo.coords[:, 0] > 0.5] = 2.0
+    return topo, speeds
+
+
+class TestEngineSpeeds:
+    def test_validation(self):
+        topo = mesh(4, 4)
+        system = TaskSystem(topo)
+        from repro.baselines import NoBalancer
+
+        with pytest.raises(ConfigurationError):
+            Simulator(topo, system, NoBalancer(), node_speeds=np.ones(5))
+        with pytest.raises(ConfigurationError):
+            Simulator(topo, system, NoBalancer(), node_speeds=np.zeros(16))
+
+    def test_metrics_on_effective_loads(self):
+        """h_i = s_i exactly is the balanced state (CoV 0)."""
+        topo = mesh(4, 4)
+        speeds = np.ones(16)
+        speeds[:8] = 2.0
+        system = TaskSystem(topo)
+        for node in range(16):
+            system.add_task(float(speeds[node]), node)
+        from repro.baselines import NoBalancer
+
+        sim = Simulator(topo, system, NoBalancer(), node_speeds=speeds)
+        res = sim.run(max_rounds=2)
+        assert res.initial_summary["cov"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSpeedAwarePPLB:
+    def _run(self, speed_aware, seed=0):
+        topo, speeds = two_speed_mesh()
+        system = TaskSystem(topo)
+        single_hotspot(system, 512, rng=0)
+        cfg = PPLBConfig(beta0=0.0, speed_aware=speed_aware)
+        sim = Simulator(
+            topo, system, ParticlePlaneBalancer(cfg), node_speeds=speeds, seed=seed
+        )
+        res = sim.run(max_rounds=500)
+        return topo, speeds, system, res
+
+    def test_speed_aware_converges_to_capacity_proportional(self):
+        topo, speeds, system, res = self._run(speed_aware=True)
+        assert res.converged
+        # Weighted CoV small: h_i proportional to s_i.
+        assert res.final_cov < 0.3
+        # Fast half holds roughly twice the slow half's load.
+        h = system.node_loads
+        fast = h[speeds == 2.0].sum()
+        slow = h[speeds == 1.0].sum()
+        assert fast / slow == pytest.approx(2.0, rel=0.25)
+
+    def test_oblivious_pplb_misbalances_weighted_metric(self):
+        _topo, speeds, system, res = self._run(speed_aware=False)
+        # It equalises raw loads, so the weighted metric stays bad.
+        h = system.node_loads
+        raw_cov = h.std() / h.mean()
+        assert raw_cov < 0.3  # balanced in raw terms...
+        assert res.final_cov > 0.25  # ...but not in capacity terms
+
+    def test_aware_beats_oblivious_on_weighted_cov(self):
+        _t1, _s1, _sys1, res_aware = self._run(speed_aware=True)
+        _t2, _s2, _sys2, res_obliv = self._run(speed_aware=False)
+        assert res_aware.final_cov < res_obliv.final_cov
+
+    def test_homogeneous_speeds_are_identity(self):
+        """speeds = ones must reproduce the speed-less run exactly."""
+        topo = mesh(6, 6)
+
+        def run(speeds):
+            system = TaskSystem(topo)
+            single_hotspot(system, 144, rng=0)
+            sim = Simulator(
+                topo,
+                system,
+                ParticlePlaneBalancer(PPLBConfig(beta0=0.0)),
+                node_speeds=speeds,
+                seed=0,
+            )
+            sim.run(max_rounds=200)
+            return system.node_loads.copy()
+
+        np.testing.assert_allclose(run(None), run(np.ones(36)))

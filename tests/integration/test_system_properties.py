@@ -1,0 +1,115 @@
+"""Property-based (hypothesis) system tests: invariants over random runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ContractingWithinNeighborhood,
+    GradientModel,
+    RandomWorkStealing,
+    TaskDiffusion,
+)
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.network import mesh, ring, torus
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import multi_hotspot, single_hotspot, uniform_random
+
+_SETTINGS = dict(max_examples=15, deadline=None)
+
+BALANCERS = {
+    0: lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.25)),
+    1: lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.0)),
+    2: TaskDiffusion,
+    3: GradientModel,
+    4: ContractingWithinNeighborhood,
+    5: RandomWorkStealing,
+}
+
+TOPOLOGIES = {
+    0: lambda: mesh(5, 5),
+    1: lambda: torus(5, 5),
+    2: lambda: ring(12),
+}
+
+DISTRIBUTIONS = {
+    0: single_hotspot,
+    1: uniform_random,
+    2: multi_hotspot,
+}
+
+
+@settings(**_SETTINGS)
+@given(
+    bal_key=st.integers(0, 5),
+    topo_key=st.integers(0, 2),
+    dist_key=st.integers(0, 2),
+    n_tasks=st.integers(20, 150),
+    seed=st.integers(0, 10_000),
+)
+def test_load_conserved_and_no_negative_loads(bal_key, topo_key, dist_key, n_tasks, seed):
+    """Invariant: balancers relocate load, never create or destroy it."""
+    topo = TOPOLOGIES[topo_key]()
+    system = TaskSystem(topo)
+    DISTRIBUTIONS[dist_key](system, n_tasks, rng=seed)
+    total0 = system.total_load
+    n0 = system.n_tasks
+    sim = Simulator(topo, system, BALANCERS[bal_key](), seed=seed)
+    res = sim.run(max_rounds=60)
+    assert system.total_load == pytest.approx(total0)
+    assert system.n_tasks == n0
+    assert (system.node_loads >= -1e-9).all()
+    # recorded totals are self-consistent
+    assert res.total_migrations == sum(r.n_migrations for r in res.records)
+
+
+@settings(**_SETTINGS)
+@given(
+    bal_key=st.integers(0, 5),
+    n_tasks=st.integers(30, 120),
+    seed=st.integers(0, 10_000),
+)
+def test_never_worse_than_double_initial_imbalance(bal_key, n_tasks, seed):
+    """Balancers may dither but must not blow the imbalance up."""
+    topo = mesh(5, 5)
+    system = TaskSystem(topo)
+    uniform_random(system, n_tasks, rng=seed)
+    sim = Simulator(topo, system, BALANCERS[bal_key](), seed=seed)
+    res = sim.run(max_rounds=80)
+    # Tolerance: discrete task moves can transiently bump CoV on nearly
+    # balanced systems; 2x initial + one-task slack is a real safety net.
+    mean = res.initial_summary["mean"]
+    slack = 2.0 / max(mean, 1e-9)
+    assert res.final_cov <= 2.0 * res.initial_summary["cov"] + slack
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000), n_tasks=st.integers(50, 200))
+def test_pplb_beats_noop_on_hotspots(seed, n_tasks):
+    topo = mesh(5, 5)
+    system = TaskSystem(topo)
+    single_hotspot(system, n_tasks, rng=seed)
+    sim = Simulator(
+        topo, system, ParticlePlaneBalancer(PPLBConfig(beta0=0.25)), seed=seed
+    )
+    res = sim.run(max_rounds=120)
+    assert res.final_cov < res.initial_summary["cov"] / 2
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000))
+def test_flat_system_stays_flat(seed):
+    """Control: a balanced system generates no traffic (µs > 0)."""
+    from repro.workloads import balanced
+
+    topo = mesh(5, 5)
+    system = TaskSystem(topo)
+    balanced(system, tasks_per_node=3, rng=seed)
+    sim = Simulator(
+        topo, system, ParticlePlaneBalancer(PPLBConfig(beta0=0.25)), seed=seed
+    )
+    res = sim.run(max_rounds=30)
+    assert res.total_migrations == 0
+    assert res.final_cov == pytest.approx(0.0, abs=1e-12)

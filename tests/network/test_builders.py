@@ -1,0 +1,135 @@
+"""Unit tests for repro.network.builders (degree/diameter facts per family)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import (
+    complete,
+    hypercube,
+    mesh,
+    random_connected,
+    ring,
+    star,
+    torus,
+    tree,
+)
+
+
+class TestMesh:
+    def test_counts(self):
+        t = mesh(3, 5)
+        assert t.n_nodes == 15
+        assert t.n_edges == 3 * 4 + 5 * 2  # horizontal + vertical
+
+    def test_square_default(self):
+        assert mesh(4).n_nodes == 16
+
+    def test_diameter(self):
+        assert mesh(4, 4).diameter == 6
+        assert mesh(2, 7).diameter == 7
+
+    def test_degree_range(self):
+        t = mesh(5, 5)
+        assert t.degree.min() == 2
+        assert t.degree.max() == 4
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            mesh(0, 3)
+
+    def test_coords_grid(self):
+        t = mesh(3, 3)
+        np.testing.assert_allclose(t.coords[0], [0, 0])
+        np.testing.assert_allclose(t.coords[8], [1, 1])
+
+
+class TestTorus:
+    def test_regular_degree_4(self):
+        t = torus(4, 4)
+        assert (t.degree == 4).all()
+        assert t.n_edges == 2 * 16
+
+    def test_diameter_halves_mesh(self):
+        assert torus(8, 8).diameter == 8  # 4+4 wraps
+        assert mesh(8, 8).diameter == 14
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            torus(2, 4)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 6])
+    def test_structure(self, d):
+        t = hypercube(d)
+        assert t.n_nodes == 2**d
+        assert (t.degree == d).all()
+        assert t.n_edges == d * 2 ** (d - 1)
+        assert t.diameter == d
+
+    def test_adjacency_is_single_bit_flips(self):
+        t = hypercube(3)
+        for u, v in t.edges:
+            x = int(u) ^ int(v)
+            assert x & (x - 1) == 0 and x != 0
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+
+class TestOthers:
+    def test_ring(self):
+        t = ring(6)
+        assert (t.degree == 2).all()
+        assert t.diameter == 3
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star(self):
+        t = star(6)
+        assert t.degree[0] == 5
+        assert (t.degree[1:] == 1).all()
+        assert t.diameter == 2
+
+    def test_complete(self):
+        t = complete(5)
+        assert (t.degree == 4).all()
+        assert t.diameter == 1
+
+    def test_tree(self):
+        t = tree(2, 3)
+        assert t.n_nodes == 15
+        assert t.degree[0] == 2
+        assert t.n_edges == 14
+
+    def test_tree_invalid(self):
+        with pytest.raises(TopologyError):
+            tree(0, 2)
+
+
+class TestRandomConnected:
+    def test_connected_and_deterministic(self):
+        a = random_connected(40, avg_degree=3.0, seed=5)
+        b = random_connected(40, avg_degree=3.0, seed=5)
+        assert a.n_nodes == 40
+        assert a == b  # same seed, same graph
+
+    def test_different_seeds_differ(self):
+        a = random_connected(40, avg_degree=3.0, seed=5)
+        b = random_connected(40, avg_degree=3.0, seed=6)
+        assert a != b
+
+    def test_degree_near_target(self):
+        t = random_connected(200, avg_degree=6.0, seed=1)
+        assert 4.0 < t.degree.mean() < 8.0
+
+    def test_too_small(self):
+        with pytest.raises(TopologyError):
+            random_connected(1)
+
+    def test_coords_normalized(self):
+        t = random_connected(20, seed=2)
+        assert t.coords.min() >= -1e-9
+        assert t.coords.max() <= 1.0 + 1e-9

@@ -1,0 +1,83 @@
+"""Unit tests for the k-ary n-cube builder."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import hypercube, kary_ncube, ring, torus
+
+
+class TestStructure:
+    def test_counts_and_regularity(self):
+        t = kary_ncube(3, 3)
+        assert t.n_nodes == 27
+        assert (t.degree == 6).all()  # 2 links per dimension (k >= 3)
+        assert t.n_edges == 27 * 3
+
+    def test_k1d_is_ring(self):
+        t = kary_ncube(5, 1)
+        r = ring(5)
+        assert t.n_nodes == r.n_nodes
+        assert t.n_edges == r.n_edges
+        assert (t.degree == 2).all()
+
+    def test_k2d_is_torus(self):
+        t = kary_ncube(4, 2)
+        tor = torus(4, 4)
+        assert t.n_nodes == tor.n_nodes
+        assert t.n_edges == tor.n_edges
+        assert t.diameter == tor.diameter
+
+    def test_k2_is_hypercube(self):
+        t = kary_ncube(2, 5)
+        h = hypercube(5)
+        assert t == h
+
+    def test_diameter_formula(self):
+        # diameter of a k-ary n-cube is n * floor(k/2)
+        for k, n in ((3, 2), (4, 2), (5, 2), (3, 3)):
+            t = kary_ncube(k, n)
+            assert t.diameter == n * (k // 2)
+
+    def test_neighbors_differ_in_one_digit(self):
+        k, n = 4, 3
+        t = kary_ncube(k, n)
+
+        def digits(u):
+            out = []
+            for _ in range(n):
+                out.append(u % k)
+                u //= k
+            return out
+
+        for u, v in t.edges:
+            du, dv = digits(int(u)), digits(int(v))
+            diffs = [
+                (a, b) for a, b in zip(du, dv) if a != b
+            ]
+            assert len(diffs) == 1
+            a, b = diffs[0]
+            assert (a - b) % k in (1, k - 1)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            kary_ncube(1, 2)
+        with pytest.raises(TopologyError):
+            kary_ncube(3, 0)
+
+    def test_usable_in_simulation(self):
+        from repro.core import ParticlePlaneBalancer, PPLBConfig
+        from repro.sim import Simulator
+        from repro.tasks import TaskSystem
+        from repro.workloads import single_hotspot
+
+        topo = kary_ncube(3, 3)
+        system = TaskSystem(topo)
+        single_hotspot(system, 216, rng=0)
+        sim = Simulator(
+            topo,
+            system,
+            ParticlePlaneBalancer(PPLBConfig(candidates_per_node=8)),
+            seed=0,
+        )
+        res = sim.run(max_rounds=300)
+        assert res.final_cov < 0.5

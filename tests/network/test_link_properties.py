@@ -1,0 +1,68 @@
+"""Property-based tests for link costs and topology invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import LinkAttributes, link_costs, mesh, random_connected
+from repro.network.topology import Topology
+
+_SETTINGS = dict(max_examples=50, deadline=None)
+
+
+@settings(**_SETTINGS)
+@given(
+    bw=st.floats(0.1, 10.0),
+    d=st.floats(0.1, 10.0),
+    f=st.floats(0.0, 0.9),
+    c1=st.floats(0.0, 4.0),
+)
+def test_link_cost_formula_and_monotonicity(bw, d, f, c1):
+    topo = mesh(3, 3)
+    attrs = LinkAttributes.uniform(topo, bandwidth=bw, distance=d, fault_prob=f)
+    e = link_costs(attrs, c1=c1)
+    expected = d / (bw * (1.0 - f) ** (c1 * d / bw))
+    assert e[0] == pytest.approx(expected, rel=1e-12)
+    assert (e > 0).all()
+    # monotone directions of the paper's three proportionalities
+    e_slower = link_costs(LinkAttributes.uniform(topo, bandwidth=bw / 2, distance=d,
+                                                 fault_prob=f), c1=c1)
+    e_longer = link_costs(LinkAttributes.uniform(topo, bandwidth=bw, distance=2 * d,
+                                                 fault_prob=f), c1=c1)
+    assert e_slower[0] > e[0] - 1e-12
+    assert e_longer[0] > e[0] - 1e-12
+    if c1 > 0 and f < 0.89:
+        e_flakier = link_costs(
+            LinkAttributes.uniform(topo, bandwidth=bw, distance=d,
+                                   fault_prob=min(f + 0.05, 0.95)),
+            c1=c1,
+        )
+        assert e_flakier[0] >= e[0] - 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(5, 40), deg=st.floats(2.0, 6.0), seed=st.integers(0, 10_000))
+def test_random_topology_invariants(n, deg, seed):
+    topo = random_connected(n, avg_degree=deg, seed=seed)
+    assert topo.n_nodes == n
+    # connected: every hop distance finite and symmetric
+    hd = topo.hop_distances
+    assert (hd >= 0).all()
+    assert (hd == hd.T).all()
+    assert (np.diag(hd) == 0).all()
+    assert hd.max() < n  # diameter < n for a connected graph
+    # degree sum = 2|E|
+    assert topo.degree.sum() == 2 * topo.n_edges
+    # edge ids are a bijection onto [0, m)
+    ids = {topo.edge_id(int(u), int(v)) for u, v in topo.edges}
+    assert ids == set(range(topo.n_edges))
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.integers(2, 8), cols=st.integers(2, 8))
+def test_mesh_structural_formulas(rows, cols):
+    topo = mesh(rows, cols)
+    assert topo.n_nodes == rows * cols
+    assert topo.n_edges == rows * (cols - 1) + cols * (rows - 1)
+    assert topo.diameter == (rows - 1) + (cols - 1)

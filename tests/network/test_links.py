@@ -1,0 +1,96 @@
+"""Unit tests for repro.network.links (BW/D/F matrices and e_ij)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network import LinkAttributes, link_costs, mesh
+
+
+class TestLinkAttributes:
+    def test_uniform(self, mesh4):
+        attrs = LinkAttributes.uniform(mesh4, bandwidth=2.0, distance=3.0, fault_prob=0.1)
+        assert (attrs.bandwidth == 2.0).all()
+        assert (attrs.distance == 3.0).all()
+        assert (attrs.fault_prob == 0.1).all()
+        assert attrs.bandwidth.shape == (mesh4.n_edges,)
+
+    def test_shape_validation(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            LinkAttributes(
+                topology=mesh4,
+                bandwidth=np.ones(3),
+                distance=np.ones(mesh4.n_edges),
+                fault_prob=np.zeros(mesh4.n_edges),
+            )
+
+    def test_value_validation(self, mesh4):
+        m = mesh4.n_edges
+        with pytest.raises(ConfigurationError):
+            LinkAttributes(mesh4, np.zeros(m), np.ones(m), np.zeros(m))  # bw=0
+        with pytest.raises(ConfigurationError):
+            LinkAttributes(mesh4, np.ones(m), -np.ones(m), np.zeros(m))  # d<0
+        with pytest.raises(ConfigurationError):
+            LinkAttributes(mesh4, np.ones(m), np.ones(m), np.ones(m))  # f=1
+
+    def test_heterogeneous_ranges_and_determinism(self, mesh4):
+        a = LinkAttributes.heterogeneous(mesh4, seed=3, fault_range=(0.0, 0.2))
+        b = LinkAttributes.heterogeneous(mesh4, seed=3, fault_range=(0.0, 0.2))
+        np.testing.assert_allclose(a.bandwidth, b.bandwidth)
+        assert (a.bandwidth >= 0.5).all() and (a.bandwidth <= 2.0).all()
+        assert (a.fault_prob < 0.2 + 1e-12).all()
+
+    def test_heterogeneous_bad_range(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            LinkAttributes.heterogeneous(mesh4, bandwidth_range=(2.0, 1.0))
+
+    def test_euclidean_distances(self):
+        topo = mesh(3, 3)
+        attrs = LinkAttributes.euclidean(topo)
+        # grid spacing is 0.5 on the unit square for a 3x3 mesh
+        np.testing.assert_allclose(attrs.distance, 0.5)
+
+    def test_matrices_symmetric_and_sparse(self, mesh4, uniform_links):
+        bw = uniform_links.bw_matrix()
+        assert bw.shape == (16, 16)
+        assert (bw == bw.T).all()
+        assert bw[0, 1] == 1.0
+        assert bw[0, 5] == 0.0  # not an edge
+
+
+class TestLinkCosts:
+    def test_uniform_unit_cost(self, uniform_links):
+        e = link_costs(uniform_links)
+        np.testing.assert_allclose(e, 1.0)
+
+    def test_scales_with_distance(self, mesh4):
+        attrs = LinkAttributes.uniform(mesh4, distance=2.0)
+        np.testing.assert_allclose(link_costs(attrs), 2.0)
+
+    def test_inverse_bandwidth(self, mesh4):
+        attrs = LinkAttributes.uniform(mesh4, bandwidth=4.0)
+        np.testing.assert_allclose(link_costs(attrs), 0.25)
+
+    def test_fault_prob_raises_cost(self, mesh4):
+        clean = LinkAttributes.uniform(mesh4, fault_prob=0.0)
+        faulty = LinkAttributes.uniform(mesh4, fault_prob=0.3)
+        assert (link_costs(faulty) > link_costs(clean)).all()
+
+    def test_paper_formula(self, mesh4):
+        # e = d / (bw * (1-f)^(c1*d/bw))
+        attrs = LinkAttributes.uniform(mesh4, bandwidth=2.0, distance=3.0, fault_prob=0.1)
+        expected = 3.0 / (2.0 * (0.9) ** (1.5 * 1.0))
+        np.testing.assert_allclose(link_costs(attrs, c1=1.0), expected)
+
+    def test_e0_scaling(self, uniform_links):
+        np.testing.assert_allclose(link_costs(uniform_links, e0=2.5), 2.5)
+
+    def test_c1_zero_ignores_faults(self, mesh4):
+        attrs = LinkAttributes.uniform(mesh4, fault_prob=0.5)
+        np.testing.assert_allclose(link_costs(attrs, c1=0.0), 1.0)
+
+    def test_validation(self, uniform_links):
+        with pytest.raises(ConfigurationError):
+            link_costs(uniform_links, c1=-1.0)
+        with pytest.raises(ConfigurationError):
+            link_costs(uniform_links, e0=0.0)

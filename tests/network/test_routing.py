@@ -1,0 +1,49 @@
+"""Unit tests for repro.network.routing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network import hypercube, mesh, ring
+from repro.network.routing import hop_distances, path_hops
+
+
+class TestHopDistances:
+    def test_mesh_manhattan(self):
+        t = mesh(4, 4)
+        hd = hop_distances(t)
+        # Mesh hop distance is the Manhattan distance between grid coords.
+        for u in range(16):
+            for v in range(16):
+                ur, uc = divmod(u, 4)
+                vr, vc = divmod(v, 4)
+                assert hd[u, v] == abs(ur - vr) + abs(uc - vc)
+
+    def test_ring_wraps(self):
+        hd = hop_distances(ring(6))
+        assert hd[0, 3] == 3
+        assert hd[0, 5] == 1
+
+    def test_hypercube_hamming(self):
+        t = hypercube(4)
+        hd = hop_distances(t)
+        for u in range(16):
+            for v in range(16):
+                assert hd[u, v] == bin(u ^ v).count("1")
+
+    def test_symmetric_zero_diagonal(self, mesh4):
+        hd = hop_distances(mesh4)
+        assert (hd == hd.T).all()
+        assert (np.diag(hd) == 0).all()
+
+
+class TestPathHops:
+    def test_valid_route(self, mesh4):
+        assert path_hops(mesh4, [0, 1, 2, 6]) == 3
+
+    def test_rejects_non_edges(self, mesh4):
+        with pytest.raises(TopologyError):
+            path_hops(mesh4, [0, 5])
+
+    def test_empty_route(self, mesh4):
+        assert path_hops(mesh4, [3]) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for repro.physics.contours (paper Definitions 1-3, Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.physics import (
+    HeightField,
+    contour_at,
+    escape_bound_holds,
+    escape_radius,
+    max_escape_radius_bound,
+    peak_height,
+)
+from repro.physics.contours import lowest_saddle, rim_mask
+
+
+def two_valley_field():
+    """Two valleys separated by a ridge of height ~0.5 at x=0.5."""
+    def f(X, Y):
+        return 0.5 * np.exp(-((X - 0.5) ** 2) / (2 * 0.08**2))
+
+    return HeightField.from_function(f, shape=(129, 129))
+
+
+class TestContourExtraction:
+    def test_contour_contains_seed(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        assert c.contains_point((0.1, 0.5))
+
+    def test_contour_stops_at_ridge(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        # The right valley is across the >0.25 ridge: not in this contour.
+        assert not c.contains_point((0.9, 0.5))
+
+    def test_level_above_ridge_merges_valleys(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.6)
+        assert c.contains_point((0.9, 0.5))
+
+    def test_seed_above_level_rejected(self):
+        field = two_valley_field()
+        with pytest.raises(ConfigurationError):
+            contour_at(field, (0.5, 0.5), level=0.25)  # ridge top is ~0.5
+
+    def test_floor_and_interior_peak(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        assert c.floor() == pytest.approx(0.0, abs=1e-6)
+        assert c.interior_peak() < 0.25
+
+    def test_whole_domain_contour(self):
+        field = HeightField(np.zeros((17, 17)))
+        c = contour_at(field, (0.5, 0.5), level=1.0)
+        assert c.is_whole_domain
+        assert escape_radius(c, (0.5, 0.5)) == np.inf
+
+
+class TestRimAndPeak:
+    def test_rim_is_outside_and_adjacent(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        rim = rim_mask(c)
+        assert not (rim & c.mask).any()
+        assert rim.any()
+
+    def test_peak_at_least_level(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        # Rim cells are >= the level by flood-fill construction.
+        assert peak_height(c) >= 0.25
+        assert lowest_saddle(c) >= 0.25
+        assert lowest_saddle(c) <= peak_height(c)
+
+
+class TestEscapeRadius:
+    def test_radius_grows_with_depth_of_position(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        r_center = escape_radius(c, (0.1, 0.5))
+        r_near_edge = escape_radius(c, (0.4, 0.5))
+        assert r_center >= 0
+        assert r_near_edge <= r_center + 1e-9
+
+    def test_radius_zero_outside(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        # A point already outside the contour has ~0 escape distance.
+        assert escape_radius(c, (0.9, 0.5)) <= field.dx * 1.5
+
+
+class TestTheorem1:
+    def test_bound_holds_with_ample_energy(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        # h* far above the peak, tiny friction: escape is affordable.
+        assert escape_bound_holds(c, (0.1, 0.5), potential_height=10.0, mu_k=0.01)
+
+    def test_bound_fails_when_peak_too_high(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        assert not escape_bound_holds(c, (0.1, 0.5), potential_height=0.1, mu_k=0.01)
+
+    def test_bound_fails_with_extreme_friction(self):
+        field = two_valley_field()
+        c = contour_at(field, (0.1, 0.5), level=0.25)
+        assert not escape_bound_holds(c, (0.1, 0.5), potential_height=0.6, mu_k=100.0)
+
+    def test_corollary3_bound(self):
+        assert max_escape_radius_bound(2.0, 0.5) == pytest.approx(4.0)
+        assert max_escape_radius_bound(2.0, 0.0) == np.inf
+        with pytest.raises(ConfigurationError):
+            max_escape_radius_bound(1.0, -0.1)

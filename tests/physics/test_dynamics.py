@@ -1,0 +1,137 @@
+"""Unit tests for repro.physics.dynamics (paper §3.1-3.2 behaviours)."""
+
+import numpy as np
+import pytest
+
+from repro.physics import HeightField, ParticleSimulator, ParticleState, PhysicsParams
+
+
+def bowl_sim(mu_s=0.05, mu_k=0.05, dt=1e-3, depth=1.0):
+    field = HeightField.bowl(depth=depth, shape=(129, 129))
+    return ParticleSimulator(field, PhysicsParams(mu_s=mu_s, mu_k=mu_k, dt=dt))
+
+
+class TestBasicMotion:
+    def test_particle_slides_into_bowl_and_settles(self):
+        sim = bowl_sim()
+        res = sim.release((0.1, 0.1))
+        assert res.settled
+        # Ends near the bowl centre (friction eventually pins it there).
+        assert np.linalg.norm(res.end - np.array([0.5, 0.5])) < 0.15
+
+    def test_static_friction_holds_on_shallow_slope(self):
+        # Slope magnitude of the bowl near the centre is ~0; a particle
+        # placed just off-centre must not move when mu_s is large.
+        sim = bowl_sim(mu_s=10.0)
+        res = sim.release((0.45, 0.5))
+        assert res.settled
+        assert res.steps <= 2
+        assert np.linalg.norm(res.end - res.start) < 1e-9
+
+    def test_motion_iff_slope_exceeds_mu_s(self):
+        # Inclined plane z = 0.3x: slope 0.3 everywhere.
+        field = HeightField.from_function(lambda X, Y: 0.3 * X, shape=(65, 65))
+        stay = ParticleSimulator(field, PhysicsParams(mu_s=0.4, mu_k=0.3)).release((0.8, 0.5))
+        move = ParticleSimulator(field, PhysicsParams(mu_s=0.2, mu_k=0.1)).release((0.8, 0.5))
+        assert np.linalg.norm(stay.end - stay.start) < 1e-9
+        assert np.linalg.norm(move.end - move.start) > 0.05
+        # Paper inequality (1): the moving particle heads downhill (-x).
+        assert move.end[0] < move.start[0]
+
+    def test_flat_surface_never_moves(self):
+        field = HeightField(np.zeros((33, 33)))
+        res = ParticleSimulator(field, PhysicsParams()).release((0.3, 0.7))
+        assert res.settled
+        assert res.path_length == 0.0
+
+
+class TestEnergyInvariants:
+    def test_energy_never_increases(self):
+        sim = bowl_sim(mu_s=0.02, mu_k=0.08)
+        res = sim.release((0.05, 0.5))
+        # Mechanical energy at end <= initial (heat is non-negative).
+        assert res.ledger.heat >= 0.0
+        assert res.ledger.total_mechanical() <= res.ledger.initial_total + 1e-9
+
+    def test_max_height_bounded_by_initial(self):
+        sim = bowl_sim()
+        res = sim.release((0.1, 0.5))
+        h0 = sim.field.height((0.1, 0.5))
+        # dt-scale tolerance: symplectic Euler overshoot is bounded.
+        assert res.max_height_reached <= h0 + 5e-3
+
+    def test_frictionless_energy_approximately_conserved(self):
+        sim = ParticleSimulator(
+            HeightField.bowl(depth=0.5, shape=(129, 129)),
+            PhysicsParams(mu_s=0.0, mu_k=0.0, dt=2e-4),
+        )
+        res = sim.run(ParticleState(position=np.array([0.2, 0.5])), max_steps=20000)
+        hf = sim.field
+        h_end = hf.height(res.final_state.position)
+        total = 0.5 * res.final_state.speed**2 + sim.params.g * h_end
+        initial = sim.params.g * hf.height((0.2, 0.5))
+        assert total == pytest.approx(initial, rel=0.05)
+
+    def test_heat_equals_mu_k_times_path(self):
+        sim = bowl_sim(mu_k=0.07)
+        res = sim.release((0.15, 0.5))
+        expected = 0.07 * 1.0 * sim.params.g * res.path_length
+        assert res.ledger.heat == pytest.approx(expected, rel=1e-9)
+
+
+class TestCorollaries:
+    def test_corollary3_path_bounded_by_h0_over_muk(self):
+        # Total friction loss <= initial energy: path <= h0/mu_k (floor 0),
+        # up to the integrator's documented O(dt) tolerance (1%).
+        sim = bowl_sim(mu_s=0.01, mu_k=0.05)
+        start = (0.1, 0.5)
+        res = sim.release(start)
+        h0 = sim.field.height(start)
+        assert res.path_length <= 1.01 * h0 / 0.05 + 1e-6
+
+    def test_higher_muk_shorter_path(self):
+        paths = []
+        for mu_k in (0.02, 0.1, 0.4):
+            sim = bowl_sim(mu_s=0.01, mu_k=mu_k)
+            paths.append(sim.release((0.1, 0.5)).path_length)
+        assert paths[0] > paths[1] > paths[2]
+
+    def test_corollary2_friction_always_settles(self):
+        rng = np.random.default_rng(3)
+        field = HeightField.random_terrain(rng, roughness=0.5, shape=(65, 65))
+        sim = ParticleSimulator(field, PhysicsParams(mu_s=0.05, mu_k=0.1))
+        res = sim.release((0.1, 0.1))
+        assert res.settled
+
+
+class TestMechanics:
+    def test_walls_reflect(self):
+        # Steep ramp pushing the particle into the x=0 wall.
+        field = HeightField.from_function(lambda X, Y: 2.0 * X, shape=(65, 65))
+        sim = ParticleSimulator(field, PhysicsParams(mu_s=0.0, mu_k=0.3))
+        res = sim.release((0.5, 0.5))
+        assert (res.positions[:, 0] >= -1e-12).all()
+        assert (res.positions[:, 0] <= 1.0 + 1e-12).all()
+
+    def test_trajectory_recording_stride(self):
+        sim = bowl_sim()
+        sim.record_every = 50
+        res = sim.release((0.1, 0.1))
+        assert res.positions.shape[0] < res.steps
+        np.testing.assert_allclose(res.positions[0], [0.1, 0.1])
+
+    def test_input_state_not_mutated(self):
+        sim = bowl_sim()
+        st = ParticleState(position=np.array([0.1, 0.1]))
+        sim.run(st, max_steps=100)
+        np.testing.assert_allclose(st.position, [0.1, 0.1])
+        assert st.speed == 0.0
+
+    def test_max_steps_cap(self):
+        sim = ParticleSimulator(
+            HeightField.bowl(depth=1.0),
+            PhysicsParams(mu_s=0.0, mu_k=0.0, max_steps=5000),
+        )
+        res = sim.release((0.1, 0.1))  # frictionless: oscillates forever
+        assert not res.settled
+        assert res.steps == 5000

@@ -1,0 +1,81 @@
+"""Unit tests for repro.physics.energy (the paper's §3.3 ledger)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.physics import EnergyLedger
+
+
+class TestLedgerBasics:
+    def test_initial_total_at_rest(self):
+        led = EnergyLedger(mass=2.0, g=10.0, initial_height=3.0)
+        assert led.initial_total == pytest.approx(60.0)
+        assert led.potential_height() == pytest.approx(3.0)
+
+    def test_initial_total_with_speed(self):
+        led = EnergyLedger(mass=2.0, g=10.0, initial_height=0.0, initial_speed=4.0)
+        assert led.initial_total == pytest.approx(16.0)
+        assert led.potential_height() == pytest.approx(0.8)
+
+    def test_rejects_bad_mass_or_g(self):
+        with pytest.raises(ConfigurationError):
+            EnergyLedger(mass=0.0, g=9.81, initial_height=1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyLedger(mass=1.0, g=0.0, initial_height=1.0)
+
+
+class TestHeat:
+    def test_heat_lowers_potential_height(self):
+        led = EnergyLedger(mass=1.0, g=10.0, initial_height=5.0)
+        led.add_heat(10.0)
+        assert led.potential_height() == pytest.approx(4.0)
+
+    def test_friction_path_identity(self):
+        # E_h = mu_k * m * g * d_horizontal  (paper §3.3)
+        led = EnergyLedger(mass=2.0, g=10.0, initial_height=5.0)
+        led.add_friction_path(mu_k=0.1, horizontal_distance=3.0)
+        assert led.heat == pytest.approx(0.1 * 2.0 * 10.0 * 3.0)
+        assert led.potential_height() == pytest.approx(5.0 - 0.1 * 3.0)
+
+    def test_negative_heat_rejected(self):
+        led = EnergyLedger(mass=1.0, g=1.0, initial_height=1.0)
+        with pytest.raises(ConfigurationError):
+            led.add_heat(-0.5)
+
+    def test_negative_distance_treated_as_zero(self):
+        led = EnergyLedger(mass=1.0, g=1.0, initial_height=1.0)
+        led.add_friction_path(0.5, -2.0)
+        assert led.heat == 0.0
+
+    def test_heat_accumulates(self):
+        led = EnergyLedger(mass=1.0, g=1.0, initial_height=10.0)
+        for _ in range(5):
+            led.add_heat(1.0)
+        assert led.heat == pytest.approx(5.0)
+        assert led.total_mechanical() == pytest.approx(5.0)
+
+
+class TestDerived:
+    def test_speed_at_height_conservation(self):
+        # Dropping from h=5 to h=0 frictionless: v = sqrt(2 g h)
+        led = EnergyLedger(mass=1.0, g=10.0, initial_height=5.0)
+        assert led.speed_at(0.0) == pytest.approx((2 * 10.0 * 5.0) ** 0.5)
+        assert led.speed_at(5.0) == pytest.approx(0.0)
+
+    def test_speed_at_unreachable_height_is_zero(self):
+        led = EnergyLedger(mass=1.0, g=10.0, initial_height=5.0)
+        assert led.speed_at(6.0) == 0.0
+
+    def test_can_reach(self):
+        led = EnergyLedger(mass=1.0, g=1.0, initial_height=2.0)
+        assert led.can_reach(2.0)
+        assert led.can_reach(1.0)
+        assert not led.can_reach(2.5)
+        led.add_heat(1.0)  # h* = 1.0 now
+        assert not led.can_reach(1.5)
+        assert led.can_reach(1.0)
+
+    def test_kinetic_at(self):
+        led = EnergyLedger(mass=2.0, g=10.0, initial_height=3.0)
+        assert led.kinetic_at(0.0) == pytest.approx(60.0)
+        assert led.kinetic_at(3.0) == pytest.approx(0.0)

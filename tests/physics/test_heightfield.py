@@ -1,0 +1,138 @@
+"""Unit tests for repro.physics.heightfield."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.physics import HeightField
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        f = HeightField(np.zeros((5, 7)), extent=(2.0, 3.0))
+        assert f.nx == 5 and f.ny == 7
+        assert f.extent == (2.0, 3.0)
+        assert f.dx == pytest.approx(0.5)
+        assert f.dy == pytest.approx(0.5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            HeightField(np.zeros(5))
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigurationError):
+            HeightField(np.zeros((1, 5)))
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ConfigurationError):
+            HeightField(np.zeros((4, 4)), extent=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            HeightField(np.zeros((4, 4)), extent=(1.0, -2.0))
+
+
+class TestHeightQueries:
+    def test_height_at_grid_nodes_is_exact(self):
+        z = np.arange(16, dtype=float).reshape(4, 4)
+        f = HeightField(z, extent=(3.0, 3.0))
+        for i in range(4):
+            for j in range(4):
+                assert f.height((i * 1.0, j * 1.0)) == pytest.approx(z[i, j])
+
+    def test_bilinear_midpoint(self):
+        z = np.array([[0.0, 0.0], [1.0, 1.0]])
+        f = HeightField(z, extent=(1.0, 1.0))
+        assert f.height((0.5, 0.5)) == pytest.approx(0.5)
+
+    def test_clamps_outside_domain(self):
+        z = np.array([[0.0, 1.0], [2.0, 3.0]])
+        f = HeightField(z, extent=(1.0, 1.0))
+        assert f.height((-5.0, -5.0)) == pytest.approx(0.0)
+        assert f.height((5.0, 5.0)) == pytest.approx(3.0)
+
+    def test_vectorized_heights(self):
+        f = HeightField.bowl(depth=1.0)
+        pts = np.array([[0.5, 0.5], [0.0, 0.0], [1.0, 1.0]])
+        h = f.height(pts)
+        assert h.shape == (3,)
+        assert h[0] == pytest.approx(0.0, abs=1e-6)
+        assert h[1] == pytest.approx(1.0, abs=1e-2)
+
+    def test_min_max(self):
+        f = HeightField.bowl(depth=2.0)
+        assert f.min_height() == pytest.approx(0.0, abs=1e-9)
+        assert f.max_height() == pytest.approx(2.0, abs=1e-2)
+
+
+class TestGradient:
+    def test_plane_gradient_exact(self):
+        # z = 2x + 3y sampled on a grid: bilinear reproduces the plane.
+        f = HeightField.from_function(lambda X, Y: 2 * X + 3 * Y, shape=(17, 17))
+        g = f.gradient((0.37, 0.61))
+        assert g[0] == pytest.approx(2.0, rel=1e-9)
+        assert g[1] == pytest.approx(3.0, rel=1e-9)
+
+    def test_bowl_gradient_points_outward(self):
+        f = HeightField.bowl(depth=1.0, shape=(129, 129))
+        g = f.gradient((0.9, 0.5))  # right of center: dz/dx > 0
+        assert g[0] > 0
+        # On a grid node the bilinear patch uses a forward difference:
+        # the cross-axis component is biased by O(grid spacing).
+        assert abs(g[1]) <= 2.5 / 128
+
+    def test_slope_magnitude(self):
+        f = HeightField.from_function(lambda X, Y: 1.0 * X, shape=(9, 9))
+        assert f.slope((0.5, 0.5)) == pytest.approx(1.0, rel=1e-9)
+
+    def test_gradient_zero_at_bowl_bottom(self):
+        f = HeightField.bowl(depth=1.0, shape=(129, 129))
+        g = f.gradient((0.5, 0.5))
+        # Bilinear forward-difference bias is O(grid spacing) at the node.
+        assert np.linalg.norm(g) <= 4.0 / 128
+
+    def test_scalar_paths_match_vectorized(self):
+        f = HeightField.bowl(depth=1.3, shape=(65, 65))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = rng.uniform(-0.1, 1.1, 2)  # includes out-of-domain clamps
+            assert f.height_scalar(p[0], p[1]) == pytest.approx(
+                float(f.height(p)), abs=1e-12
+            )
+            gs = f.gradient_scalar(p[0], p[1])
+            gv = f.gradient(p)
+            assert gs[0] == pytest.approx(float(gv[0]), abs=1e-12)
+            assert gs[1] == pytest.approx(float(gv[1]), abs=1e-12)
+
+
+class TestBuilders:
+    def test_hills_heights(self):
+        f = HeightField.hills(
+            centers=[(0.25, 0.25), (0.75, 0.75)],
+            heights=[1.0, -0.5],
+            widths=[0.1, 0.1],
+            shape=(65, 65),
+        )
+        assert f.height((0.25, 0.25)) == pytest.approx(1.0, abs=0.02)
+        assert f.height((0.75, 0.75)) == pytest.approx(-0.5, abs=0.02)
+
+    def test_hills_validates_lengths(self):
+        with pytest.raises(ConfigurationError):
+            HeightField.hills(centers=[(0, 0)], heights=[1, 2], widths=[0.1])
+
+    def test_hills_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            HeightField.hills(centers=[(0, 0)], heights=[1.0], widths=[0.0])
+
+    def test_random_terrain_nonnegative_and_deterministic(self):
+        r1 = HeightField.random_terrain(np.random.default_rng(7), shape=(33, 33))
+        r2 = HeightField.random_terrain(np.random.default_rng(7), shape=(33, 33))
+        assert r1.min_height() == pytest.approx(0.0)
+        np.testing.assert_allclose(r1.z, r2.z)
+
+    def test_random_terrain_rejects_no_bumps(self):
+        with pytest.raises(ConfigurationError):
+            HeightField.random_terrain(np.random.default_rng(0), n_bumps=0)
+
+    def test_contains(self):
+        f = HeightField.bowl()
+        assert f.contains((0.5, 0.5))
+        assert not f.contains((1.5, 0.5))

@@ -1,0 +1,123 @@
+"""Tests for the multi-particle (dynamic surface) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.physics import HeightField, PhysicsParams
+from repro.physics.multi import MultiParticleSimulator
+
+
+def swarm(n=16, mu_s=0.02, mu_k=0.3, dt=1e-3, **kw):
+    params = PhysicsParams(mu_s=mu_s, mu_k=mu_k, dt=dt, max_steps=60_000)
+    return MultiParticleSimulator(np.ones(n), params, **kw)
+
+
+def clustered_positions(n, rng, center=(0.5, 0.5), radius=0.05):
+    return np.asarray(center) + rng.uniform(-radius, radius, (n, 2))
+
+
+class TestValidation:
+    def test_masses(self):
+        with pytest.raises(ConfigurationError):
+            MultiParticleSimulator(np.array([]))
+        with pytest.raises(ConfigurationError):
+            MultiParticleSimulator(np.array([1.0, -1.0]))
+
+    def test_kernel(self):
+        with pytest.raises(ConfigurationError):
+            MultiParticleSimulator(np.ones(3), kernel_width=0.0)
+
+    def test_positions_shape(self):
+        sim = swarm(4)
+        with pytest.raises(ConfigurationError):
+            sim.run(np.zeros((3, 2)), max_steps=10)
+
+    def test_terrain_extent_must_match(self):
+        terr = HeightField.bowl(extent=(2.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            MultiParticleSimulator(np.ones(3), terrain=terr, extent=(1.0, 1.0))
+
+
+class TestDynamics:
+    def test_two_particles_repel(self):
+        sim = swarm(2)
+        start = np.array([[0.48, 0.5], [0.52, 0.5]])
+        res = sim.run(start, max_steps=20_000)
+        d0 = np.linalg.norm(start[0] - start[1])
+        d1 = np.linalg.norm(res.positions[0] - res.positions[1])
+        assert d1 > 2 * d0
+
+    def test_cluster_spreads_and_balances(self):
+        rng = np.random.default_rng(0)
+        sim = swarm(24)
+        start = clustered_positions(24, rng)
+        res = sim.run(start, max_steps=60_000)
+        assert sim.mean_pairwise_distance(res.positions) > 3 * sim.mean_pairwise_distance(start)
+        # Density imbalance falls — continuous load balancing.
+        assert sim.density_cov(res.positions, bins=4) < sim.density_cov(start, bins=4)
+
+    def test_friction_settles_swarm(self):
+        rng = np.random.default_rng(1)
+        sim = swarm(8, mu_k=0.5, mu_s=0.1)
+        res = sim.run(clustered_positions(8, rng), max_steps=60_000)
+        assert res.settled
+
+    def test_particles_stay_in_domain(self):
+        rng = np.random.default_rng(2)
+        sim = swarm(12)
+        res = sim.run(clustered_positions(12, rng, center=(0.1, 0.1)), max_steps=30_000)
+        for frame in res.trajectory:
+            assert (frame >= -1e-12).all()
+            assert (frame[:, 0] <= 1.0 + 1e-12).all()
+            assert (frame[:, 1] <= 1.0 + 1e-12).all()
+
+    def test_deterministic(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        sim = swarm(10)
+        r1 = sim.run(clustered_positions(10, rng1), max_steps=5000)
+        r2 = sim.run(clustered_positions(10, rng2), max_steps=5000)
+        np.testing.assert_allclose(r1.positions, r2.positions)
+
+    def test_static_terrain_attracts(self):
+        # A deep bowl at (0.25, 0.5) overcomes mild mutual repulsion:
+        # the swarm's centre of mass moves toward the bowl.
+        terr = HeightField.hills(
+            centers=[(0.25, 0.5)], heights=[-2.0], widths=[0.15], base=2.0,
+            shape=(65, 65),
+        )
+        sim = MultiParticleSimulator(
+            np.ones(6),
+            PhysicsParams(mu_s=0.02, mu_k=0.3, dt=1e-3, max_steps=40_000),
+            kernel_height=0.2,
+            terrain=terr,
+        )
+        rng = np.random.default_rng(4)
+        start = clustered_positions(6, rng, center=(0.7, 0.5))
+        res = sim.run(start, max_steps=40_000)
+        assert res.positions[:, 0].mean() < start[:, 0].mean()
+
+
+class TestMetrics:
+    def test_surface_height_peaks_at_particles(self):
+        sim = swarm(2, kernel_width=0.05)
+        pos = np.array([[0.3, 0.5], [0.7, 0.5]])
+        at_particle = sim.surface_height(np.array([[0.3, 0.5]]), pos)[0]
+        far = sim.surface_height(np.array([[0.05, 0.05]]), pos)[0]
+        assert at_particle > 5 * far
+
+    def test_density_cov_zero_for_uniform_grid(self):
+        sim = swarm(16)
+        xs = np.linspace(0.125, 0.875, 4)
+        grid = np.array([[x, y] for x in xs for y in xs])
+        assert sim.density_cov(grid, bins=4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_density_cov_validation(self):
+        sim = swarm(4)
+        with pytest.raises(ConfigurationError):
+            sim.density_cov(np.zeros((4, 2)), bins=1)
+
+    def test_pairwise_distance_single_particle(self):
+        sim = swarm(1)
+        assert sim.mean_pairwise_distance(np.zeros((1, 2))) == 0.0

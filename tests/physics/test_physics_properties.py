@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the physics layer.
+
+These assert the paper's §3.3 invariants over randomized terrains,
+release points and friction coefficients — not just hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import (
+    EnergyLedger,
+    HeightField,
+    ParticleSimulator,
+    PhysicsParams,
+    contour_at,
+    escape_radius,
+)
+
+# Keep runs quick: coarse grids, bounded steps.
+_SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def make_field(seed: int) -> HeightField:
+    rng = np.random.default_rng(seed)
+    return HeightField.random_terrain(rng, roughness=0.6, n_bumps=10, shape=(49, 49))
+
+
+@settings(**_SETTINGS)
+@given(
+    seed=st.integers(0, 10_000),
+    x=st.floats(0.05, 0.95),
+    y=st.floats(0.05, 0.95),
+    mu_k=st.floats(0.02, 0.5),
+)
+def test_energy_never_increases_and_height_bounded(seed, x, y, mu_k):
+    field = make_field(seed)
+    sim = ParticleSimulator(field, PhysicsParams(mu_s=0.02, mu_k=mu_k, dt=2e-3))
+    res = sim.run(
+        sim_state_at(x, y),
+        max_steps=30_000,
+    )
+    # Invariant 1: heat is non-negative, mechanical energy never exceeds initial.
+    assert res.ledger.heat >= 0
+    assert res.ledger.total_mechanical() <= res.ledger.initial_total + 1e-9
+    # Invariant 2: the particle never climbs above its release height
+    # (release at rest: h* starts at h0), modulo integrator tolerance.
+    h0 = field.height((x, y))
+    assert res.max_height_reached <= h0 + 0.02
+
+
+@settings(**_SETTINGS)
+@given(
+    seed=st.integers(0, 10_000),
+    x=st.floats(0.05, 0.95),
+    y=st.floats(0.05, 0.95),
+    mu_k=st.floats(0.05, 0.5),
+)
+def test_corollary3_path_length_bound(seed, x, y, mu_k):
+    """Friction loss ≤ initial energy ⇒ path ≤ h0/µk (heights ≥ 0).
+
+    The terrain floor is 0 (random_terrain shifts to min 0); the bound
+    carries the integrator's documented O(dt) tolerance.
+    """
+    field = make_field(seed)
+    sim = ParticleSimulator(field, PhysicsParams(mu_s=0.02, mu_k=mu_k, dt=2e-3))
+    res = sim.run(sim_state_at(x, y), max_steps=30_000)
+    h0 = field.height((x, y))
+    assert res.path_length <= 1.01 * h0 / mu_k + 0.05
+
+
+@settings(**_SETTINGS)
+@given(
+    seed=st.integers(0, 10_000),
+    x=st.floats(0.1, 0.9),
+    y=st.floats(0.1, 0.9),
+    mu_k=st.floats(0.05, 0.4),
+)
+def test_never_exits_unaffordable_contour(seed, x, y, mu_k):
+    """Dynamic form of Corollary 3: trajectories never leave a contour
+    whose escape radius exceeds h*/µk."""
+    field = make_field(seed)
+    h0 = float(field.height((x, y)))
+    level = h0 + 0.05
+    if level >= field.max_height():
+        return  # contour would be the whole domain: nothing to check
+    try:
+        c = contour_at(field, (x, y), level)
+    except Exception:
+        return
+    r = escape_radius(c, (x, y))
+    if not np.isfinite(r) or r <= h0 / mu_k:
+        return  # bound does not promise trapping here
+    sim = ParticleSimulator(field, PhysicsParams(mu_s=0.02, mu_k=mu_k, dt=2e-3))
+    res = sim.run(sim_state_at(x, y), max_steps=30_000)
+    for p in res.positions:
+        assert c.contains_point(p)
+
+
+@settings(**_SETTINGS)
+@given(
+    mass=st.floats(0.1, 10.0),
+    g=st.floats(1.0, 20.0),
+    h0=st.floats(0.0, 100.0),
+    heats=st.lists(st.floats(0.0, 5.0), min_size=0, max_size=20),
+)
+def test_ledger_algebra(mass, g, h0, heats):
+    led = EnergyLedger(mass=mass, g=g, initial_height=h0)
+    for q in heats:
+        led.add_heat(q)
+    assert led.heat == pytest.approx(sum(heats), rel=1e-9, abs=1e-12)
+    assert led.total_mechanical() == pytest.approx(
+        mass * g * h0 - sum(heats), rel=1e-9, abs=1e-9
+    )
+    assert led.potential_height() == pytest.approx(
+        h0 - sum(heats) / (mass * g), rel=1e-9, abs=1e-9
+    )
+
+
+def sim_state_at(x: float, y: float):
+    from repro.physics import ParticleState
+
+    return ParticleState(position=np.array([x, y], dtype=float))

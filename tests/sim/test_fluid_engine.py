@@ -1,0 +1,80 @@
+"""Unit tests for repro.sim.engine.FluidSimulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FluidDiffusion
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.interfaces import FluidBalancer
+from repro.network import mesh
+from repro.sim import FluidSimulator
+from repro.sim.engine import ConvergenceCriteria
+
+
+class ConstantFlow(FluidBalancer):
+    name = "constant-flow"
+
+    def __init__(self, flow):
+        self.flow = flow
+
+    def fluid_step(self, h, ctx):
+        return self.flow
+
+
+class TestValidation:
+    def test_shape_checked(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            FluidSimulator(mesh4, np.ones(5), FluidDiffusion())
+
+    def test_negative_initial_rejected(self, mesh4):
+        h = np.ones(16)
+        h[0] = -1.0
+        with pytest.raises(ConfigurationError):
+            FluidSimulator(mesh4, h, FluidDiffusion())
+
+    def test_flow_shape_checked(self, mesh4):
+        sim = FluidSimulator(mesh4, np.ones(16), ConstantFlow(np.zeros(3)))
+        with pytest.raises(SimulationError):
+            sim.run(max_rounds=1)
+
+    def test_oversupply_flow_rejected(self, mesh4):
+        # Demand 100 units out of node 0 which holds 1.
+        flow = np.zeros(mesh4.n_edges)
+        flow[mesh4.edge_id(0, 1)] = 100.0
+        sim = FluidSimulator(mesh4, np.ones(16), ConstantFlow(flow))
+        with pytest.raises(SimulationError):
+            sim.run(max_rounds=1)
+
+
+class TestBehaviour:
+    def test_initial_loads_copied(self, mesh4):
+        h0 = np.ones(16)
+        sim = FluidSimulator(mesh4, h0, FluidDiffusion())
+        sim.run(max_rounds=3)
+        np.testing.assert_allclose(h0, 1.0)  # caller's array untouched
+
+    def test_traffic_is_flow_times_cost(self, mesh4):
+        flow = np.zeros(mesh4.n_edges)
+        flow[mesh4.edge_id(0, 1)] = 0.5
+        sim = FluidSimulator(mesh4, np.ones(16), ConstantFlow(flow))
+        res = sim.run(max_rounds=1)
+        assert res.records[0].traffic_work == pytest.approx(0.5)
+
+    def test_convergence_criterion(self, mesh4):
+        h0 = np.zeros(16)
+        h0[0] = 16.0
+        sim = FluidSimulator(
+            mesh4, h0, FluidDiffusion("optimal"),
+            criteria=ConvergenceCriteria(spread_tol=1e-3),
+        )
+        res = sim.run(max_rounds=3000)
+        assert res.converged
+        assert res.final_spread <= 1e-3
+
+    def test_negative_flow_moves_reverse(self, mesh4):
+        flow = np.zeros(mesh4.n_edges)
+        flow[mesh4.edge_id(0, 1)] = -0.5  # move from node 1 to node 0
+        sim = FluidSimulator(mesh4, np.ones(16), ConstantFlow(flow))
+        sim.run(max_rounds=1)
+        assert sim.h[0] == pytest.approx(1.5)
+        assert sim.h[1] == pytest.approx(0.5)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim import (
+    coefficient_of_variation,
+    imbalance_summary,
+    max_min_spread,
+    normalized_spread,
+)
+from repro.sim.metrics import transport_work
+
+
+class TestImbalance:
+    def test_flat_is_zero(self):
+        h = np.full(10, 3.0)
+        assert coefficient_of_variation(h) == 0.0
+        assert max_min_spread(h) == 0.0
+        assert normalized_spread(h) == 0.0
+
+    def test_empty_system_is_zero(self):
+        h = np.zeros(5)
+        assert coefficient_of_variation(h) == 0.0
+        assert normalized_spread(h) == 0.0
+
+    def test_known_values(self):
+        h = np.array([0.0, 10.0])
+        assert max_min_spread(h) == 10.0
+        assert coefficient_of_variation(h) == pytest.approx(1.0)  # std=5, mean=5
+        assert normalized_spread(h) == pytest.approx(2.0)
+
+    def test_scale_invariance_of_cov(self):
+        h = np.array([1.0, 2.0, 3.0])
+        assert coefficient_of_variation(h) == pytest.approx(
+            coefficient_of_variation(10 * h)
+        )
+
+    def test_summary_consistent(self):
+        h = np.array([1.0, 2.0, 3.0, 6.0])
+        s = imbalance_summary(h)
+        assert s["mean"] == pytest.approx(3.0)
+        assert s["spread"] == pytest.approx(5.0)
+        assert s["cov"] == pytest.approx(coefficient_of_variation(h))
+        assert s["max"] == 6.0 and s["min"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_variation(np.array([]))
+        with pytest.raises(ConfigurationError):
+            max_min_spread(np.array([[1.0, 2.0]]))
+        with pytest.raises(ConfigurationError):
+            imbalance_summary(np.array([-1.0, 2.0]))
+
+
+class TestTransportWork:
+    def test_sum_of_products(self):
+        assert transport_work(np.array([2.0, 3.0]), np.array([1.0, 2.0])) == 8.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            transport_work(np.ones(3), np.ones(2))

@@ -1,0 +1,62 @@
+"""Unit tests for repro.sim.results."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RoundRecord, SimulationResult
+
+
+def make_result(spreads, migrations=None, converged=None):
+    migrations = migrations or [1] * len(spreads)
+    res = SimulationResult(balancer_name="test")
+    for r, (s, m) in enumerate(zip(spreads, migrations)):
+        res.records.append(
+            RoundRecord(
+                round_index=r,
+                n_migrations=m,
+                traffic_work=float(m) * 2.0,
+                heat=float(m) * 0.5,
+                cov=s / 10.0,
+                spread=s,
+                max_load=s,
+                min_load=0.0,
+            )
+        )
+    res.converged_round = converged
+    res.initial_summary = {"cov": 5.0, "spread": 50.0}
+    res.final_summary = {"cov": spreads[-1] / 10.0, "spread": spreads[-1]}
+    return res
+
+
+class TestSeries:
+    def test_series_extraction(self):
+        res = make_result([10.0, 5.0, 1.0])
+        np.testing.assert_allclose(res.series("spread"), [10.0, 5.0, 1.0])
+        np.testing.assert_allclose(res.series("n_migrations"), [1, 1, 1])
+
+    def test_totals(self):
+        res = make_result([10.0, 5.0], migrations=[3, 2])
+        assert res.total_migrations == 5
+        assert res.total_traffic == pytest.approx(10.0)
+        assert res.total_heat == pytest.approx(2.5)
+        assert res.n_rounds == 2
+
+    def test_final_metrics(self):
+        res = make_result([10.0, 4.0])
+        assert res.final_spread == 4.0
+        assert res.final_cov == pytest.approx(0.4)
+
+    def test_converged_flags(self):
+        assert make_result([1.0], converged=0).converged
+        assert not make_result([1.0]).converged
+
+    def test_rounds_to_spread(self):
+        res = make_result([10.0, 5.0, 1.0, 0.5])
+        assert res.rounds_to_spread(5.0) == 1
+        assert res.rounds_to_spread(0.6) == 3
+        assert res.rounds_to_spread(0.1) is None
+
+    def test_summary_row_keys(self):
+        row = make_result([2.0], converged=0).summary_row()
+        assert row["algorithm"] == "test"
+        assert {"rounds", "final_cov", "migrations", "traffic", "heat"} <= set(row)

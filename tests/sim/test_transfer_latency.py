@@ -1,0 +1,160 @@
+"""Tests for the transfer-latency (wire) model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.exceptions import ConfigurationError, TaskError
+from repro.interfaces import Balancer, Migration
+from repro.network import mesh
+from repro.sim import Simulator
+from repro.tasks import TaskSystem
+from repro.workloads import single_hotspot
+
+
+class OneShot(Balancer):
+    """Moves one scripted task at round 0, then nothing."""
+
+    name = "one-shot"
+
+    def __init__(self, tid, src, dst):
+        self.order = Migration(tid, src, dst)
+
+    def step(self, ctx):
+        return [self.order] if ctx.round_index == 0 else []
+
+
+class TestTaskSystemWire:
+    def test_transit_removes_from_node(self, mesh4):
+        s = TaskSystem(mesh4)
+        tid = s.add_task(2.0, 3)
+        s.send_to_transit(tid)
+        assert s.in_transit(tid)
+        assert s.node_loads[3] == 0.0
+        assert s.wire_load == 2.0
+        assert s.total_load == 2.0  # conserved including the wire
+        assert tid not in s.tasks_at(3)
+        assert s.location_of(tid) == TaskSystem.TRANSIT
+
+    def test_deliver(self, mesh4):
+        s = TaskSystem(mesh4)
+        tid = s.add_task(2.0, 3)
+        s.send_to_transit(tid)
+        s.deliver(tid, 7)
+        assert not s.in_transit(tid)
+        assert s.node_loads[7] == 2.0
+        assert s.wire_load == 0.0
+        assert s.location_of(tid) == 7
+
+    def test_cannot_move_in_transit(self, mesh4):
+        s = TaskSystem(mesh4)
+        tid = s.add_task(1.0, 0)
+        s.send_to_transit(tid)
+        with pytest.raises(TaskError):
+            s.move(tid, 1)
+        with pytest.raises(TaskError):
+            s.send_to_transit(tid)
+
+    def test_deliver_requires_transit(self, mesh4):
+        s = TaskSystem(mesh4)
+        tid = s.add_task(1.0, 0)
+        with pytest.raises(TaskError):
+            s.deliver(tid, 1)
+
+    def test_remove_while_in_transit(self, mesh4):
+        s = TaskSystem(mesh4)
+        tid = s.add_task(1.5, 0)
+        s.send_to_transit(tid)
+        s.remove_task(tid)
+        assert s.wire_load == 0.0
+        assert not s.is_alive(tid)
+        assert s.total_load == 0.0
+
+
+class TestEngineLatency:
+    def test_validation(self, mesh4):
+        system = TaskSystem(mesh4)
+        with pytest.raises(ConfigurationError):
+            Simulator(mesh4, system, OneShot(0, 0, 1), transfer_latency=-1)
+        with pytest.raises(ConfigurationError):
+            Simulator(mesh4, system, OneShot(0, 0, 1), transfer_latency="huge")
+
+    def test_fixed_latency_delays_arrival(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        sim = Simulator(mesh4, system, OneShot(tid, 0, 1), transfer_latency=3)
+        # After round 0 the task is on the wire.
+        sim.run(max_rounds=1)
+        assert system.in_transit(tid)
+        assert system.node_loads.sum() == 0.0
+        # Rounds 1 and 2: still flying. Lands at round 3's start.
+        sim.run(max_rounds=2, reset=False)
+        assert system.in_transit(tid)
+        sim.run(max_rounds=1, reset=False)
+        assert not system.in_transit(tid)
+        assert system.location_of(tid) == 1
+
+    def test_size_latency_scales_with_load(self, mesh4):
+        system = TaskSystem(mesh4)
+        small = system.add_task(1.0, 0)
+        big = system.add_task(4.0, 5)
+
+        class TwoShots(Balancer):
+            name = "two-shots"
+
+            def step(self, ctx):
+                if ctx.round_index == 0:
+                    return [Migration(small, 0, 1), Migration(big, 5, 6)]
+                return []
+
+        sim = Simulator(mesh4, system, TwoShots(), transfer_latency="size")
+        sim.run(max_rounds=1)
+        assert system.in_transit(small) and system.in_transit(big)
+        sim.run(max_rounds=1, reset=False)  # round 1: small (ceil(1)=1) lands
+        assert not system.in_transit(small)
+        assert system.in_transit(big)
+        sim.run(max_rounds=3, reset=False)  # big lands at round 4 (ceil(4)=4)
+        assert not system.in_transit(big)
+        assert system.location_of(big) == 6
+
+    def test_no_false_convergence_while_flying(self, mesh4):
+        system = TaskSystem(mesh4)
+        tid = system.add_task(1.0, 0)
+        sim = Simulator(mesh4, system, OneShot(tid, 0, 1), transfer_latency=30)
+        res = sim.run(max_rounds=20)
+        # Engine may not declare quiescence while the wire is busy.
+        assert res.converged_round is None or res.converged_round > 20
+
+    def test_pplb_balances_under_latency(self, mesh8):
+        system = TaskSystem(mesh8)
+        single_hotspot(system, 256, rng=0)
+        total0 = system.total_load
+        sim = Simulator(
+            mesh8,
+            system,
+            ParticlePlaneBalancer(PPLBConfig()),
+            transfer_latency=2,
+            seed=0,
+        )
+        res = sim.run(max_rounds=800)
+        assert res.converged
+        assert system.n_in_transit == 0
+        assert res.final_cov < 0.3
+        assert system.total_load == pytest.approx(total0)  # conserved
+
+    def test_latency_slows_convergence(self, mesh8):
+        def rounds(latency):
+            system = TaskSystem(mesh8)
+            single_hotspot(system, 256, rng=0)
+            sim = Simulator(
+                mesh8,
+                system,
+                ParticlePlaneBalancer(PPLBConfig(beta0=0.0)),
+                transfer_latency=latency,
+                seed=0,
+            )
+            res = sim.run(max_rounds=1500)
+            assert res.converged
+            return res.converged_round
+
+        assert rounds(0) < rounds(4)

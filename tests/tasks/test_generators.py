@@ -1,0 +1,111 @@
+"""Unit tests for repro.tasks.generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TaskError
+from repro.tasks import (
+    TaskSystem,
+    fork_join_tasks,
+    independent_tasks,
+    load_sizes,
+    pipeline_tasks,
+    random_dag_tasks,
+)
+from repro.tasks.generators import place_all_on, place_round_robin
+
+
+class TestLoadSizes:
+    @pytest.mark.parametrize("dist", ["uniform", "exponential", "constant", "bimodal"])
+    def test_positive_and_count(self, dist):
+        s = load_sizes(200, rng=0, distribution=dist, mean=2.0, spread=0.4)
+        assert s.shape == (200,)
+        assert (s > 0).all()
+
+    def test_constant(self):
+        np.testing.assert_allclose(load_sizes(5, distribution="constant", mean=3.0), 3.0)
+
+    def test_mean_roughly_respected(self):
+        s = load_sizes(5000, rng=0, distribution="uniform", mean=2.0, spread=0.5)
+        assert s.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_bimodal_two_modes(self):
+        s = load_sizes(100, rng=0, distribution="bimodal", mean=1.0, spread=0.5)
+        assert set(np.round(s, 6)) == {0.5, 1.5}
+
+    def test_validation(self):
+        with pytest.raises(TaskError):
+            load_sizes(-1)
+        with pytest.raises(TaskError):
+            load_sizes(5, mean=0.0)
+        with pytest.raises(TaskError):
+            load_sizes(5, spread=1.0)
+        with pytest.raises(TaskError):
+            load_sizes(5, distribution="zipf")
+
+    def test_deterministic(self):
+        a = load_sizes(50, rng=7)
+        b = load_sizes(50, rng=7)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPlacementHelpers:
+    def test_round_robin(self):
+        fn = place_round_robin([3, 5, 7])
+        assert [fn(k) for k in range(5)] == [3, 5, 7, 3, 5]
+
+    def test_round_robin_empty(self):
+        with pytest.raises(TaskError):
+            place_round_robin([])
+
+    def test_all_on(self):
+        fn = place_all_on(4)
+        assert fn(0) == 4 and fn(99) == 4
+
+
+class TestStructuredGenerators:
+    def test_independent(self, mesh4):
+        s = TaskSystem(mesh4)
+        ids, g = independent_tasks(s, 10, place_all_on(0), rng=0)
+        assert len(ids) == 10
+        assert g.n_edges == 0
+        assert s.n_tasks == 10
+
+    def test_pipeline_structure(self, mesh4):
+        s = TaskSystem(mesh4)
+        ids, g = pipeline_tasks(s, n_chains=3, chain_length=4,
+                                placement=place_round_robin(range(16)), rng=0)
+        assert len(ids) == 12
+        assert g.n_edges == 3 * 3  # (chain_length-1) per chain
+        # consecutive stages linked, chains not cross-linked
+        assert g.weight(ids[0], ids[1]) > 0
+        assert g.weight(ids[3], ids[4]) == 0.0
+
+    def test_fork_join_structure(self, mesh4):
+        s = TaskSystem(mesh4)
+        ids, g = fork_join_tasks(s, width=3, depth=2,
+                                 placement=place_all_on(0), rng=0)
+        assert len(ids) == 6
+        assert g.n_edges == 9  # dense 3x3 coupling between the two layers
+        assert g.weight(ids[0], ids[3]) > 0
+        assert g.weight(ids[0], ids[1]) == 0.0  # same layer: no edge
+
+    def test_random_dag_edge_prob(self, mesh4):
+        s = TaskSystem(mesh4)
+        ids, g = random_dag_tasks(s, 40, place_all_on(0), rng=0, edge_prob=0.1)
+        possible = 40 * 39 // 2
+        assert 0 < g.n_edges < possible * 0.3
+
+    def test_random_dag_zero_prob(self, mesh4):
+        s = TaskSystem(mesh4)
+        _ids, g = random_dag_tasks(s, 10, place_all_on(0), rng=0, edge_prob=0.0)
+        assert g.n_edges == 0
+
+    def test_validation(self, mesh4):
+        s = TaskSystem(mesh4)
+        with pytest.raises(TaskError):
+            pipeline_tasks(s, 0, 3, place_all_on(0))
+        with pytest.raises(TaskError):
+            fork_join_tasks(s, 3, 0, place_all_on(0))
+        with pytest.raises(TaskError):
+            random_dag_tasks(s, 5, place_all_on(0), edge_prob=1.5)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.tasks.resources.ResourceMap."""
+
+import pytest
+
+from repro.exceptions import TaskError
+from repro.tasks import ResourceMap
+
+
+class TestAffinity:
+    def test_set_get(self):
+        r = ResourceMap(8)
+        r.set_affinity(3, 5, 2.0)
+        assert r.affinity(3, 5) == 2.0
+        assert r.affinity(3, 4) == 0.0
+        assert r.has_affinities(3)
+        assert not r.has_affinities(4)
+
+    def test_zero_removes(self):
+        r = ResourceMap(8)
+        r.set_affinity(3, 5, 2.0)
+        r.set_affinity(3, 5, 0.0)
+        assert not r.has_affinities(3)
+
+    def test_validation(self):
+        with pytest.raises(TaskError):
+            ResourceMap(0)
+        r = ResourceMap(4)
+        with pytest.raises(TaskError):
+            r.set_affinity(0, 4, 1.0)
+        with pytest.raises(TaskError):
+            r.set_affinity(0, 0, -1.0)
+
+    def test_nodes_for(self):
+        r = ResourceMap(8)
+        r.set_affinity(1, 2, 1.0)
+        r.set_affinity(1, 3, 2.0)
+        assert r.nodes_for(1) == {2: 1.0, 3: 2.0}
+        # returned dict is a copy
+        r.nodes_for(1)[2] = 99.0
+        assert r.affinity(1, 2) == 1.0
+
+    def test_drop_task(self):
+        r = ResourceMap(8)
+        r.set_affinity(1, 2, 1.0)
+        r.drop_task(1)
+        assert not r.has_affinities(1)
+
+    def test_to_dense(self):
+        r = ResourceMap(3)
+        r.set_affinity(0, 1, 2.0)
+        r.set_affinity(2, 0, 1.0)
+        dense = r.to_dense(3)
+        assert dense.shape == (3, 3)
+        assert dense[0, 1] == 2.0
+        assert dense[2, 0] == 1.0
+        assert dense.sum() == 3.0
+
+    def test_satisfied_weight(self):
+        r = ResourceMap(4)
+        r.set_affinity(0, 1, 2.0)
+        r.set_affinity(1, 3, 1.0)
+        sat, tot = r.satisfied_weight({0: 1, 1: 0})
+        assert tot == 3.0
+        assert sat == 2.0
+        sat, tot = r.satisfied_weight({0: 1, 1: 3})
+        assert sat == 3.0

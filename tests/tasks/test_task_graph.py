@@ -1,0 +1,122 @@
+"""Unit tests for repro.tasks.task_graph.TaskGraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TaskError
+from repro.network import mesh
+from repro.tasks import TaskGraph
+
+
+class TestEdges:
+    def test_set_and_get_symmetric(self):
+        g = TaskGraph()
+        g.set_dependency(1, 2, 3.0)
+        assert g.weight(1, 2) == 3.0
+        assert g.weight(2, 1) == 3.0
+        assert g.n_edges == 1
+
+    def test_missing_edge_is_zero(self):
+        g = TaskGraph()
+        assert g.weight(5, 9) == 0.0
+
+    def test_zero_weight_deletes(self):
+        g = TaskGraph()
+        g.set_dependency(1, 2, 3.0)
+        g.set_dependency(1, 2, 0.0)
+        assert g.n_edges == 0
+        assert g.weight(2, 1) == 0.0
+
+    def test_self_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(TaskError):
+            g.set_dependency(3, 3, 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(TaskError):
+            g.set_dependency(0, 1, -0.5)
+
+    def test_overwrite_keeps_count(self):
+        g = TaskGraph()
+        g.set_dependency(0, 1, 1.0)
+        g.set_dependency(0, 1, 2.0)
+        assert g.n_edges == 1
+        assert g.weight(0, 1) == 2.0
+
+    def test_bulk_add(self):
+        g = TaskGraph()
+        g.add_dependencies([(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.n_edges == 2
+
+    def test_partners_sorted(self):
+        g = TaskGraph()
+        g.set_dependency(5, 9, 1.0)
+        g.set_dependency(5, 2, 2.0)
+        ids, ws = g.partners(5)
+        np.testing.assert_array_equal(ids, [2, 9])
+        np.testing.assert_allclose(ws, [2.0, 1.0])
+
+    def test_partners_empty(self):
+        g = TaskGraph()
+        ids, ws = g.partners(7)
+        assert ids.shape == (0,)
+        assert ws.shape == (0,)
+
+    def test_total_weight(self):
+        g = TaskGraph()
+        g.set_dependency(0, 1, 1.5)
+        g.set_dependency(0, 2, 2.5)
+        assert g.total_weight(0) == pytest.approx(4.0)
+        assert g.total_weight(1) == pytest.approx(1.5)
+
+    def test_drop_task(self):
+        g = TaskGraph()
+        g.set_dependency(0, 1, 1.0)
+        g.set_dependency(0, 2, 1.0)
+        g.set_dependency(1, 2, 1.0)
+        g.drop_task(0)
+        assert g.n_edges == 1
+        assert g.weight(0, 1) == 0.0
+        assert g.weight(1, 2) == 1.0
+
+    def test_iter_edges_each_once(self):
+        g = TaskGraph()
+        g.set_dependency(0, 1, 1.0)
+        g.set_dependency(2, 1, 2.0)
+        edges = sorted(g.iter_edges())
+        assert edges == [(0, 1, 1.0), (1, 2, 2.0)]
+
+
+class TestPlacementMetrics:
+    def test_communication_cost(self):
+        topo = mesh(4, 4)
+        g = TaskGraph()
+        g.set_dependency(0, 1, 2.0)  # weight 2
+        hd = topo.hop_distances
+        # same node: zero cost
+        assert g.communication_cost({0: 5, 1: 5}, hd) == 0.0
+        # adjacent nodes: 2 * 1
+        assert g.communication_cost({0: 5, 1: 6}, hd) == 2.0
+        # corner to corner: 2 * 6
+        assert g.communication_cost({0: 0, 1: 15}, hd) == 12.0
+
+    def test_communication_cost_skips_missing(self):
+        topo = mesh(4, 4)
+        g = TaskGraph()
+        g.set_dependency(0, 1, 2.0)
+        assert g.communication_cost({0: 5}, topo.hop_distances) == 0.0
+
+    def test_colocated_fraction(self):
+        topo = mesh(4, 4)
+        g = TaskGraph()
+        g.set_dependency(0, 1, 1.0)
+        g.set_dependency(2, 3, 1.0)
+        hd = topo.hop_distances
+        loc = {0: 5, 1: 5, 2: 0, 3: 15}
+        assert g.colocated_fraction(loc, hd, within_hops=0) == 0.5
+        assert g.colocated_fraction(loc, hd, within_hops=6) == 1.0
+
+    def test_colocated_fraction_vacuous(self):
+        topo = mesh(2, 2)
+        assert TaskGraph().colocated_fraction({}, topo.hop_distances) == 1.0

@@ -1,0 +1,97 @@
+"""Property-based tests for TaskSystem and TaskGraph invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import mesh
+from repro.tasks import TaskGraph, TaskSystem
+
+_SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@settings(**_SETTINGS)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 15), st.floats(0.1, 5.0)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_task_system_accounting_invariants(ops):
+    """Random add/move/remove/transit sequences keep every aggregate exact."""
+    topo = mesh(4, 4)
+    s = TaskSystem(topo)
+    ids: list[int] = []
+    for op, node, size in ops:
+        if op == 0 or not ids:  # add
+            ids.append(s.add_task(size, node))
+        elif op == 1:  # move (if possible)
+            tid = ids[node % len(ids)]
+            if s.is_alive(tid) and not s.in_transit(tid):
+                s.move(tid, node)
+        elif op == 2:  # remove
+            tid = ids[node % len(ids)]
+            if s.is_alive(tid):
+                s.remove_task(tid)
+        elif op == 3:  # send to wire
+            tid = ids[node % len(ids)]
+            if s.is_alive(tid) and not s.in_transit(tid):
+                s.send_to_transit(tid)
+        else:  # deliver from wire
+            tid = ids[node % len(ids)]
+            if s.is_alive(tid) and s.in_transit(tid):
+                s.deliver(tid, node)
+
+    # Invariant: aggregates equal a from-scratch recomputation.
+    expected_nodes = np.zeros(16)
+    expected_wire = 0.0
+    n_alive = 0
+    for tid in ids:
+        if not s.is_alive(tid):
+            continue
+        n_alive += 1
+        if s.in_transit(tid):
+            expected_wire += s.load_of(tid)
+        else:
+            expected_nodes[s.location_of(tid)] += s.load_of(tid)
+    np.testing.assert_allclose(s.node_loads, expected_nodes, atol=1e-9)
+    assert s.wire_load == pytest.approx(expected_wire)
+    assert s.n_tasks == n_alive
+    assert s.total_load == pytest.approx(expected_nodes.sum() + expected_wire)
+    # per-node task sets are consistent with locations
+    for node in range(16):
+        for tid in s.tasks_at(node):
+            assert s.location_of(int(tid)) == node
+
+
+@settings(**_SETTINGS)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12), st.floats(0.0, 3.0)),
+        max_size=60,
+    )
+)
+def test_task_graph_symmetry_and_count(edges):
+    g = TaskGraph()
+    reference: dict[tuple[int, int], float] = {}
+    for i, j, w in edges:
+        if i == j:
+            continue
+        g.set_dependency(i, j, w)
+        key = (min(i, j), max(i, j))
+        if w == 0:
+            reference.pop(key, None)
+        else:
+            reference[key] = w
+    assert g.n_edges == len(reference)
+    for (i, j), w in reference.items():
+        assert g.weight(i, j) == w
+        assert g.weight(j, i) == w
+    listed = {(i, j): w for i, j, w in g.iter_edges()}
+    assert listed == reference
+    # total_weight equals the row sums of the reference
+    for tid in {t for pair in reference for t in pair}:
+        expected = sum(w for (a, b), w in reference.items() if tid in (a, b))
+        assert g.total_weight(tid) == pytest.approx(expected)

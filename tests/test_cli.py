@@ -1,0 +1,45 @@
+"""Unit tests for the pplb command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "mesh-hotspot"
+        assert args.algorithm == "pplb"
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "nope"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "µs" in out and "e_ij" in out
+        assert "Table 1" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "--scenario", "mesh-hotspot", "--algorithm", "pplb",
+                   "--rounds", "60", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pplb" in out
+        assert "CoV" in out or "cov" in out
+
+    def test_every_algorithm_constructs(self):
+        for name, fn in ALGORITHMS.items():
+            bal = fn()
+            assert hasattr(bal, "step"), name

@@ -1,0 +1,64 @@
+"""Unit tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_from_int(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_from_none_is_fresh(self):
+        a = ensure_rng(None)
+        assert isinstance(a, np.random.Generator)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_from_seed_sequence(self):
+        ss = np.random.SeedSequence(42)
+        a = ensure_rng(ss)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        a = spawn(ensure_rng(7), 3)
+        b = spawn(ensure_rng(7), 3)
+        for x, y in zip(a, b):
+            assert x.integers(0, 1 << 30) == y.integers(0, 1 << 30)
+        draws = {g.integers(0, 1 << 30) for g in spawn(ensure_rng(7), 8)}
+        assert len(draws) == 8  # overwhelmingly likely distinct
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+
+class TestDerive:
+    def test_keyed_streams_deterministic(self):
+        a = derive(9, 1, 2).integers(0, 1 << 30)
+        b = derive(9, 1, 2).integers(0, 1 << 30)
+        assert a == b
+
+    def test_different_keys_differ(self):
+        a = derive(9, 1, 2).integers(0, 1 << 30)
+        b = derive(9, 2, 1).integers(0, 1 << 30)
+        assert a != b
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(derive(None, 1), np.random.Generator)
+
+    def test_generator_seed_consumes_state(self):
+        g = np.random.default_rng(3)
+        a = derive(g, 0)
+        b = derive(g, 0)  # second call sees advanced parent state
+        assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)

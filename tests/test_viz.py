@@ -1,0 +1,75 @@
+"""Unit tests for repro.viz.heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network import mesh
+from repro.viz import render_heatmap, render_surface, surface_film
+
+
+class TestRenderHeatmap:
+    def test_dimensions(self):
+        out = render_heatmap(np.ones(4), np.array([[0, 0], [1, 0], [0, 1], [1, 1]]),
+                             width=10, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 7  # border + 5 rows + border
+        assert all(len(l) >= 12 for l in lines[:6])
+
+    def test_hotspot_renders_densest_char(self):
+        values = np.zeros(9)
+        values[4] = 100.0
+        coords = np.array([[i % 3, i // 3] for i in range(9)], dtype=float)
+        out = render_heatmap(values, coords, width=9, height=5)
+        assert "@" in out
+
+    def test_empty_surface_blank(self):
+        out = render_heatmap(np.zeros(4), np.array([[0, 0], [1, 0], [0, 1], [1, 1]]))
+        assert "@" not in out
+
+    def test_fixed_vmax_scales_down(self):
+        values = np.array([1.0])
+        coords = np.array([[0.5, 0.5]])
+        strong = render_heatmap(values, coords, vmax=1.0)
+        weak = render_heatmap(values, coords, vmax=100.0)
+        assert "@" in strong
+        assert "@" not in weak
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.ones(3), np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.ones(2), np.zeros((2, 2)), width=1)
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.array([-1.0, 1.0]), np.zeros((2, 2)))
+
+
+class TestRenderSurface:
+    def test_mesh_surface(self, mesh4):
+        h = np.zeros(16)
+        h[5] = 10.0
+        out = render_surface(mesh4, h, width=16, height=8)
+        assert "@" in out
+        assert "max=10" in out
+
+    def test_shape_checked(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            render_surface(mesh4, np.ones(5))
+
+
+class TestSurfaceFilm:
+    def test_shared_scale(self, mesh4):
+        frame1 = np.zeros(16)
+        frame1[0] = 10.0
+        frame2 = np.full(16, 10.0 / 16)
+        film = surface_film(mesh4, [frame1, frame2], labels=["start", "end"])
+        assert "start" in film and "end" in film
+        # Second frame is faint on the first frame's scale.
+        second = film.split("end")[1]
+        assert "@" not in second
+
+    def test_validation(self, mesh4):
+        with pytest.raises(ConfigurationError):
+            surface_film(mesh4, [])
+        with pytest.raises(ConfigurationError):
+            surface_film(mesh4, [np.zeros(16)], labels=["a", "b"])

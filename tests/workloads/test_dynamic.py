@@ -1,0 +1,76 @@
+"""Unit tests for repro.workloads.dynamic.DynamicWorkload."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tasks import TaskSystem
+from repro.workloads import DynamicWorkload, balanced
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            DynamicWorkload(arrival_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            DynamicWorkload(completion_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            DynamicWorkload(mean_size=0.0)
+        with pytest.raises(ConfigurationError):
+            DynamicWorkload(spread=1.0)
+
+
+class TestChurn:
+    def test_arrivals_accumulate(self, mesh4):
+        s = TaskSystem(mesh4)
+        wl = DynamicWorkload(arrival_rate=5.0, completion_prob=0.0, rng=0)
+        for _ in range(20):
+            wl.step(s)
+        # ~100 expected; loose bounds
+        assert 50 < s.n_tasks < 160
+
+    def test_completions_drain(self, mesh4):
+        s = TaskSystem(mesh4)
+        balanced(s, tasks_per_node=5, rng=0)
+        wl = DynamicWorkload(arrival_rate=0.0, completion_prob=0.5, rng=0)
+        n0 = s.n_tasks
+        for _ in range(10):
+            wl.step(s)
+        assert s.n_tasks < n0 * 0.1
+
+    def test_arrival_nodes_restricted(self, mesh4):
+        s = TaskSystem(mesh4)
+        wl = DynamicWorkload(arrival_rate=10.0, completion_prob=0.0,
+                             arrival_nodes=[3, 7], rng=0)
+        for _ in range(10):
+            wl.step(s)
+        loaded = set(np.nonzero(s.node_loads)[0].tolist())
+        assert loaded <= {3, 7}
+
+    def test_returns_created_and_removed(self, mesh4):
+        s = TaskSystem(mesh4)
+        balanced(s, tasks_per_node=2, rng=0)
+        wl = DynamicWorkload(arrival_rate=3.0, completion_prob=0.3, rng=1)
+        created, removed = wl.step(s)
+        for tid in created:
+            assert s.is_alive(tid)
+        for tid in removed:
+            assert not s.is_alive(tid)
+
+    def test_deterministic(self, mesh4):
+        def run(seed):
+            s = TaskSystem(mesh4)
+            wl = DynamicWorkload(arrival_rate=4.0, completion_prob=0.1, rng=seed)
+            for _ in range(15):
+                wl.step(s)
+            return s.node_loads.copy()
+
+        np.testing.assert_allclose(run(5), run(5))
+
+    def test_zero_rates_noop(self, mesh4):
+        s = TaskSystem(mesh4)
+        balanced(s, tasks_per_node=1, rng=0)
+        wl = DynamicWorkload(arrival_rate=0.0, completion_prob=0.0, rng=0)
+        created, removed = wl.step(s)
+        assert created == [] and removed == []
+        assert s.n_tasks == 16

@@ -1,0 +1,38 @@
+"""Unit tests for repro.workloads.scenarios."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads import SCENARIOS, build_scenario
+
+
+class TestRegistry:
+    def test_all_registered_scenarios_build(self):
+        for name in SCENARIOS:
+            sc = build_scenario(name, seed=0, side=4, dim=3, n_tasks=32)
+            assert sc.topology.n_nodes >= 8
+            assert sc.system.n_tasks == 32
+            assert sc.links.topology is sc.topology
+            assert len(sc.task_ids) == 32
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("no-such-scenario")
+
+    def test_deterministic(self):
+        a = build_scenario("mesh-hotspot", seed=3, side=4, n_tasks=16)
+        b = build_scenario("mesh-hotspot", seed=3, side=4, n_tasks=16)
+        assert (a.system.node_loads == b.system.node_loads).all()
+
+    def test_two_valleys_has_two_spots(self):
+        sc = build_scenario("mesh-two-valleys", seed=0, side=8, n_tasks=256)
+        loaded = (sc.system.node_loads > 0).sum()
+        assert loaded == 2
+
+    def test_faulty_scenario_has_fault_probs(self):
+        sc = build_scenario("mesh-faulty", seed=0, side=4, n_tasks=16, fault_prob=0.1)
+        assert (sc.links.fault_prob > 0).any()
+
+    def test_size_overrides(self):
+        sc = build_scenario("hypercube-hotspot", seed=0, dim=4, n_tasks=64)
+        assert sc.topology.n_nodes == 16
