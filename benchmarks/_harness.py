@@ -1,26 +1,34 @@
 """Shared machinery for the experiment benchmarks.
 
-Every ``bench_*`` module reproduces one experiment from DESIGN.md's
-index (T1, E1-E12). Conventions:
+Every ``bench_*`` module reproduces one experiment (T1 and E1–E16);
+docs/BENCHMARKS.md indexes them all, with the paper claim each one
+checks and how to run it. Conventions:
 
 * Each benchmark times its workload once (``benchmark.pedantic(...,
   rounds=1)``) — these are *experiments*, not micro-benchmarks; the
   timing shows the cost of regenerating the result.
 * Each prints its paper-style table/figure to stdout (visible with
   ``pytest -s``) **and** writes it to ``benchmarks/results/<id>.txt`` so
-  the artifacts persist regardless of capture settings. EXPERIMENTS.md
-  records the committed reference outputs.
+  the artifacts persist regardless of capture settings (``pplb report``
+  stitches them into one document).
 * Shapes asserted here are the paper's qualitative claims (who wins,
   monotonicity, bounds) — never absolute numbers.
+* Grid-shaped experiments go through :func:`run_grid_specs`, the
+  parallel runner's entry point: serial by default, parallel when
+  ``PPLB_BENCH_WORKERS`` is set (parallel results are identical to
+  serial ones), cached when ``PPLB_BENCH_CACHE`` names a directory.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.exceptions import ConfigurationError
 from repro.interfaces import Balancer
+from repro.runner import RunOutcome, RunSpec, run_grid
 from repro.sim import SimulationResult, Simulator
 from repro.tasks import TaskSystem
 from repro.workloads import single_hotspot
@@ -73,6 +81,25 @@ def run_hotspot(
 def default_pplb(**overrides) -> ParticlePlaneBalancer:
     """A PPLB instance with optional config overrides."""
     return ParticlePlaneBalancer(PPLBConfig(**overrides) if overrides else PPLBConfig())
+
+
+def run_grid_specs(specs: Sequence[RunSpec]) -> list[RunOutcome]:
+    """Run an experiment grid through the parallel runner.
+
+    Workers come from ``PPLB_BENCH_WORKERS`` (default 1 = serial, so
+    benchmark results are reproducible with no environment setup;
+    0 = one per core); set ``PPLB_BENCH_CACHE`` to a directory to reuse
+    results across benchmark invocations.
+    """
+    raw = os.environ.get("PPLB_BENCH_WORKERS", "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"PPLB_BENCH_WORKERS must be an integer (0 = one per core), got {raw!r}"
+        ) from None
+    cache = os.environ.get("PPLB_BENCH_CACHE") or None
+    return run_grid(specs, workers=workers, cache=cache)
 
 
 def once(benchmark, fn: Callable[[], object]):

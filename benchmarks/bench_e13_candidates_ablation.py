@@ -1,6 +1,6 @@
 """E13 (ablation) — the candidates-per-node design choice.
 
-DESIGN.md calls out ``candidates_per_node`` as the knob bounding
+``candidates_per_node`` (see ``PPLBConfig``) is the knob bounding
 per-round work: each node offers only its M largest tasks. E9 exposed
 its interaction with topology degree — when M < degree, hotspot
 departures are candidate-limited instead of link-limited and

@@ -5,7 +5,7 @@ Paper claim: "this model converges to the nearly optimal solution"
 (CoV) vs round for PPLB and the §2 baselines on an 8x8 mesh with a
 single hotspot, one task per link per round.
 
-Expected shape (EXPERIMENTS.md): PPLB reaches near-balance (CoV well
+Expected shape: PPLB reaches near-balance (CoV well
 below the hotspot granularity floor), quiesces, and its curve dominates
 GM/CWN; probing schemes (work stealing, sender-initiated) stall on the
 severe hotspot because most probes find empty neighborhoods.

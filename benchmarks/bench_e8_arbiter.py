@@ -15,7 +15,7 @@ Reproduced artifacts:
    convergence round, hops per journey and traffic.
 
 Expected shapes (and one honest negative result, recorded in
-EXPERIMENTS.md): every β0 converges to near-balance, confirming the
+docs/BENCHMARKS.md): every β0 converges to near-balance, confirming the
 arbiter never *breaks* convergence; however on this scenario greedy
 (β0=0) already matches or slightly beats exploration on final balance —
 the gradient surface has no deceptive local minima for exploration to

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Smoke check: tier-1 tests, then a tiny runner grid end-to-end.
+#
+# Usage: scripts/smoke.sh   (from the repository root)
+#
+# Exercises the full stack: the unit/property/integration suite, an
+# 8-spec (scenario × algorithm × seed) grid across 2 worker processes,
+# and a second invocation that must be served entirely from the result
+# cache.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "==> tier-1 tests"
+python -m pytest -x -q
+
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+GRID="--scenarios mesh-hotspot torus-hotspot --algorithms pplb diffusion \
+      --seeds 2 --rounds 120 --cache-dir $CACHE_DIR/cache"
+
+echo "==> runner grid (8 specs, 2 workers, cold cache)"
+python -m repro.cli run-grid $GRID --workers 2 | tee "$CACHE_DIR/first.out"
+grep -q "8 specs: 8 executed, 0 from cache" "$CACHE_DIR/first.out"
+
+echo "==> runner grid again (must be fully cached)"
+python -m repro.cli run-grid $GRID --workers 2 | tee "$CACHE_DIR/second.out"
+grep -q "8 specs: 0 executed, 8 from cache" "$CACHE_DIR/second.out"
+
+echo "==> smoke OK"

@@ -26,6 +26,7 @@ Package map
 ``repro.baselines`` — diffusion, dimension exchange, GM, CWN, … (§2)
 ``repro.sim``       — synchronous-round simulation engine
 ``repro.analysis``  — convergence fits, sweeps, tables, ASCII plots
+``repro.runner``    — parallel experiment runner with result caching
 """
 
 from repro.core import (

@@ -5,11 +5,15 @@
 * :mod:`stats <repro.analysis.stats>` — multi-seed means and confidence
   intervals.
 * :mod:`sweep <repro.analysis.sweep>` — parameter-sweep harness used by
-  the benchmark suite.
+  the benchmark suite (fans out across processes via
+  :mod:`repro.runner` when asked; serial results are bit-identical).
 * :mod:`tables <repro.analysis.tables>` / :mod:`plots
   <repro.analysis.plots>` — ASCII rendering of the paper-style tables
   and series (the environment is headless; figures are printed, not
   drawn).
+* :mod:`report <repro.analysis.report>` — stitch the per-experiment
+  artifacts under ``benchmarks/results/`` into one browsable report
+  (``pplb report``).
 """
 
 from repro.analysis.convergence import fit_convergence_rate, rounds_to_fraction

@@ -2,7 +2,8 @@
 
 :func:`ascii_plot` draws one or more named series on a character canvas
 with a log-or-linear y axis — enough to *see* convergence curves and
-crossovers directly in benchmark output and EXPERIMENTS.md.
+crossovers directly in benchmark output and the artifacts under
+``benchmarks/results/``.
 """
 
 from __future__ import annotations

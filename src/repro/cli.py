@@ -1,56 +1,54 @@
 """Command-line interface: run scenarios and print results.
 
-Installed as ``pplb`` (see pyproject). Three subcommands:
+Installed as ``pplb`` (see pyproject). Subcommands:
 
 * ``pplb run --scenario mesh-hotspot --algorithm pplb`` — one simulation,
   printed summary + convergence curve.
 * ``pplb compare --scenario mesh-hotspot`` — every algorithm on the same
   scenario, printed comparison table.
+* ``pplb run-grid --scenarios … --algorithms … --seeds N --workers W`` —
+  a (scenario × algorithm × seed) grid through the parallel runner with
+  result caching (see :mod:`repro.runner`).
 * ``pplb table1`` — regenerate the paper's Table 1 from the parameter
   registry.
+* ``pplb report`` — stitch ``benchmarks/results/`` artifacts into one
+  experiment report.
+
+Algorithm names come from :mod:`repro.runner.registry`, the registry
+shared with the runner, so ``--algorithm`` choices and runner specs can
+never disagree.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+import time
 
 from repro.analysis import ascii_plot, format_table
-from repro.baselines import (
-    ContractingWithinNeighborhood,
-    DimensionExchange,
-    GradientModel,
-    NoBalancer,
-    RandomWorkStealing,
-    SenderInitiated,
-    TaskDiffusion,
+from repro.core import PPLBConfig
+from repro.exceptions import ReproError
+from repro.runner import (
+    FACTORIES,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    expand_grid,
+    grid_seeds,
+    run_grid,
 )
-from repro.core import ParticlePlaneBalancer, PPLBConfig
-from repro.interfaces import Balancer
-from repro.sim import Simulator
-from repro.workloads import SCENARIOS, build_scenario
+from repro.workloads import SCENARIOS
 
-ALGORITHMS: dict[str, Callable[[], Balancer]] = {
-    "pplb": lambda: ParticlePlaneBalancer(PPLBConfig()),
-    "pplb-greedy": lambda: ParticlePlaneBalancer(PPLBConfig(beta0=0.0)),
-    "diffusion": lambda: TaskDiffusion("uniform"),
-    "dimension-exchange": lambda: DimensionExchange(min_quota=0.5),
-    "gradient-model": GradientModel,
-    "cwn": ContractingWithinNeighborhood,
-    "work-stealing": RandomWorkStealing,
-    "sender-initiated": SenderInitiated,
-    "none": NoBalancer,
-}
+#: the CLI's historical name for the balancer registry (every factory
+#: works as a zero-argument constructor with registry defaults).
+ALGORITHMS = FACTORIES
 
 
 def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int):
-    scenario = build_scenario(scenario_name, seed=seed)
-    balancer = ALGORITHMS[algorithm]()
-    sim = Simulator(
-        scenario.topology, scenario.system, balancer, links=scenario.links, seed=seed
+    spec = RunSpec(
+        scenario=scenario_name, algorithm=algorithm, seed=seed, max_rounds=rounds
     )
-    return sim.run(max_rounds=rounds)
+    return execute_spec(spec)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -89,6 +87,45 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run_grid(args: argparse.Namespace) -> int:
+    specs = expand_grid(
+        args.scenarios,
+        args.algorithms,
+        grid_seeds(args.seeds, base_seed=args.base_seed),
+        max_rounds=args.rounds,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(outcome, done, total):
+        res = outcome.result
+        source = "cache" if outcome.cached else f"{res.wall_time_s:.2f}s"
+        print(
+            f"[{done}/{total}] {outcome.spec.label()}: "
+            f"converged_round={res.converged_round} "
+            f"final_cov={res.final_cov:.4f} ({source})"
+        )
+
+    started = time.perf_counter()
+    outcomes = run_grid(specs, workers=args.workers, cache=cache, progress=progress)
+    elapsed = time.perf_counter() - started
+
+    rows = [o.row() for o in outcomes]
+    print()
+    print(format_table(
+        rows,
+        columns=["scenario", "algorithm", "seed", "converged_round",
+                 "final_cov", "final_spread", "migrations", "traffic", "cached"],
+        title=f"run-grid — {len(specs)} specs, {args.workers} worker(s)",
+    ))
+    hits = sum(1 for o in outcomes if o.cached)
+    print(
+        f"\n{len(specs)} specs: {len(specs) - hits} executed, {hits} from cache"
+        + ("" if cache is None else f" ({cache.root})")
+        + f"; wall {elapsed:.2f}s"
+    )
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     rows = [
         {"parameter": p, "load-balancing equivalent": m, "implemented by": s}
@@ -119,6 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--rounds", type=int, default=500)
     p_cmp.set_defaults(fn=cmd_compare)
 
+    p_grid = sub.add_parser(
+        "run-grid",
+        help="run a (scenario × algorithm × seed) grid in parallel with "
+             "result caching",
+    )
+    p_grid.add_argument("--scenarios", nargs="+", choices=sorted(SCENARIOS),
+                        default=["mesh-hotspot"], metavar="SCENARIO")
+    p_grid.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+                        default=["pplb"], metavar="ALGO")
+    p_grid.add_argument("--seeds", type=int, default=4,
+                        help="repetitions per (scenario, algorithm) cell")
+    p_grid.add_argument("--base-seed", type=int, default=0,
+                        help="base for deterministic per-spec seed derivation")
+    p_grid.add_argument("--rounds", type=int, default=500)
+    p_grid.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial, 0 = one per core)")
+    p_grid.add_argument("--cache-dir", default=".pplb-cache",
+                        help="result cache directory (re-runs are free)")
+    p_grid.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    p_grid.set_defaults(fn=cmd_run_grid)
+
     p_t1 = sub.add_parser("table1", help="print the paper's Table 1 mapping")
     p_t1.set_defaults(fn=cmd_table1)
 
@@ -134,7 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,6 +50,19 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     return list(rng.spawn(n))
 
 
+def seed_for(seed: RngLike, *keys: int) -> int:
+    """Reduce the :func:`derive` stream keyed by (*seed*, \\*keys) to an int.
+
+    The canonical way to mint one deterministic integer seed per grid
+    cell. Both the sweep harness (``seed_for(base_seed, point_index,
+    repetition)``) and the parallel runner's ``grid_seeds``
+    (``seed_for(base_seed, repetition)``) derive their seeds through
+    this helper — each with its own key layout, so seeds are stable
+    within a harness when its grid grows.
+    """
+    return int(derive(seed, *keys).integers(0, 2**31 - 1))
+
+
 def derive(seed: RngLike, *keys: int) -> np.random.Generator:
     """Build a generator keyed by (*seed*, \\*keys).
 

@@ -1,0 +1,64 @@
+"""Parallel experiment runner with content-addressed result caching.
+
+The orchestration layer that fans a grid of (scenario × algorithm ×
+seed) simulation specs across worker processes and replays previously
+computed results from an on-disk cache:
+
+* :mod:`spec <repro.runner.spec>` — :class:`RunSpec` (plain-data run
+  description, content-hashable) and grid expansion helpers.
+* :mod:`registry <repro.runner.registry>` — balancer-by-name factories
+  shared with the CLI.
+* :mod:`worker <repro.runner.worker>` — spec execution (the pure
+  function spec → result that runs inside workers).
+* :mod:`pool <repro.runner.pool>` — ordered parallel map over
+  processes (also used by :func:`repro.analysis.sweep.run_sweep`).
+* :mod:`cache <repro.runner.cache>` — content-addressed JSON result
+  store; re-running a computed grid is free.
+* :mod:`runner <repro.runner.runner>` — :func:`run_grid`, the
+  orchestrator tying the above together.
+* :mod:`merge <repro.runner.merge>` — adapters into the existing
+  analysis structures (``SweepResult``, table rows).
+
+Typical use (also exposed as ``pplb run-grid``)::
+
+    from repro.runner import expand_grid, grid_seeds, run_grid
+
+    specs = expand_grid(["mesh-hotspot", "torus-hotspot"],
+                        ["pplb", "diffusion"], grid_seeds(4),
+                        max_rounds=300)
+    outcomes = run_grid(specs, workers=4, cache=".pplb-cache")
+
+Serial mode (``workers=1``, the default) is the reference: parallel and
+cached executions return results identical to it.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.merge import (
+    default_metrics,
+    outcomes_to_rows,
+    outcomes_to_sweep,
+    spec_value,
+)
+from repro.runner.pool import map_tasks, resolve_workers
+from repro.runner.registry import FACTORIES, make_balancer
+from repro.runner.runner import RunOutcome, run_grid
+from repro.runner.spec import RunSpec, expand_grid, grid_seeds
+from repro.runner.worker import execute_spec
+
+__all__ = [
+    "FACTORIES",
+    "ResultCache",
+    "RunOutcome",
+    "RunSpec",
+    "default_metrics",
+    "execute_spec",
+    "expand_grid",
+    "grid_seeds",
+    "make_balancer",
+    "map_tasks",
+    "outcomes_to_rows",
+    "outcomes_to_sweep",
+    "resolve_workers",
+    "run_grid",
+    "spec_value",
+]

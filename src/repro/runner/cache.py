@@ -1,0 +1,101 @@
+"""Content-addressed on-disk result cache.
+
+Each cached entry is one JSON file named by the spec's content hash
+(sharded by the first two hex digits to keep directories small) and
+holds both the spec that produced it and the serialized
+:class:`~repro.sim.SimulationResult`. Because a spec's execution is a
+pure function of its content, a hit can be replayed in place of a
+simulation — re-running an already-computed grid is free.
+
+Robustness: writes are atomic (temp file + ``os.replace``) so an
+interrupted run never leaves a truncated entry, and unreadable/corrupt
+entries are treated as misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+CACHE_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """JSON result store addressed by :meth:`RunSpec.key` hashes.
+
+    Parameters
+    ----------
+    root:
+        Directory to store entries under (created lazily on first put).
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup counters since construction (cache-effectiveness
+        reporting in the runner's progress summary).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Entry path for a content hash (``<root>/<k[:2]>/<k>.json``)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Stored payload for *key*, or None (corrupt entries = miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or "result" not in entry
+            or entry.get("version") != CACHE_FORMAT_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, spec_dict: dict, result_payload: dict) -> pathlib.Path:
+        """Atomically store a result payload under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "spec": spec_dict,
+            "result": result_payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,100 @@
+"""Merge runner outcomes into the existing analysis structures.
+
+The runner produces :class:`~repro.runner.runner.RunOutcome` objects;
+the analysis layer speaks :class:`~repro.analysis.sweep.SweepResult`
+and ``format_table`` rows. This module is the adapter — grouping
+outcomes by a swept parameter and aggregating per-seed metrics with the
+*same* ``mean_ci`` discipline (sorted keys, 6-decimal rounding) as
+:func:`repro.analysis.sweep.run_sweep`, so downstream tooling (tables,
+plots, convergence fits) consumes runner output unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.stats import mean_ci
+from repro.analysis.sweep import SweepResult
+from repro.exceptions import ConfigurationError
+from repro.runner.runner import RunOutcome
+from repro.runner.spec import RunSpec
+from repro.sim import SimulationResult
+
+
+def default_metrics(result: SimulationResult) -> dict[str, float]:
+    """Standard scalar metrics of one run (all finite floats).
+
+    ``converged_round`` is None for non-converged runs, so the
+    aggregate exposes ``converged`` (0/1 rate) and ``rounds`` (rounds
+    actually simulated) instead.
+    """
+    return {
+        "final_cov": float(result.final_cov),
+        "final_spread": float(result.final_spread),
+        "migrations": float(result.total_migrations),
+        "traffic": float(result.total_traffic),
+        "heat": float(result.total_heat),
+        "rounds": float(result.n_rounds),
+        "converged": float(result.converged),
+    }
+
+
+def spec_value(spec: RunSpec, parameter: str) -> object:
+    """Look up a swept parameter's value inside a spec.
+
+    Resolution order: scenario kwargs, algorithm kwargs, sim kwargs,
+    then the spec's own fields (``scenario``, ``algorithm``, ``seed``,
+    ``max_rounds``).
+    """
+    for kwargs in (spec.scenario_kwargs, spec.algorithm_kwargs, spec.sim_kwargs):
+        if parameter in kwargs:
+            return kwargs[parameter]
+    if parameter in ("scenario", "algorithm", "seed", "max_rounds"):
+        return getattr(spec, parameter)
+    raise ConfigurationError(
+        f"parameter {parameter!r} not found in spec {spec.label()}"
+    )
+
+
+def outcomes_to_sweep(
+    parameter: str,
+    outcomes: Sequence[RunOutcome],
+    value_of: Callable[[RunSpec], object] | None = None,
+    metrics_of: Callable[[SimulationResult], Mapping[str, float]] = default_metrics,
+) -> SweepResult:
+    """Aggregate grid outcomes into a :class:`SweepResult`.
+
+    Outcomes are grouped by the swept value (first-appearance order,
+    matching ``expand_grid``'s deterministic ordering); each group's
+    per-seed metric dicts are aggregated into mean ± CI rows exactly
+    like :func:`~repro.analysis.sweep.run_sweep` does, so the result
+    plugs into every existing table/plot helper.
+    """
+    if not outcomes:
+        raise ConfigurationError("cannot merge an empty list of outcomes")
+    resolve = value_of if value_of is not None else (
+        lambda spec: spec_value(spec, parameter)
+    )
+
+    grouped: dict[object, list[Mapping[str, float]]] = {}
+    for outcome in outcomes:
+        value = resolve(outcome.spec)
+        grouped.setdefault(value, []).append(metrics_of(outcome.result))
+
+    result = SweepResult(parameter=parameter)
+    for value, per_seed in grouped.items():
+        keys = sorted(per_seed[0].keys())
+        row: dict[str, object] = {parameter: value}
+        for key in keys:
+            m, ci = mean_ci([float(d[key]) for d in per_seed])
+            row[key] = round(m, 6)
+            row[f"{key}_ci"] = round(ci, 6)
+        result.points.append(value)
+        result.rows.append(row)
+        result.raw.append(per_seed)
+    return result
+
+
+def outcomes_to_rows(outcomes: Sequence[RunOutcome]) -> list[dict[str, object]]:
+    """Per-run summary rows (one per outcome) for ``format_table``."""
+    return [outcome.row() for outcome in outcomes]

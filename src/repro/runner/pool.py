@@ -1,0 +1,92 @@
+"""Minimal ordered parallel map over processes.
+
+The one place process-pool mechanics live. :func:`map_tasks` is
+deliberately tiny: results come back in input order, ``workers <= 1``
+degrades to a plain in-process loop (bit-identical to historical serial
+behaviour, and the default everywhere), and worker exceptions propagate
+to the caller. Both the spec-level grid runner and the generic sweep
+harness (:func:`repro.analysis.sweep.run_sweep`) fan out through here.
+
+Parallel callables must be picklable (module-level functions); payloads
+should be plain data. This module must stay import-light — it is
+imported inside worker processes and by :mod:`repro.analysis.sweep`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker count (None/0 -> all cores, floor 1)."""
+    if workers is None or workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    return max(int(workers), 1)
+
+
+def map_tasks(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int = 1,
+    on_result: Callable[[int, R], None] | None = None,
+) -> list[R]:
+    """Apply *fn* to every item, in order; optionally fan out.
+
+    Parameters
+    ----------
+    fn:
+        The task body. For ``workers > 1`` it must be picklable
+        (defined at module level).
+    items:
+        Inputs, one task each.
+    workers:
+        ``1`` (the default) runs serially in-process (no pool, no
+        pickling); ``N > 1`` uses a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with ``N``
+        workers; ``0``/``None`` means one worker per core.
+    on_result:
+        Optional callback ``(index, result)`` fired as each task
+        finishes (serial: immediately after each call; parallel: in
+        completion order). Results are *returned* in input order either
+        way.
+
+    Returns
+    -------
+    list
+        ``[fn(item) for item in items]`` — input order, exceptions
+        re-raised.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) == 1:
+        out: list[R] = []
+        for i, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(i, result)
+            out.append(result)
+        return out
+
+    results: dict[int, R] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        try:
+            for future in as_completed(futures):
+                i = futures[future]
+                results[i] = future.result()  # re-raises worker exceptions
+                if on_result is not None:
+                    on_result(i, results[i])
+        except BaseException:
+            # Fail fast: drop all queued (not-yet-started) tasks so the
+            # error surfaces after at most the in-flight ones finish,
+            # not after the whole remaining grid runs.
+            pool.shutdown(cancel_futures=True)
+            raise
+    return [results[i] for i in range(len(items))]

@@ -1,0 +1,71 @@
+"""Named balancer factories shared by the CLI and the parallel runner.
+
+A :class:`~repro.runner.spec.RunSpec` travels to worker processes as
+plain data (strings + numbers), so balancers are constructed *by name*
+on the worker side. This module is the single registry mapping those
+names to constructors; ``repro.cli`` reuses it for its ``--algorithm``
+choices, so the CLI and the runner can never disagree about what an
+algorithm name means.
+
+Factory conventions: every factory accepts keyword overrides layered on
+top of its registered defaults, e.g. ``make_balancer("pplb",
+mu_k_base=0.5)`` builds a :class:`~repro.core.ParticlePlaneBalancer`
+whose config differs from the paper defaults only in µk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import (
+    ContractingWithinNeighborhood,
+    DimensionExchange,
+    GradientModel,
+    NoBalancer,
+    RandomWorkStealing,
+    SenderInitiated,
+    TaskDiffusion,
+)
+from repro.core import ParticlePlaneBalancer, PPLBConfig
+from repro.exceptions import ConfigurationError
+from repro.interfaces import Balancer
+
+
+def _pplb(**kw) -> Balancer:
+    return ParticlePlaneBalancer(PPLBConfig(**kw))
+
+
+def _pplb_greedy(**kw) -> Balancer:
+    return ParticlePlaneBalancer(PPLBConfig(**{"beta0": 0.0, **kw}))
+
+
+def _diffusion(**kw) -> Balancer:
+    return TaskDiffusion(**{"policy": "uniform", **kw})
+
+
+def _dimension_exchange(**kw) -> Balancer:
+    return DimensionExchange(**{"min_quota": 0.5, **kw})
+
+
+#: algorithm name -> factory accepting keyword overrides
+FACTORIES: dict[str, Callable[..., Balancer]] = {
+    "pplb": _pplb,
+    "pplb-greedy": _pplb_greedy,
+    "diffusion": _diffusion,
+    "dimension-exchange": _dimension_exchange,
+    "gradient-model": GradientModel,
+    "cwn": ContractingWithinNeighborhood,
+    "work-stealing": RandomWorkStealing,
+    "sender-initiated": SenderInitiated,
+    "none": NoBalancer,
+}
+
+def make_balancer(name: str, **overrides) -> Balancer:
+    """Construct the registered balancer *name* with keyword *overrides*."""
+    try:
+        factory = FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {sorted(FACTORIES)}"
+        )
+    return factory(**overrides)

@@ -1,0 +1,159 @@
+"""The grid runner: specs in, (optionally cached, optionally parallel)
+results out.
+
+:func:`run_grid` is the orchestrator the tentpole experiments use: it
+resolves every spec against the result cache, fans the remaining work
+across worker processes via :mod:`repro.runner.pool`, stores fresh
+results back, and returns :class:`RunOutcome` objects in spec order.
+
+Determinism: cached, serial and parallel paths all normalise results
+through the same JSON payload (:meth:`SimulationResult.to_dict` →
+``from_dict``), so for identical specs the three paths return
+*identical* results — the only field that varies between executions is
+the measured ``wall_time_s`` inside a freshly-run result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from os import PathLike
+from typing import Callable, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.pool import map_tasks
+from repro.runner.spec import RunSpec
+from repro.runner.worker import execute_payload
+from repro.sim import SimulationResult
+
+#: progress callback signature: (outcome, completed count, total count)
+ProgressFn = Callable[["RunOutcome", int, int], None]
+
+
+@dataclass
+class RunOutcome:
+    """One executed (or replayed) spec.
+
+    Attributes
+    ----------
+    spec, key:
+        The spec and its content hash (the cache address).
+    result:
+        The simulation result, rebuilt from the canonical JSON payload.
+    cached:
+        True when the result was replayed from the cache.
+    duration_s:
+        Wall-clock seconds from the start of the execution pass until
+        this result landed (0 for cache hits). The simulation's own
+        loop time is ``result.wall_time_s``.
+    """
+
+    spec: RunSpec
+    key: str
+    result: SimulationResult
+    cached: bool
+    duration_s: float = 0.0
+
+    def row(self) -> dict[str, object]:
+        """Flat summary row: spec coordinates + result summary.
+
+        ``algorithm`` is the spec's registry key (what the user asked
+        for — distinguishes e.g. ``pplb`` from ``pplb-greedy``); the
+        balancer's self-reported display name is kept as ``balancer``.
+        """
+        row: dict[str, object] = {
+            "scenario": self.spec.scenario,
+            "seed": self.spec.seed,
+        }
+        row.update(self.result.summary_row())
+        row["balancer"] = row["algorithm"]
+        row["algorithm"] = self.spec.algorithm
+        row["cached"] = self.cached
+        return row
+
+
+def run_grid(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    cache: ResultCache | str | PathLike | None = None,
+    progress: Optional[ProgressFn] = None,
+) -> list[RunOutcome]:
+    """Execute every spec, replaying cached results and fanning out the rest.
+
+    Parameters
+    ----------
+    specs:
+        The grid (e.g. from :func:`~repro.runner.spec.expand_grid`).
+    workers:
+        ``1`` (the default) is serial — bit-identical to running each
+        spec by hand; ``N > 1`` uses that many worker processes;
+        ``0`` one per core.
+    cache:
+        A :class:`ResultCache`, a directory path for one, or None to
+        disable caching.
+    progress:
+        Optional callback fired once per completed spec with
+        ``(outcome, completed, total)``; cache hits fire first.
+
+    Returns
+    -------
+    list[RunOutcome]
+        One outcome per spec, in input order.
+    """
+    specs = list(specs)
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    outcomes: dict[int, RunOutcome] = {}
+    total = len(specs)
+    done = 0
+
+    def emit(outcome: RunOutcome) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    # Pass 1: resolve cache hits (and pre-compute keys exactly once).
+    pending: list[int] = []
+    keys = [spec.key() for spec in specs]
+    for i, spec in enumerate(specs):
+        payload = cache.get(keys[i]) if cache is not None else None
+        if payload is not None:
+            outcome = RunOutcome(
+                spec=spec,
+                key=keys[i],
+                result=SimulationResult.from_dict(payload),
+                cached=True,
+            )
+            outcomes[i] = outcome
+            emit(outcome)
+        else:
+            pending.append(i)
+
+    # Pass 2: execute the misses (serial or across worker processes).
+    if pending:
+        started = time.perf_counter()
+
+        def collect(rank: int, payload: dict) -> None:
+            i = pending[rank]
+            outcome = RunOutcome(
+                spec=specs[i],
+                key=keys[i],
+                result=SimulationResult.from_dict(payload),
+                cached=False,
+                duration_s=time.perf_counter() - started,
+            )
+            if cache is not None:
+                cache.put(keys[i], specs[i].to_dict(), payload)
+            outcomes[i] = outcome
+            emit(outcome)
+
+        map_tasks(
+            execute_payload,
+            [specs[i].to_dict() for i in pending],
+            workers=workers,
+            on_result=collect,
+        )
+
+    return [outcomes[i] for i in range(total)]

@@ -1,0 +1,181 @@
+"""Run specifications: the unit of work the parallel runner schedules.
+
+A :class:`RunSpec` is plain data — scenario name, algorithm name, seed
+and keyword overrides — so it can cross process boundaries, be hashed
+for the result cache, and be rebuilt from JSON. Two specs with the same
+content produce the same :meth:`RunSpec.key`, and executing a spec is a
+pure function of its content (see :mod:`repro.runner.worker`), which is
+what makes cached results safe to replay.
+
+:func:`expand_grid` builds the (scenario × algorithm × seed) cartesian
+product in deterministic order; :func:`grid_seeds` mints the per-
+repetition seeds with the same :func:`repro.rng.seed_for` discipline the
+sweep harness uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.rng import seed_for
+
+
+@dataclass
+class RunSpec:
+    """One simulation to run: everything needed to reproduce it exactly.
+
+    Attributes
+    ----------
+    scenario:
+        Name in :data:`repro.workloads.SCENARIOS`.
+    algorithm:
+        Name in :data:`repro.runner.registry.FACTORIES`.
+    seed:
+        Seed for both scenario construction and the simulator RNG
+        (mirrors ``pplb run``'s single ``--seed``).
+    max_rounds:
+        Round budget handed to :meth:`Simulator.run`.
+    scenario_kwargs:
+        Size overrides forwarded to ``build_scenario`` (e.g. ``side``,
+        ``n_tasks``).
+    algorithm_kwargs:
+        Config overrides forwarded to the balancer factory.
+    sim_kwargs:
+        Engine overrides forwarded to :class:`~repro.sim.Simulator`
+        (e.g. ``transfer_latency``, ``link_capacity``).
+    """
+
+    scenario: str
+    algorithm: str
+    seed: int = 0
+    max_rounds: int = 500
+    scenario_kwargs: dict = field(default_factory=dict)
+    algorithm_kwargs: dict = field(default_factory=dict)
+    sim_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        # Validate names eagerly so a bad grid fails before any worker
+        # spins up. Imported here to keep this module import-light for
+        # worker processes.
+        from repro.runner.registry import FACTORIES
+        from repro.workloads.scenarios import SCENARIO_KWARGS, SCENARIOS
+
+        if self.scenario not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r}; available: {sorted(SCENARIOS)}"
+            )
+        if self.algorithm not in FACTORIES:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; available: {sorted(FACTORIES)}"
+            )
+        # Scenario builders ignore kwargs they don't read (one kwargs
+        # dict may serve a whole grid), so a typo'd key would silently
+        # run the default scenario while still changing the cache key.
+        unknown = set(self.scenario_kwargs) - SCENARIO_KWARGS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario kwargs {sorted(unknown)}; "
+                f"known: {sorted(SCENARIO_KWARGS)}"
+            )
+
+    # --------------------------- identity ---------------------------- #
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-data form (JSON-ready, inverts via :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+            "scenario_kwargs": dict(self.scenario_kwargs),
+            "algorithm_kwargs": dict(self.algorithm_kwargs),
+            "sim_kwargs": dict(self.sim_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        """Rebuild a spec exported with :meth:`to_dict`."""
+        return cls(
+            scenario=data["scenario"],
+            algorithm=data["algorithm"],
+            seed=int(data["seed"]),
+            max_rounds=int(data["max_rounds"]),
+            scenario_kwargs=dict(data.get("scenario_kwargs", {})),
+            algorithm_kwargs=dict(data.get("algorithm_kwargs", {})),
+            sim_kwargs=dict(data.get("sim_kwargs", {})),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical encoding: sorted keys, no whitespace."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Content hash (sha256 hex) — the result-cache address.
+
+        The hash covers the spec content *and* the library version, so
+        cached results are invalidated when the code that produced them
+        changes (bump ``repro.__version__`` when altering simulation
+        behaviour).
+        """
+        from repro import __version__
+
+        tagged = f"repro-{__version__}:{self.canonical_json()}"
+        return hashlib.sha256(tagged.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for progress lines."""
+        return f"{self.scenario} × {self.algorithm} seed={self.seed}"
+
+
+def grid_seeds(n: int, base_seed: int = 0) -> list[int]:
+    """*n* deterministic seeds derived from *base_seed*.
+
+    Seed *i* is ``seed_for(base_seed, i)``, so extending a grid by more
+    repetitions never changes the seeds of existing ones.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least one seed, got n={n}")
+    return [seed_for(base_seed, i) for i in range(n)]
+
+
+def expand_grid(
+    scenarios: Sequence[str],
+    algorithms: Sequence[str],
+    seeds: Sequence[int],
+    max_rounds: int = 500,
+    scenario_kwargs: Mapping | None = None,
+    algorithm_kwargs: Mapping | None = None,
+    sim_kwargs: Mapping | None = None,
+) -> list[RunSpec]:
+    """Cartesian (scenario × algorithm × seed) product, scenario-major.
+
+    The order is deterministic (scenarios, then algorithms, then seeds,
+    each in the given order) so serial and parallel executions of the
+    same grid agree on spec indices.
+    """
+    if not scenarios or not algorithms or not seeds:
+        raise ConfigurationError(
+            "expand_grid needs at least one scenario, algorithm and seed"
+        )
+    return [
+        RunSpec(
+            scenario=sc,
+            algorithm=alg,
+            seed=int(seed),
+            max_rounds=max_rounds,
+            scenario_kwargs=dict(scenario_kwargs or {}),
+            algorithm_kwargs=dict(algorithm_kwargs or {}),
+            sim_kwargs=dict(sim_kwargs or {}),
+        )
+        for sc in scenarios
+        for alg in algorithms
+        for seed in seeds
+    ]

@@ -1,0 +1,42 @@
+"""Spec execution: the function that runs inside worker processes.
+
+:func:`execute_spec` is the single place a :class:`RunSpec` becomes a
+simulation — the CLI's ``run`` command, the serial fallback and every
+pool worker all call it, so serial and parallel runs are the *same
+code* on different transports. Determinism contract: the result is a
+pure function of the spec's content (scenario construction, balancer
+config and the simulator RNG are all seeded from ``spec.seed``), which
+is what licenses the content-addressed cache.
+
+``execute_payload`` is the pool entry point: module-level (hence
+picklable by reference) and returning the JSON payload rather than the
+result object, so the bytes that cross the process boundary are exactly
+the bytes that would be written to the cache.
+"""
+
+from __future__ import annotations
+
+from repro.runner.registry import make_balancer
+from repro.runner.spec import RunSpec
+from repro.sim import SimulationResult, Simulator
+from repro.workloads import build_scenario
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one spec to completion and return its result."""
+    scenario = build_scenario(spec.scenario, seed=spec.seed, **spec.scenario_kwargs)
+    balancer = make_balancer(spec.algorithm, **spec.algorithm_kwargs)
+    sim = Simulator(
+        scenario.topology,
+        scenario.system,
+        balancer,
+        links=scenario.links,
+        seed=spec.seed,
+        **spec.sim_kwargs,
+    )
+    return sim.run(max_rounds=spec.max_rounds)
+
+
+def execute_payload(spec_dict: dict) -> dict:
+    """Pool-side wrapper: plain-dict spec in, JSON result payload out."""
+    return execute_spec(RunSpec.from_dict(spec_dict)).to_dict()

@@ -4,11 +4,17 @@ Each round appends one :class:`RoundRecord`; :class:`SimulationResult`
 bundles the full history with convergence information and exposes the
 time-series arrays the benchmark harness prints (imbalance vs round,
 cumulative traffic, migration counts).
+
+Results are JSON-serialisable via :meth:`SimulationResult.to_dict` /
+:meth:`SimulationResult.from_dict`; the round-trip is exact (every
+field, including float metrics, survives ``json.dumps``/``loads``
+unchanged), which is what lets the parallel runner's on-disk result
+cache (:mod:`repro.runner`) replay a run without re-simulating.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -129,6 +135,35 @@ class SimulationResult:
             if r.spread <= target:
                 return r.round_index
         return None
+
+    # ------------------------- serialization ------------------------- #
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation of the full result.
+
+        Every field is a JSON scalar/container; ``from_dict`` inverts it
+        exactly (floats round-trip through JSON's repr-based encoding).
+        """
+        return {
+            "records": [asdict(r) for r in self.records],
+            "converged_round": self.converged_round,
+            "initial_summary": dict(self.initial_summary),
+            "final_summary": dict(self.final_summary),
+            "balancer_name": self.balancer_name,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result previously exported with :meth:`to_dict`."""
+        return cls(
+            records=[RoundRecord(**r) for r in data["records"]],
+            converged_round=data["converged_round"],
+            initial_summary=dict(data["initial_summary"]),
+            final_summary=dict(data["final_summary"]),
+            balancer_name=data["balancer_name"],
+            wall_time_s=data["wall_time_s"],
+        )
 
     def summary_row(self) -> dict[str, object]:
         """One-line summary for benchmark tables."""

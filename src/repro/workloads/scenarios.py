@@ -112,6 +112,18 @@ def _mesh_faulty(seed: RngLike, **kw) -> Scenario:
     return Scenario("mesh-faulty", topo, links, system, ids)
 
 
+def _random_hotspot(seed: RngLike, **kw) -> Scenario:
+    n_nodes = int(kw.get("n_nodes", 64))
+    avg_degree = float(kw.get("avg_degree", 4.0))
+    graph_seed = int(kw.get("graph_seed", 1))
+    n_tasks = int(kw.get("n_tasks", 8 * n_nodes))
+    topo = builders.random_connected(n_nodes, avg_degree, seed=graph_seed)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("random-hotspot", topo, links, system, ids)
+
+
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "mesh-hotspot": _mesh_hotspot,
     "torus-hotspot": _torus_hotspot,
@@ -119,7 +131,17 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "mesh-random": _mesh_random,
     "mesh-two-valleys": _mesh_two_valleys,
     "mesh-faulty": _mesh_faulty,
+    "random-hotspot": _random_hotspot,
 }
+
+#: every kwarg some scenario constructor reads. Constructors ignore
+#: keys they don't use (so one kwargs dict can be shared across a
+#: grid of different scenarios), which makes typos silent — callers
+#: that accept user-supplied kwargs (e.g. ``repro.runner.RunSpec``)
+#: validate against this set to catch them.
+SCENARIO_KWARGS = frozenset(
+    {"side", "dim", "n_tasks", "fault_prob", "n_nodes", "avg_degree", "graph_seed"}
+)
 
 
 def build_scenario(name: str, seed: RngLike = 0, **kwargs) -> Scenario:

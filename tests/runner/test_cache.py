@@ -1,0 +1,63 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+from repro.runner import ResultCache
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"records": [], "converged_round": 3, "final_summary": {"cov": 0.125}}
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get(KEY) is None
+        cache.put(KEY, {"scenario": "mesh-hotspot"}, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+        assert cache.misses == 1 and cache.hits == 1
+        assert len(cache) == 1
+
+    def test_entries_are_sharded_by_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, {}, PAYLOAD)
+        assert path.parent.name == KEY[:2]
+        assert path.name == f"{KEY}.json"
+
+    def test_entry_records_spec_and_version(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, {"scenario": "mesh-hotspot", "seed": 5}, PAYLOAD)
+        entry = json.loads(path.read_text())
+        assert entry["spec"] == {"scenario": "mesh-hotspot", "seed": 5}
+        assert entry["key"] == KEY
+        assert entry["version"] == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, {}, PAYLOAD)
+        path.write_text("{not json")
+        assert cache.get(KEY) is None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, {}, PAYLOAD)
+        path.write_text(json.dumps(["not", "a", "dict"]))
+        assert cache.get(KEY) is None
+
+    def test_format_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, {}, PAYLOAD)
+        entry = json.loads(path.read_text())
+        entry["version"] = 0  # a stale format
+        path.write_text(json.dumps(entry))
+        assert cache.get(KEY) is None
+
+    def test_float_payload_roundtrips_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"cov": 0.1 + 0.2, "spread": 1e-17, "neg": -0.0}
+        cache.put(KEY, {}, payload)
+        got = cache.get(KEY)
+        assert got["cov"] == payload["cov"]
+        assert got["spread"] == payload["spread"]
+
+    def test_len_of_empty_root(self, tmp_path):
+        assert len(ResultCache(tmp_path / "never-created")) == 0

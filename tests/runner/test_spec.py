@@ -1,0 +1,103 @@
+"""Unit tests for RunSpec identity, grid expansion and seed derivation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng import seed_for
+from repro.runner import RunSpec, expand_grid, grid_seeds
+
+
+class TestRunSpec:
+    def test_roundtrip(self):
+        spec = RunSpec(
+            scenario="mesh-hotspot",
+            algorithm="pplb",
+            seed=7,
+            max_rounds=123,
+            scenario_kwargs={"side": 4},
+            algorithm_kwargs={"mu_k_base": 0.5},
+            sim_kwargs={"transfer_latency": 2},
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_key_is_stable_and_content_addressed(self):
+        a = RunSpec(scenario="mesh-hotspot", algorithm="pplb", seed=1)
+        b = RunSpec(scenario="mesh-hotspot", algorithm="pplb", seed=1)
+        assert a.key() == b.key()
+        assert len(a.key()) == 64  # sha256 hex
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 2},
+            {"algorithm": "diffusion"},
+            {"scenario": "torus-hotspot"},
+            {"max_rounds": 99},
+            {"scenario_kwargs": {"side": 4}},
+            {"algorithm_kwargs": {"beta0": 0.5}},
+            {"sim_kwargs": {"link_capacity": 2}},
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        base = dict(scenario="mesh-hotspot", algorithm="pplb", seed=1)
+        assert RunSpec(**base).key() != RunSpec(**{**base, **change}).key()
+
+    def test_key_covers_library_version(self, monkeypatch):
+        # Cached results must not survive a code-version bump.
+        spec = RunSpec(scenario="mesh-hotspot", algorithm="pplb", seed=1)
+        before = spec.key()
+        monkeypatch.setattr("repro.__version__", "0.0.0-test")
+        assert spec.key() != before
+
+    def test_kwarg_order_is_canonicalized(self):
+        a = RunSpec("mesh-hotspot", "pplb", scenario_kwargs={"side": 4, "n_tasks": 32})
+        b = RunSpec("mesh-hotspot", "pplb", scenario_kwargs={"n_tasks": 32, "side": 4})
+        assert a.key() == b.key()
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(scenario="nope", algorithm="pplb")
+        with pytest.raises(ConfigurationError):
+            RunSpec(scenario="mesh-hotspot", algorithm="nope")
+        with pytest.raises(ConfigurationError):
+            RunSpec(scenario="mesh-hotspot", algorithm="pplb", max_rounds=0)
+
+    def test_rejects_typoed_scenario_kwargs(self):
+        # Builders silently ignore unknown kwargs, so the spec layer
+        # must catch typos ('n_task') before they poison the cache.
+        with pytest.raises(ConfigurationError, match="n_task"):
+            RunSpec(scenario="mesh-hotspot", algorithm="pplb",
+                    scenario_kwargs={"n_task": 64})
+        # Sharing another scenario's size kwarg across a grid is fine.
+        RunSpec(scenario="mesh-hotspot", algorithm="pplb",
+                scenario_kwargs={"dim": 4, "side": 8})
+
+
+class TestGrid:
+    def test_expand_grid_order_and_size(self):
+        specs = expand_grid(
+            ["mesh-hotspot", "torus-hotspot"], ["pplb", "diffusion"], [1, 2]
+        )
+        assert len(specs) == 8
+        # scenario-major, then algorithm, then seed
+        assert [ (s.scenario, s.algorithm, s.seed) for s in specs[:3] ] == [
+            ("mesh-hotspot", "pplb", 1),
+            ("mesh-hotspot", "pplb", 2),
+            ("mesh-hotspot", "diffusion", 1),
+        ]
+
+    def test_expand_grid_rejects_empty_axes(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid([], ["pplb"], [0])
+        with pytest.raises(ConfigurationError):
+            expand_grid(["mesh-hotspot"], ["pplb"], [])
+
+    def test_grid_seeds_match_sweep_discipline(self):
+        # Same derivation as the sweep harness: extending never perturbs.
+        assert grid_seeds(3) == [seed_for(0, i) for i in range(3)]
+        assert grid_seeds(5)[:3] == grid_seeds(3)
+
+    def test_grid_seeds_depend_on_base(self):
+        assert grid_seeds(3, base_seed=0) != grid_seeds(3, base_seed=1)
+        with pytest.raises(ConfigurationError):
+            grid_seeds(0)

@@ -1,5 +1,7 @@
 """Unit tests for repro.sim.results."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -60,3 +62,35 @@ class TestSeries:
         row = make_result([2.0], converged=0).summary_row()
         assert row["algorithm"] == "test"
         assert {"rounds", "final_cov", "migrations", "traffic", "heat"} <= set(row)
+
+
+class TestSerialization:
+    def test_dict_roundtrip_is_exact(self):
+        res = make_result([10.0, 5.0, 1.0], migrations=[3, 2, 0], converged=2)
+        res.wall_time_s = 0.123456789
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone == res
+
+    def test_roundtrip_survives_json(self):
+        # The runner's cache stores to_dict() as JSON; floats must
+        # survive the encode/decode unchanged.
+        res = make_result([0.1 + 0.2, 1e-17], converged=None)
+        clone = SimulationResult.from_dict(json.loads(json.dumps(res.to_dict())))
+        assert clone == res
+        assert clone.records[0].spread == 0.1 + 0.2
+
+    def test_roundtrip_preserves_behavior(self):
+        res = make_result([10.0, 5.0, 1.0], migrations=[3, 2, 0], converged=2)
+        clone = SimulationResult.from_dict(res.to_dict())
+        assert clone.converged and clone.converged_round == 2
+        assert clone.total_migrations == res.total_migrations
+        np.testing.assert_array_equal(clone.series("spread"), res.series("spread"))
+        assert clone.summary_row() == res.summary_row()
+
+    def test_to_dict_is_json_ready(self):
+        payload = make_result([1.0]).to_dict()
+        json.dumps(payload)  # must not raise
+        assert set(payload) == {
+            "records", "converged_round", "initial_summary",
+            "final_summary", "balancer_name", "wall_time_s",
+        }

@@ -43,3 +43,42 @@ class TestCommands:
         for name, fn in ALGORITHMS.items():
             bal = fn()
             assert hasattr(bal, "step"), name
+
+
+class TestRunGrid:
+    GRID = ["run-grid", "--scenarios", "mesh-hotspot", "mesh-random",
+            "--algorithms", "pplb", "diffusion", "--seeds", "2",
+            "--rounds", "60", "--workers", "2"]
+
+    def test_grid_defaults(self):
+        args = build_parser().parse_args(["run-grid"])
+        assert args.scenarios == ["mesh-hotspot"]
+        assert args.algorithms == ["pplb"]
+        assert args.workers == 1 and args.seeds == 4
+
+    def test_rejects_unknown_grid_axis(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-grid", "--scenarios", "nope"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-grid", "--algorithms", "nope"])
+
+    def test_grid_runs_and_then_serves_from_cache(self, capsys, tmp_path):
+        argv = self.GRID + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "8 specs: 8 executed, 0 from cache" in out
+        assert "[8/8]" in out
+
+        # Second invocation: everything replayed from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "8 specs: 0 executed, 8 from cache" in out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        argv = ["run-grid", "--seeds", "2", "--rounds", "40", "--no-cache",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 from cache" not in out
+        assert not (tmp_path / "cache").exists()
