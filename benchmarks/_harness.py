@@ -1,8 +1,9 @@
 """Shared machinery for the experiment benchmarks.
 
-Every ``bench_*`` module reproduces one experiment (T1 and E1–E16);
-docs/BENCHMARKS.md indexes them all, with the paper claim each one
-checks and how to run it. Conventions:
+Every ``bench_*`` module reproduces one experiment (T1 and E1–E17,
+plus the BENCH engine perf baseline); docs/BENCHMARKS.md indexes them
+all, with the paper claim each one checks and how to run it.
+Conventions:
 
 * Each benchmark times its workload once (``benchmark.pedantic(...,
   rounds=1)``) — these are *experiments*, not micro-benchmarks; the

@@ -1,0 +1,120 @@
+"""BENCH — engine performance baseline (rounds/sec and events/sec).
+
+Not a paper experiment: this is the repository's first *performance*
+artifact, seeding the perf trajectory future PRs measure against. It
+times both engines on one fixed scenario — a 16×16 torus hotspot with
+2048 tasks under PPLB — and records:
+
+* synchronous engine: simulated **rounds/sec**,
+* event engine (jittered clocks, so waves are genuinely per-node):
+  processed **events/sec** and rounds/sec.
+
+The artifact is machine-readable (``benchmarks/results/
+BENCH_engine.json``) so successive baselines can be diffed, plus the
+usual text table. Absolute numbers are hardware-dependent; the asserts
+only require that both engines made progress and that the JSON is
+well-formed.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -s``
+"""
+
+import json
+
+from repro.analysis import format_table
+from repro.runner import RunSpec, execute_spec
+
+from _harness import RESULTS_DIR, emit, once
+
+SCENARIO = "torus-hotspot"
+SIZE = {"side": 16, "n_tasks": 2048}
+ALGORITHM = "pplb"
+SYNC_ROUNDS = 200
+#: desynchronised clocks mean one balancer step per *node* wake — a 256
+#: node torus runs ~256 waves per epoch, so a smaller epoch budget keeps
+#: the baseline under a minute while the measured rates stay stable.
+EVENT_ROUNDS = 40
+SEED = 0
+
+
+def _measure() -> dict:
+    sync = execute_spec(RunSpec(
+        scenario=SCENARIO, algorithm=ALGORITHM, seed=SEED,
+        max_rounds=SYNC_ROUNDS, scenario_kwargs=dict(SIZE), engine="rounds",
+    ))
+
+    # The event engine is measured desynchronised (per-wake jitter), so
+    # the heap, wave batching and per-node clocks are all on the hot
+    # path — the degenerate config would just re-time the sync loop.
+    from repro.runner.registry import make_balancer
+    from repro.sim import EventSimulator
+    from repro.workloads import build_scenario
+
+    scenario = build_scenario(SCENARIO, seed=SEED, **SIZE)
+    sim = EventSimulator(
+        scenario.topology, scenario.system, make_balancer(ALGORITHM),
+        links=scenario.links, seed=SEED, wake_jitter=0.2,
+    )
+    ev = sim.run(max_rounds=EVENT_ROUNDS)
+
+    return {
+        "scenario": SCENARIO,
+        "scenario_kwargs": SIZE,
+        "algorithm": ALGORITHM,
+        "seed": SEED,
+        "sync_rounds_budget": SYNC_ROUNDS,
+        "event_rounds_budget": EVENT_ROUNDS,
+        "sync": {
+            "rounds": sync.n_rounds,
+            "wall_time_s": sync.wall_time_s,
+            "rounds_per_sec": sync.n_rounds / sync.wall_time_s,
+        },
+        "events": {
+            "rounds": ev.n_rounds,
+            "events": sim.events_processed,
+            "wall_time_s": ev.wall_time_s,
+            "rounds_per_sec": ev.n_rounds / ev.wall_time_s,
+            "events_per_sec": sim.events_processed / ev.wall_time_s,
+        },
+    }
+
+
+def test_perf_baseline(benchmark):
+    payload = once(benchmark, _measure)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        {
+            "engine": "rounds",
+            "rounds": payload["sync"]["rounds"],
+            "events": "-",
+            "wall_s": round(payload["sync"]["wall_time_s"], 3),
+            "rounds/s": round(payload["sync"]["rounds_per_sec"], 1),
+            "events/s": "-",
+        },
+        {
+            "engine": "events",
+            "rounds": payload["events"]["rounds"],
+            "events": payload["events"]["events"],
+            "wall_s": round(payload["events"]["wall_time_s"], 3),
+            "rounds/s": round(payload["events"]["rounds_per_sec"], 1),
+            "events/s": round(payload["events"]["events_per_sec"], 1),
+        },
+    ]
+    emit(
+        "BENCH_engine",
+        format_table(rows, title="BENCH — engine perf baseline "
+                                 f"({SCENARIO} {SIZE['side']}×{SIZE['side']}, "
+                                 f"{SIZE['n_tasks']} tasks, {ALGORITHM})"),
+    )
+
+    # Shape, not speed: both engines made progress and the JSON is sane.
+    assert payload["sync"]["rounds"] >= 1
+    assert payload["sync"]["rounds_per_sec"] > 0
+    assert payload["events"]["events"] > payload["events"]["rounds"]
+    assert payload["events"]["events_per_sec"] > 0
+    reread = json.loads((RESULTS_DIR / "BENCH_engine.json").read_text())
+    assert reread == payload

@@ -1,20 +1,24 @@
 #!/bin/sh
-# Smoke check: tier-1 tests, then a tiny runner grid end-to-end.
+# Smoke check: tier-1 tests, then tiny runner grids end-to-end.
 #
 # Usage: scripts/smoke.sh   (from the repository root)
+#        SMOKE_SKIP_TESTS=1 scripts/smoke.sh   (grids only — CI runs the
+#        tier-1 suite as its own step first)
 #
 # Exercises the full stack: the unit/property/integration suite, an
 # 8-spec (scenario × algorithm × seed) grid across 2 worker processes,
-# and a second invocation that must be served entirely from the result
-# cache.
+# a second invocation that must be served entirely from the result
+# cache, and a 2-spec grid on the asynchronous event engine.
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "==> tier-1 tests"
-python -m pytest -x -q
+if [ "${SMOKE_SKIP_TESTS:-0}" != "1" ]; then
+    echo "==> tier-1 tests"
+    python -m pytest -x -q
+fi
 
 CACHE_DIR="$(mktemp -d)"
 trap 'rm -rf "$CACHE_DIR"' EXIT
@@ -28,5 +32,19 @@ grep -q "8 specs: 8 executed, 0 from cache" "$CACHE_DIR/first.out"
 echo "==> runner grid again (must be fully cached)"
 python -m repro.cli run-grid $GRID --workers 2 | tee "$CACHE_DIR/second.out"
 grep -q "8 specs: 0 executed, 8 from cache" "$CACHE_DIR/second.out"
+
+echo "==> event-engine grid (2 specs, async execution model)"
+python -m repro.cli run-grid --scenarios straggler --algorithms pplb diffusion \
+    --seeds 1 --rounds 120 --engine events --cache-dir "$CACHE_DIR/cache" \
+    | tee "$CACHE_DIR/events.out"
+grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/events.out"
+
+echo "==> cache stats / clear round-trip"
+# Capture to files rather than piping into grep -q: grep exiting early
+# would hand the CLI a broken pipe (and mask its exit status).
+python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
+grep -q "entries    : 10" "$CACHE_DIR/stats.out"
+python -m repro.cli cache clear --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/clear.out"
+grep -q "removed 10 cached result" "$CACHE_DIR/clear.out"
 
 echo "==> smoke OK"

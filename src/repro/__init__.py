@@ -24,7 +24,7 @@ Package map
 ``repro.workloads`` — initial distributions and dynamic churn (§1)
 ``repro.core``      — the PPLB algorithm (§4-5)
 ``repro.baselines`` — diffusion, dimension exchange, GM, CWN, … (§2)
-``repro.sim``       — synchronous-round simulation engine
+``repro.sim``       — simulation engines (synchronous rounds + async events)
 ``repro.analysis``  — convergence fits, sweeps, tables, ASCII plots
 ``repro.runner``    — parallel experiment runner with result caching
 """
@@ -50,7 +50,7 @@ from repro.network import (
     torus,
     tree,
 )
-from repro.sim import FluidSimulator, SimulationResult, Simulator
+from repro.sim import EventSimulator, FluidSimulator, SimulationResult, Simulator
 from repro.sim.engine import ConvergenceCriteria
 from repro.tasks import ResourceMap, TaskGraph, TaskSystem
 from repro.workloads import (
@@ -64,7 +64,7 @@ from repro.workloads import (
     uniform_random,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -106,6 +106,7 @@ __all__ = [
     "build_scenario",
     # sim
     "Simulator",
+    "EventSimulator",
     "FluidSimulator",
     "SimulationResult",
     "ConvergenceCriteria",

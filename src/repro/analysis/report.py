@@ -32,6 +32,8 @@ EXPERIMENT_ORDER = [
     "E14_diffusion_limit",
     "E15_transfer_latency",
     "E16_heterogeneous",
+    "E17_async",
+    "BENCH_engine",
 ]
 
 

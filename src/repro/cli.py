@@ -5,14 +5,21 @@ Installed as ``pplb`` (see pyproject). Subcommands:
 * ``pplb run --scenario mesh-hotspot --algorithm pplb`` — one simulation,
   printed summary + convergence curve.
 * ``pplb compare --scenario mesh-hotspot`` — every algorithm on the same
-  scenario, printed comparison table.
+  scenario through the parallel runner (``--workers``, cached), printed
+  comparison table.
 * ``pplb run-grid --scenarios … --algorithms … --seeds N --workers W`` —
   a (scenario × algorithm × seed) grid through the parallel runner with
   result caching (see :mod:`repro.runner`).
+* ``pplb cache stats|clear`` — inspect or empty the on-disk result cache.
 * ``pplb table1`` — regenerate the paper's Table 1 from the parameter
   registry.
 * ``pplb report`` — stitch ``benchmarks/results/`` artifacts into one
   experiment report.
+
+``run``, ``compare`` and ``run-grid`` all accept ``--engine
+{rounds,events}``: ``rounds`` is the paper's synchronous protocol,
+``events`` the discrete-event asynchronous engine
+(:class:`repro.sim.EventSimulator`).
 
 Algorithm names come from :mod:`repro.runner.registry`, the registry
 shared with the runner, so ``--algorithm`` choices and runner specs can
@@ -29,6 +36,7 @@ from repro.analysis import ascii_plot, format_table
 from repro.core import PPLBConfig
 from repro.exceptions import ReproError
 from repro.runner import (
+    ENGINES,
     FACTORIES,
     ResultCache,
     RunSpec,
@@ -44,17 +52,27 @@ from repro.workloads import SCENARIOS
 ALGORITHMS = FACTORIES
 
 
-def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int):
+def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int,
+             engine: str = "rounds"):
     spec = RunSpec(
-        scenario=scenario_name, algorithm=algorithm, seed=seed, max_rounds=rounds
+        scenario=scenario_name, algorithm=algorithm, seed=seed,
+        max_rounds=rounds, engine=engine,
     )
     return execute_spec(spec)
 
 
+def _cache_from(args: argparse.Namespace) -> ResultCache | None:
+    return None if args.no_cache else ResultCache(args.cache_dir)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    result = _run_one(args.scenario, args.algorithm, args.seed, args.rounds)
-    print(format_table([result.summary_row()],
-                       title=f"{args.algorithm} on {args.scenario} (seed {args.seed})"))
+    result = _run_one(args.scenario, args.algorithm, args.seed, args.rounds,
+                      engine=args.engine)
+    print(format_table(
+        [result.summary_row()],
+        title=f"{args.algorithm} on {args.scenario} "
+              f"(seed {args.seed}, {args.engine} engine)",
+    ))
     print()
     print(ascii_plot({"cov": result.series("cov")},
                      title="Imbalance (CoV) vs round", logy=True, height=12))
@@ -62,18 +80,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    rows = []
-    for name in ALGORITHMS:
-        if name == "none":
-            continue
-        result = _run_one(args.scenario, name, args.seed, args.rounds)
-        rows.append(result.summary_row())
+    specs = [
+        RunSpec(scenario=args.scenario, algorithm=name, seed=args.seed,
+                max_rounds=args.rounds, engine=args.engine)
+        for name in ALGORITHMS
+        if name != "none"
+    ]
+    outcomes = run_grid(specs, workers=args.workers, cache=_cache_from(args))
+    rows = [o.row() for o in outcomes]
     print(format_table(
         rows,
         columns=["algorithm", "converged_round", "final_cov", "final_spread",
-                 "migrations", "traffic"],
-        title=f"All algorithms on {args.scenario} (seed {args.seed})",
+                 "migrations", "traffic", "cached"],
+        title=f"All algorithms on {args.scenario} "
+              f"(seed {args.seed}, {args.engine} engine)",
     ))
+    hits = sum(1 for o in outcomes if o.cached)
+    print(f"\n{len(specs)} runs: {len(specs) - hits} executed, {hits} from cache")
     return 0
 
 
@@ -93,8 +116,9 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         args.algorithms,
         grid_seeds(args.seeds, base_seed=args.base_seed),
         max_rounds=args.rounds,
+        engine=args.engine,
     )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = _cache_from(args)
 
     def progress(outcome, done, total):
         res = outcome.result
@@ -126,6 +150,31 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _human_bytes(n: int) -> str:
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{int(size)} B"  # pragma: no cover - unreachable
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache root : {stats['root']}")
+        if not stats["exists"]:
+            print("(cache directory does not exist yet — nothing cached)")
+            return 0
+        print(f"entries    : {stats['entries']}")
+        print(f"disk usage : {_human_bytes(int(stats['total_bytes']))}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     rows = [
         {"parameter": p, "load-balancing equivalent": m, "implemented by": s}
@@ -143,17 +192,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--engine", choices=sorted(ENGINES), default="rounds",
+                       help="execution model: synchronous rounds or the "
+                            "asynchronous discrete-event engine")
+
+    def add_cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=".pplb-cache",
+                       help="result cache directory (re-runs are free)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+
     p_run = sub.add_parser("run", help="run one scenario with one algorithm")
     p_run.add_argument("--scenario", choices=sorted(SCENARIOS), default="mesh-hotspot")
     p_run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="pplb")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--rounds", type=int, default=500)
+    add_engine(p_run)
     p_run.set_defaults(fn=cmd_run)
 
-    p_cmp = sub.add_parser("compare", help="run every algorithm on a scenario")
+    p_cmp = sub.add_parser(
+        "compare",
+        help="run every algorithm on a scenario (through the parallel "
+             "runner, so --workers and the result cache apply)",
+    )
     p_cmp.add_argument("--scenario", choices=sorted(SCENARIOS), default="mesh-hotspot")
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--rounds", type=int, default=500)
+    p_cmp.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial, 0 = one per core)")
+    add_engine(p_cmp)
+    add_cache_args(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_grid = sub.add_parser(
@@ -172,11 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--rounds", type=int, default=500)
     p_grid.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial, 0 = one per core)")
-    p_grid.add_argument("--cache-dir", default=".pplb-cache",
-                        help="result cache directory (re-runs are free)")
-    p_grid.add_argument("--no-cache", action="store_true",
-                        help="disable the result cache")
+    add_engine(p_grid)
+    add_cache_args(p_grid)
     p_grid.set_defaults(fn=cmd_run_grid)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, blurb in (("stats", "entry count and disk usage"),
+                        ("clear", "delete every cached result")):
+        p_cache_cmd = cache_sub.add_parser(name, help=blurb)
+        p_cache_cmd.add_argument("--cache-dir", default=".pplb-cache",
+                                 help="result cache directory")
+        p_cache_cmd.set_defaults(fn=cmd_cache)
 
     p_t1 = sub.add_parser("table1", help="print the paper's Table 1 mapping")
     p_t1.set_defaults(fn=cmd_table1)

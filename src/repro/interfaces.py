@@ -85,6 +85,15 @@ class BalanceContext:
         the balance target is capacity-proportional (``h_i ∝ s_i``) and
         speed-aware balancers should work on the *effective* surface
         ``h_i / s_i``. None means homogeneous processors.
+    awake:
+        Per-node wake mask for this balancing wave, or None when every
+        node is participating (always None under the synchronous
+        engine). The asynchronous event engine
+        (:class:`repro.sim.events.EventSimulator`) refuses orders
+        between two sleeping nodes (an awake src is a push, an awake
+        dst a pull), so async-aware balancers can consult this mask to
+        avoid planning moves that will be dropped; async-oblivious
+        balancers may ignore it.
     """
 
     topology: "Topology"
@@ -97,6 +106,7 @@ class BalanceContext:
     task_graph: Optional["TaskGraph"] = None
     resources: Optional["ResourceMap"] = None
     node_speeds: Optional[np.ndarray] = None
+    awake: Optional[np.ndarray] = None
 
 
 class Balancer(abc.ABC):

@@ -42,10 +42,11 @@ from repro.runner.merge import (
 from repro.runner.pool import map_tasks, resolve_workers
 from repro.runner.registry import FACTORIES, make_balancer
 from repro.runner.runner import RunOutcome, run_grid
-from repro.runner.spec import RunSpec, expand_grid, grid_seeds
+from repro.runner.spec import ENGINES, RunSpec, expand_grid, grid_seeds
 from repro.runner.worker import execute_spec
 
 __all__ = [
+    "ENGINES",
     "FACTORIES",
     "ResultCache",
     "RunOutcome",

@@ -94,6 +94,54 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def stats(self) -> dict[str, object]:
+        """On-disk usage summary (``pplb cache stats``).
+
+        Returns ``root``, whether it exists, entry count and total
+        payload bytes — everything needed to decide whether the cache
+        is worth keeping or due a :meth:`clear`.
+        """
+        entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue  # entry vanished mid-scan
+                entries += 1
+        return {
+            "root": str(self.root),
+            "exists": self.root.is_dir(),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed.
+
+        Leaves the root directory itself in place (it may be configured
+        in scripts) but prunes the now-empty shard subdirectories.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # non-empty (stray files) — leave it
+        return removed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "

@@ -23,6 +23,9 @@ from typing import Mapping, Sequence
 from repro.exceptions import ConfigurationError
 from repro.rng import seed_for
 
+#: execution models a spec may request (see :mod:`repro.runner.worker`).
+ENGINES = frozenset({"rounds", "events"})
+
 
 @dataclass
 class RunSpec:
@@ -45,8 +48,15 @@ class RunSpec:
     algorithm_kwargs:
         Config overrides forwarded to the balancer factory.
     sim_kwargs:
-        Engine overrides forwarded to :class:`~repro.sim.Simulator`
-        (e.g. ``transfer_latency``, ``link_capacity``).
+        Engine overrides forwarded to the simulator (e.g.
+        ``transfer_latency``, ``link_capacity``; event-engine runs also
+        accept ``cadence``, ``wake_jitter``, ``stragglers``, …).
+    engine:
+        Which execution model runs the spec: ``"rounds"`` (the
+        synchronous :class:`~repro.sim.Simulator`, the default) or
+        ``"events"`` (the asynchronous
+        :class:`~repro.sim.EventSimulator`). Part of the content hash,
+        so the two engines never share cache entries.
     """
 
     scenario: str
@@ -56,11 +66,16 @@ class RunSpec:
     scenario_kwargs: dict = field(default_factory=dict)
     algorithm_kwargs: dict = field(default_factory=dict)
     sim_kwargs: dict = field(default_factory=dict)
+    engine: str = "rounds"
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; available: {sorted(ENGINES)}"
             )
         # Validate names eagerly so a bad grid fails before any worker
         # spins up. Imported here to keep this module import-light for
@@ -98,6 +113,7 @@ class RunSpec:
             "scenario_kwargs": dict(self.scenario_kwargs),
             "algorithm_kwargs": dict(self.algorithm_kwargs),
             "sim_kwargs": dict(self.sim_kwargs),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -111,6 +127,7 @@ class RunSpec:
             scenario_kwargs=dict(data.get("scenario_kwargs", {})),
             algorithm_kwargs=dict(data.get("algorithm_kwargs", {})),
             sim_kwargs=dict(data.get("sim_kwargs", {})),
+            engine=str(data.get("engine", "rounds")),
         )
 
     def canonical_json(self) -> str:
@@ -132,7 +149,10 @@ class RunSpec:
 
     def label(self) -> str:
         """Short human-readable tag for progress lines."""
-        return f"{self.scenario} × {self.algorithm} seed={self.seed}"
+        tag = f"{self.scenario} × {self.algorithm} seed={self.seed}"
+        if self.engine != "rounds":
+            tag += f" [{self.engine}]"
+        return tag
 
 
 def grid_seeds(n: int, base_seed: int = 0) -> list[int]:
@@ -154,6 +174,7 @@ def expand_grid(
     scenario_kwargs: Mapping | None = None,
     algorithm_kwargs: Mapping | None = None,
     sim_kwargs: Mapping | None = None,
+    engine: str = "rounds",
 ) -> list[RunSpec]:
     """Cartesian (scenario × algorithm × seed) product, scenario-major.
 
@@ -174,6 +195,7 @@ def expand_grid(
             scenario_kwargs=dict(scenario_kwargs or {}),
             algorithm_kwargs=dict(algorithm_kwargs or {}),
             sim_kwargs=dict(sim_kwargs or {}),
+            engine=engine,
         )
         for sc in scenarios
         for alg in algorithms

@@ -8,6 +8,12 @@ pure function of the spec's content (scenario construction, balancer
 config and the simulator RNG are all seeded from ``spec.seed``), which
 is what licenses the content-addressed cache.
 
+``spec.engine`` selects the execution model: ``"rounds"`` builds the
+synchronous :class:`~repro.sim.Simulator`, ``"events"`` the
+asynchronous :class:`~repro.sim.EventSimulator`. Both receive whatever
+extras the scenario carries (per-node speeds, a churn process), so a
+scenario means the same workload under either engine.
+
 ``execute_payload`` is the pool entry point: module-level (hence
 picklable by reference) and returning the JSON payload rather than the
 result object, so the bytes that cross the process boundary are exactly
@@ -18,7 +24,7 @@ from __future__ import annotations
 
 from repro.runner.registry import make_balancer
 from repro.runner.spec import RunSpec
-from repro.sim import SimulationResult, Simulator
+from repro.sim import EventSimulator, SimulationResult, Simulator
 from repro.workloads import build_scenario
 
 
@@ -26,14 +32,17 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     """Run one spec to completion and return its result."""
     scenario = build_scenario(spec.scenario, seed=spec.seed, **spec.scenario_kwargs)
     balancer = make_balancer(spec.algorithm, **spec.algorithm_kwargs)
-    sim = Simulator(
-        scenario.topology,
-        scenario.system,
-        balancer,
-        links=scenario.links,
-        seed=spec.seed,
+    engine_cls = EventSimulator if spec.engine == "events" else Simulator
+    # Scenario-carried extras are defaults; explicit sim_kwargs win (a
+    # spec may legitimately override e.g. node_speeds or dynamic).
+    sim_kwargs: dict = {
+        "links": scenario.links,
+        "dynamic": scenario.dynamic,
+        "node_speeds": scenario.node_speeds,
+        "seed": spec.seed,
         **spec.sim_kwargs,
-    )
+    }
+    sim = engine_cls(scenario.topology, scenario.system, balancer, **sim_kwargs)
     return sim.run(max_rounds=spec.max_rounds)
 
 

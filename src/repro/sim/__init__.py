@@ -1,12 +1,18 @@
-"""Synchronous-round simulation engine (paper §5's execution model).
+"""Simulation engines (synchronous rounds and asynchronous events).
 
-The engine realises the paper's implicit machine model: time advances in
-synchronous rounds; in each round every link carries at most a fixed
-number of loads (default 1 — "at each time unit only a single load is
-transferred over a link"); faults are realised at round start; balancers
-observe the state and order one-hop migrations.
+The synchronous engine realises the paper's implicit machine model:
+time advances in synchronous rounds; in each round every link carries
+at most a fixed number of loads (default 1 — "at each time unit only a
+single load is transferred over a link"); faults are realised at round
+start; balancers observe the state and order one-hop migrations.
 
-* :class:`Simulator` — task-granular simulation (the paper's setting).
+* :class:`Simulator` — task-granular synchronous simulation (the
+  paper's setting).
+* :class:`EventSimulator` — discrete-event *asynchronous* simulation in
+  continuous time: per-node clocks (heterogeneous speeds, jitter,
+  stragglers), latency-delayed transfers, results sampled at epoch
+  boundaries. Degenerates exactly to :class:`Simulator` under unit
+  clocks / zero latency / uniform cadence.
 * :class:`FluidSimulator` — divisible-load simulation for the diffusion-
   family theory checks.
 * :mod:`metrics <repro.sim.metrics>` — imbalance and traffic metrics.
@@ -14,6 +20,7 @@ observe the state and order one-hop migrations.
 """
 
 from repro.sim.engine import FluidSimulator, Simulator
+from repro.sim.events import EventSimulator
 from repro.sim.metrics import (
     coefficient_of_variation,
     imbalance_summary,
@@ -24,6 +31,7 @@ from repro.sim.results import RoundRecord, SimulationResult
 
 __all__ = [
     "Simulator",
+    "EventSimulator",
     "FluidSimulator",
     "SimulationResult",
     "RoundRecord",

@@ -1,0 +1,537 @@
+"""The discrete-event asynchronous simulation engine.
+
+:class:`EventSimulator` drops the synchronous-round assumption of
+:class:`repro.sim.engine.Simulator`: time is continuous, driven by a
+heap-based event queue, and every node has its *own* clock. A node
+wakes on its own balancing cadence (heterogeneous speed factors,
+per-wake jitter, optional straggler slowdowns), observes the system
+through the same :class:`~repro.interfaces.BalanceContext` snapshot,
+and issues the same one-hop :class:`~repro.interfaces.Migration`
+orders — so every registered :class:`~repro.interfaces.Balancer` runs
+unchanged on both engines.
+
+Event types (ordered by a fixed priority at equal timestamps, so the
+schedule is deterministic):
+
+1. **epoch-begin** — link fault/repair transitions are realised
+   (:class:`~repro.network.faults.FaultModel.advance`), once per epoch.
+2. **task arrival** — an in-transit task lands on its destination
+   (latency = load × e_ij / bandwidth, scaled by ``latency_scale``).
+3. **churn** — workload arrivals/completions
+   (:class:`~repro.workloads.dynamic.DynamicWorkload.step`).
+4. **wake** — a *wave* of nodes whose clocks fire at this instant
+   balances: one ``balancer.step`` call; orders between two sleeping
+   nodes are refused by the engine (async-oblivious balancers simply
+   lose those decisions, the way a real node's plan for someone else's
+   processors would). An order touching an awake endpoint survives:
+   src awake is a push, dst awake a pull (work stealing's steals are
+   sourced at the sleeping victim). Link capacity is enforced per *time
+   unit*, not per wave: a link whose epoch budget was spent by an
+   earlier wave refuses further transfers as busy (counted in
+   ``blocked``), preserving the paper's "a single load per link per
+   time unit" under desynchronised clocks.
+5. **epoch-end** — metrics are sampled into a
+   :class:`~repro.sim.results.RoundRecord` and convergence is checked.
+
+Results are sampled at *epoch* boundaries (default epoch length 1.0, one
+epoch ⇔ one synchronous round), so they land in the existing
+:class:`~repro.sim.results.SimulationResult` shape and every downstream
+consumer — ``to_dict``/``from_dict``, the runner cache, ``analysis``,
+``viz`` — works without modification.
+
+**The correctness anchor**: with homogeneous unit clocks, zero transfer
+latency and the default uniform cadence (= the epoch length), every
+wake wave contains *all* nodes at integer times — the event schedule
+degenerates to the synchronous protocol and :meth:`EventSimulator.run`
+reproduces :meth:`Simulator.run` exactly (same seed ⇒ identical
+per-round records). ``tests/sim/test_event_equivalence.py`` holds this
+as a property, not a hope.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.interfaces import BalanceContext, Balancer, Migration
+from repro.network.faults import FaultModel
+from repro.network.links import LinkAttributes, link_costs
+from repro.network.topology import Topology
+from repro.rng import RngLike, derive, ensure_rng
+from repro.sim.engine import ConvergenceCriteria
+from repro.sim.metrics import imbalance_summary
+from repro.sim.results import RoundRecord, SimulationResult
+from repro.tasks.resources import ResourceMap
+from repro.tasks.task import TaskSystem
+from repro.tasks.task_graph import TaskGraph
+from repro.workloads.dynamic import DynamicWorkload
+
+#: event priorities at equal timestamps — the deterministic tie-break
+#: that makes the degenerate schedule identical to a synchronous round
+#: (faults realised, then deliveries, then churn, then balancing, then
+#: sampling).
+_EPOCH_BEGIN, _ARRIVAL, _CHURN, _WAKE, _EPOCH_END = range(5)
+
+#: spawn key for the clock-jitter stream (kept off the balancer's
+#: context RNG so wake scheduling never perturbs balancing decisions).
+_CLOCK_STREAM = 9001
+
+
+class EventSimulator:
+    """Asynchronous, continuous-time simulation of the same protocol.
+
+    Parameters mirror :class:`repro.sim.engine.Simulator` where the
+    concept carries over; the additions are the clock model.
+
+    Parameters
+    ----------
+    topology, system, balancer, links, fault_model, task_graph,
+    resources, dynamic, link_capacity, c1, e0, seed, criteria,
+    node_speeds:
+        As in :class:`~repro.sim.engine.Simulator`. ``node_speeds`` are
+        *processing* speeds: they define the effective metric surface
+        ``h_i / s_i`` and, by default, also drive each node's wake rate
+        (a slow processor balances less often).
+    transfer_latency:
+        ``0`` (default) = instantaneous; a positive ``float`` is a
+        constant in-flight time per hop (in simulation-time units);
+        ``"size"`` computes ``load · distance / bandwidth ·
+        latency_scale`` per hop — the continuous-time version of the
+        synchronous engine's size-proportional latency.
+    latency_scale:
+        Multiplier for ``"size"`` latencies (1.0 = one time unit per
+        unit of load over a unit link).
+    cadence:
+        Base balancing period in simulation-time units. A node with
+        clock speed ``c_i`` wakes every ``cadence / c_i`` time units.
+        The default (1.0 = the epoch length) is the degenerate,
+        synchronous-equivalent setting.
+    clock_speeds:
+        Optional per-node wake-rate factors. Defaults to
+        ``node_speeds`` when given, else uniform 1.0.
+    wake_jitter:
+        Fractional jitter on every wake interval: each period is drawn
+        as ``cadence / c_i · U(1−j, 1+j)``. Jitter draws come from a
+        dedicated sub-stream of *seed*, so they never perturb the
+        balancer's context RNG.
+    stragglers:
+        Optional mapping node → slowdown factor ≥ 1 applied on top of
+        the node's clock speed (a factor of 4 makes the node balance
+        4× less often). Keys may be ints or strings (JSON round-trip).
+    epoch:
+        Sampling period: metrics are recorded and faults/churn realised
+        every *epoch* time units; one epoch is one "round" in the
+        recorded result.
+
+    Attributes
+    ----------
+    events_processed:
+        Events popped during the last :meth:`run` (the events/sec
+        numerator of ``benchmarks/bench_perf.py``).
+    wakes_per_node:
+        Per-node count of balancing wakes during the last :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        system: TaskSystem,
+        balancer: Balancer,
+        links: Optional[LinkAttributes] = None,
+        fault_model: Optional[FaultModel] = None,
+        task_graph: Optional[TaskGraph] = None,
+        resources: Optional[ResourceMap] = None,
+        dynamic: Optional[DynamicWorkload] = None,
+        link_capacity: int = 1,
+        transfer_latency: Union[float, str] = 0.0,
+        latency_scale: float = 1.0,
+        c1: float = 1.0,
+        e0: float = 1.0,
+        seed: RngLike = None,
+        criteria: ConvergenceCriteria = ConvergenceCriteria(),
+        node_speeds: Optional[np.ndarray] = None,
+        cadence: float = 1.0,
+        clock_speeds: Optional[np.ndarray] = None,
+        wake_jitter: float = 0.0,
+        stragglers: Optional[Mapping] = None,
+        epoch: float = 1.0,
+    ):
+        if system.topology is not topology:
+            raise ConfigurationError("task system was built for a different topology")
+        if link_capacity < 1:
+            raise ConfigurationError(f"link_capacity must be >= 1, got {link_capacity}")
+        if isinstance(transfer_latency, str):
+            if transfer_latency != "size":
+                raise ConfigurationError(
+                    f"transfer_latency must be a float >= 0 or 'size', got "
+                    f"{transfer_latency!r}"
+                )
+        elif transfer_latency < 0:
+            raise ConfigurationError(
+                f"transfer_latency must be >= 0, got {transfer_latency}"
+            )
+        if latency_scale < 0:
+            raise ConfigurationError(f"latency_scale must be >= 0, got {latency_scale}")
+        if cadence <= 0:
+            raise ConfigurationError(f"cadence must be positive, got {cadence}")
+        if epoch <= 0:
+            raise ConfigurationError(f"epoch must be positive, got {epoch}")
+        if not 0 <= wake_jitter < 1:
+            raise ConfigurationError(
+                f"wake_jitter must be in [0, 1), got {wake_jitter}"
+            )
+        n = topology.n_nodes
+        if node_speeds is not None:
+            node_speeds = np.asarray(node_speeds, dtype=np.float64)
+            if node_speeds.shape != (n,):
+                raise ConfigurationError(
+                    f"node_speeds must have shape ({n},), got {node_speeds.shape}"
+                )
+            if (node_speeds <= 0).any():
+                raise ConfigurationError("node speeds must be positive")
+        if clock_speeds is None:
+            clock_speeds = (
+                node_speeds.copy() if node_speeds is not None else np.ones(n)
+            )
+        else:
+            clock_speeds = np.asarray(clock_speeds, dtype=np.float64).copy()
+            if clock_speeds.shape != (n,):
+                raise ConfigurationError(
+                    f"clock_speeds must have shape ({n},), got {clock_speeds.shape}"
+                )
+            if (clock_speeds <= 0).any():
+                raise ConfigurationError("clock speeds must be positive")
+        if stragglers:
+            for node, factor in stragglers.items():
+                node = int(node)  # JSON object keys arrive as strings
+                if not 0 <= node < n:
+                    raise ConfigurationError(
+                        f"straggler node {node} out of range [0, {n})"
+                    )
+                factor = float(factor)
+                if factor < 1:
+                    raise ConfigurationError(
+                        f"straggler slowdown must be >= 1, got {factor} "
+                        f"for node {node}"
+                    )
+                clock_speeds[node] /= factor
+
+        self.topology = topology
+        self.system = system
+        self.balancer = balancer
+        self.links = links if links is not None else LinkAttributes.uniform(topology)
+        if self.links.topology is not topology:
+            raise ConfigurationError("link attributes were built for a different topology")
+        self.fault_model = fault_model
+        self.task_graph = task_graph
+        self.resources = resources
+        self.dynamic = dynamic
+        self.link_capacity = link_capacity
+        self.transfer_latency = transfer_latency
+        self.latency_scale = float(latency_scale)
+        self.criteria = criteria
+        self.node_speeds = node_speeds
+        self.cadence = float(cadence)
+        self.clock_speeds = clock_speeds
+        self.wake_jitter = float(wake_jitter)
+        self.epoch = float(epoch)
+        self.rng = ensure_rng(seed)
+        # Jitter draws must not touch the balancer's context stream: a
+        # Generator seed is *spawned* (advances only its spawn counter,
+        # never the bit stream the balancer consumes); plain seeds get
+        # an independent derived stream.
+        if self.wake_jitter == 0:
+            self._clock_rng = None
+        elif isinstance(seed, np.random.Generator):
+            self._clock_rng = seed.spawn(1)[0]
+        else:
+            self._clock_rng = derive(seed, _CLOCK_STREAM)
+        self.link_costs = link_costs(self.links, c1=c1, e0=e0)
+        self._all_up = np.ones(topology.n_edges, dtype=bool)
+        self._periods = self.cadence / self.clock_speeds
+
+        self.events_processed = 0
+        self.wakes_per_node = np.zeros(n, dtype=np.int64)
+        self.now = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def _context(
+        self, epoch_index: int, up_mask: np.ndarray, awake: Optional[np.ndarray]
+    ) -> BalanceContext:
+        return BalanceContext(
+            topology=self.topology,
+            system=self.system,
+            links=self.links,
+            link_costs=self.link_costs,
+            up_mask=up_mask,
+            round_index=epoch_index,
+            rng=self.rng,
+            task_graph=self.task_graph,
+            resources=self.resources,
+            node_speeds=self.node_speeds,
+            awake=awake,
+        )
+
+    def _effective_loads(self) -> np.ndarray:
+        h = self.system.node_loads
+        if self.node_speeds is None:
+            return h
+        return h / self.node_speeds
+
+    def _latency_of(self, load: float, eid: int) -> float:
+        if self.transfer_latency == 0:
+            return 0.0
+        if self.transfer_latency == "size":
+            bw = float(self.links.bandwidth[eid])
+            d = float(self.links.distance[eid])
+            return load * d / bw * self.latency_scale
+        return float(self.transfer_latency)
+
+    def _next_period(self, node: int) -> float:
+        base = self._periods[node]
+        if self._clock_rng is None:
+            return base
+        j = self.wake_jitter
+        return base * float(self._clock_rng.uniform(1.0 - j, 1.0 + j))
+
+    def _push(self, when: float, priority: int, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, priority, self._seq, payload))
+
+    # ------------------------------------------------------------------ #
+
+    def _wave(self, t: float, nodes: list[int], up_mask: np.ndarray) -> None:
+        """One balancing wave: every node whose clock fired at *t*."""
+        self.wakes_per_node[nodes] += 1
+        awake: Optional[np.ndarray]
+        if len(nodes) == self.topology.n_nodes:
+            awake = None  # full wave — the degenerate (synchronous) case
+        else:
+            awake = np.zeros(self.topology.n_nodes, dtype=bool)
+            awake[nodes] = True
+        ctx = self._context(self._epoch_index, up_mask, awake)
+        migrations = self.balancer.step(ctx)
+        self._apply(migrations, t, up_mask, awake)
+
+    def _apply(
+        self,
+        migrations: list[Migration],
+        t: float,
+        up_mask: np.ndarray,
+        awake: Optional[np.ndarray],
+    ) -> None:
+        """Validate and apply a wave's orders (same contract as the
+        synchronous engine: an invalid order is a balancer bug and
+        raises; a fault-refused or sleeping-endpoints order is counted
+        and dropped)."""
+        capacity = np.zeros(self.topology.n_edges, dtype=np.int64)
+        for m in migrations:
+            if awake is not None and not (awake[m.src] or awake[m.dst]):
+                # An async-oblivious balancer planned a move between two
+                # nodes whose clocks did not fire: the decision never
+                # happened. Orders touching an awake endpoint survive —
+                # src awake is a push (sender-initiated), dst awake a
+                # pull (receiver-initiated, e.g. work stealing).
+                self._ep_asleep += 1
+                continue
+            if not self.system.is_alive(m.task_id):
+                raise SimulationError(f"balancer ordered a move of dead task {m.task_id}")
+            loc = self.system.location_of(m.task_id)
+            if loc != m.src:
+                raise SimulationError(
+                    f"task {m.task_id} is at node {loc}, not at claimed source {m.src}"
+                )
+            eid = self.topology.edge_id(m.src, m.dst)  # raises on non-edges
+            if not up_mask[eid]:
+                self._ep_blocked += 1
+                continue
+            if capacity[eid] + 1 > self.link_capacity:
+                # More orders over one link than a single step may
+                # schedule — a balancer bug, exactly as on the sync path.
+                raise SimulationError(
+                    f"link ({m.src}, {m.dst}) over capacity: "
+                    f"{capacity[eid] + 1} > {self.link_capacity}"
+                )
+            if capacity[eid] + self._ep_link_used[eid] + 1 > self.link_capacity:
+                # The link's per-time-unit budget was already spent by
+                # an earlier wave this epoch (only possible once clocks
+                # desynchronise): the link is busy and the transfer is
+                # refused, like a faulted link — the paper's "a single
+                # load per link per time unit" holds in continuous time.
+                self._ep_blocked += 1
+                continue
+            capacity[eid] += 1
+            load = self.system.load_of(m.task_id)
+            latency = self._latency_of(load, eid)
+            if latency <= 0:
+                self.system.move(m.task_id, m.dst)
+            else:
+                self.system.send_to_transit(m.task_id)
+                self._push(t + latency, _ARRIVAL, (m.task_id, m.dst))
+            self._ep_applied += 1
+            self._ep_work += load * float(self.link_costs[eid])
+            self._ep_heat += m.heat
+        self._ep_link_used += capacity
+
+    def _churn(self) -> None:
+        created, removed = self.dynamic.step(self.system)
+        if self.task_graph is not None:
+            for tid in removed:
+                self.task_graph.drop_task(tid)
+        if self.resources is not None:
+            for tid in removed:
+                self.resources.drop_task(tid)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_rounds: int = 1000) -> SimulationResult:
+        """Simulate up to *max_rounds* epochs (early exit on convergence).
+
+        One epoch spans ``epoch`` simulation-time units and produces one
+        :class:`~repro.sim.results.RoundRecord`, so ``max_rounds`` plays
+        the same budget role as in the synchronous engine.
+        """
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        result = SimulationResult(balancer_name=self.balancer.name)
+        result.initial_summary = imbalance_summary(self._effective_loads())
+        start = time.perf_counter()
+
+        self.balancer.reset(self._context(0, self._all_up, None))
+        self.events_processed = 0
+        self.wakes_per_node[:] = 0
+        # Land anything still on the wire from a previous run (arrival
+        # events left in the old heap) so a fresh run starts with every
+        # task on a node — the event-engine analogue of the synchronous
+        # engine draining its wire dict on reset.
+        for when, priority, _seq, payload in sorted(getattr(self, "_heap", [])):
+            if priority == _ARRIVAL:
+                tid, dest = payload
+                if self.system.is_alive(tid):
+                    self.system.deliver(tid, dest)
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._epoch_index = 0
+        self._ep_applied = 0
+        self._ep_work = 0.0
+        self._ep_heat = 0.0
+        self._ep_blocked = 0
+        self._ep_asleep = 0
+        # Per-link transfers already scheduled this epoch (= time
+        # unit): caps cross-wave traffic at link_capacity per epoch.
+        self._ep_link_used = np.zeros(self.topology.n_edges, dtype=np.int64)
+        up_mask = self._all_up
+
+        quiet = 0
+        converged_at: Optional[int] = None
+        crit = self.criteria
+
+        self._push(0.0, _EPOCH_BEGIN, 0)
+        if self.dynamic is not None:
+            self._push(0.0, _CHURN, 0)
+        self._push(0.0, _EPOCH_END, 0)
+        for node in range(self.topology.n_nodes):
+            self._push(0.0, _WAKE, node)
+
+        heap = self._heap
+        stop = False
+        while heap and not stop:
+            t, priority, _seq, payload = heapq.heappop(heap)
+            self.now = t
+            self.events_processed += 1
+
+            if priority == _WAKE:
+                # Batch every clock that fires at this exact instant
+                # into one wave (the degenerate config batches *all*
+                # nodes, reproducing the synchronous round).
+                nodes = [payload]
+                while heap and heap[0][0] == t and heap[0][1] == _WAKE:
+                    nodes.append(heapq.heappop(heap)[3])
+                    self.events_processed += 1
+                self._wave(t, nodes, up_mask)
+                for node in nodes:
+                    self._push(t + self._next_period(node), _WAKE, node)
+
+            elif priority == _ARRIVAL:
+                tid, dest = payload
+                if self.system.is_alive(tid):  # may have completed on the wire
+                    self.system.deliver(tid, dest)
+
+            elif priority == _EPOCH_BEGIN:
+                self._epoch_index = payload
+                if self.fault_model is not None:
+                    self.fault_model.advance(payload)
+                    up_mask = self.fault_model.up_mask()
+
+            elif priority == _CHURN:
+                self._churn()
+
+            else:  # _EPOCH_END
+                k = payload
+                summ = imbalance_summary(self._effective_loads())
+                in_flight = (
+                    0 if self.balancer.idle()
+                    else getattr(self.balancer, "in_flight", 1)
+                )
+                result.records.append(
+                    RoundRecord(
+                        round_index=k,
+                        n_migrations=self._ep_applied,
+                        traffic_work=self._ep_work,
+                        heat=self._ep_heat,
+                        cov=summ["cov"],
+                        spread=summ["spread"],
+                        max_load=summ["max"],
+                        min_load=summ["min"],
+                        in_flight=in_flight,
+                        blocked=self._ep_blocked,
+                        n_tasks=self.system.n_tasks,
+                        asleep=self._ep_asleep,
+                    )
+                )
+                applied = self._ep_applied
+                self._ep_applied = 0
+                self._ep_work = 0.0
+                self._ep_heat = 0.0
+                self._ep_blocked = 0
+                self._ep_asleep = 0
+                self._ep_link_used[:] = 0
+
+                if self.dynamic is None:
+                    balanced_enough = (
+                        crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
+                    )
+                    if (
+                        applied == 0
+                        and self.balancer.idle()
+                        and self.system.n_in_transit == 0
+                    ):
+                        quiet += 1
+                    else:
+                        quiet = 0
+                    if k + 1 >= crit.min_rounds and (
+                        quiet >= crit.quiet_rounds
+                        or (balanced_enough and self.balancer.idle())
+                    ):
+                        converged_at = k - quiet + 1 if quiet >= crit.quiet_rounds else k
+                        stop = True
+                        continue
+
+                if k + 1 >= max_rounds:
+                    stop = True
+                    continue
+                when = (k + 1) * self.epoch
+                self._push(when, _EPOCH_BEGIN, k + 1)
+                if self.dynamic is not None:
+                    self._push(when, _CHURN, k + 1)
+                self._push(when, _EPOCH_END, k + 1)
+
+        result.converged_round = converged_at
+        result.final_summary = imbalance_summary(self._effective_loads())
+        result.wall_time_s = time.perf_counter() - start
+        return result

@@ -40,11 +40,17 @@ class RoundRecord:
         Tasks still journeying after the round (0 for memoryless
         balancers).
     blocked:
-        Migrations refused this round because their link was faulted
-        (the balancer ordered them anyway — engine-level fault refusal,
-        only possible for fault-oblivious balancers).
+        Migrations refused this round by the engine: the link was
+        faulted (the balancer ordered them anyway — only possible for
+        fault-oblivious balancers) or, under the event engine, busy
+        (its per-time-unit capacity already spent by an earlier wave
+        in the same epoch).
     n_tasks:
         Alive tasks after the round (varies under dynamic workloads).
+    asleep:
+        Migrations refused because neither endpoint's clock had fired
+        in the wave that planned them (event engine only; always 0
+        under the synchronous engine and in degenerate async runs).
     """
 
     round_index: int
@@ -58,6 +64,7 @@ class RoundRecord:
     in_flight: int = 0
     blocked: int = 0
     n_tasks: int = 0
+    asleep: int = 0
 
 
 @dataclass

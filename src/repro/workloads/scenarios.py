@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.network import builders
 from repro.network.links import LinkAttributes
@@ -19,6 +21,7 @@ from repro.network.topology import Topology
 from repro.rng import RngLike, derive, ensure_rng
 from repro.tasks.task import TaskSystem
 from repro.workloads import distributions
+from repro.workloads.dynamic import DynamicWorkload
 
 
 @dataclass
@@ -33,6 +36,14 @@ class Scenario:
         The network, its link attributes, and the populated task system.
     task_ids:
         Ids of the initially created tasks.
+    node_speeds:
+        Optional per-node processing speeds (None = homogeneous). The
+        engines use them for the effective metric surface; the event
+        engine additionally derives per-node balancing cadences from
+        them (a slow node balances less often).
+    dynamic:
+        Optional workload churn process the engines should drive (None
+        = static workload).
     """
 
     name: str
@@ -40,6 +51,8 @@ class Scenario:
     links: LinkAttributes
     system: TaskSystem
     task_ids: list[int] = field(default_factory=list)
+    node_speeds: np.ndarray | None = None
+    dynamic: DynamicWorkload | None = None
 
 
 def _mesh_hotspot(seed: RngLike, **kw) -> Scenario:
@@ -124,6 +137,60 @@ def _random_hotspot(seed: RngLike, **kw) -> Scenario:
     return Scenario("random-hotspot", topo, links, system, ids)
 
 
+def _straggler(seed: RngLike, **kw) -> Scenario:
+    """Hotspot on a torus where a few nodes run slow (paper's
+    heterogeneity concern, the async engine's bread and butter: slow
+    nodes also *balance* less often under the event engine)."""
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    frac = float(kw.get("straggler_frac", 0.125))
+    slowdown = float(kw.get("straggler_slowdown", 4.0))
+    if not 0 < frac < 1:
+        raise ConfigurationError(f"straggler_frac must be in (0, 1), got {frac}")
+    if slowdown < 1:
+        raise ConfigurationError(
+            f"straggler_slowdown must be >= 1, got {slowdown}"
+        )
+    topo = builders.torus(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    rng = ensure_rng(derive(seed, 2))
+    n_slow = max(1, round(frac * topo.n_nodes))
+    slow = rng.choice(topo.n_nodes, size=n_slow, replace=False)
+    speeds = np.ones(topo.n_nodes)
+    speeds[slow] = 1.0 / slowdown
+    return Scenario("straggler", topo, links, system, ids, node_speeds=speeds)
+
+
+def _bursty_arrivals(seed: RngLike, **kw) -> Scenario:
+    """Light uniform start, then churn whose arrivals all land on a few
+    hot nodes — the sustained-imbalance regime where balancing quality
+    is throughput, not convergence."""
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 2 * side * side))
+    arrival_rate = float(kw.get("arrival_rate", 8.0))
+    completion_prob = float(kw.get("completion_prob", 0.05))
+    n_hot = int(kw.get("n_hot", 4))
+    topo = builders.mesh(side, side)
+    if not 1 <= n_hot <= topo.n_nodes:
+        raise ConfigurationError(
+            f"n_hot must be in [1, {topo.n_nodes}], got {n_hot}"
+        )
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
+    hot_rng = ensure_rng(derive(seed, 2))
+    hot = [int(v) for v in hot_rng.choice(topo.n_nodes, size=n_hot, replace=False)]
+    dynamic = DynamicWorkload(
+        arrival_rate=arrival_rate,
+        completion_prob=completion_prob,
+        arrival_nodes=hot,
+        rng=derive(seed, 3),
+    )
+    return Scenario("bursty-arrivals", topo, links, system, ids, dynamic=dynamic)
+
+
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "mesh-hotspot": _mesh_hotspot,
     "torus-hotspot": _torus_hotspot,
@@ -132,6 +199,8 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "mesh-two-valleys": _mesh_two_valleys,
     "mesh-faulty": _mesh_faulty,
     "random-hotspot": _random_hotspot,
+    "straggler": _straggler,
+    "bursty-arrivals": _bursty_arrivals,
 }
 
 #: every kwarg some scenario constructor reads. Constructors ignore
@@ -140,7 +209,11 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
 #: that accept user-supplied kwargs (e.g. ``repro.runner.RunSpec``)
 #: validate against this set to catch them.
 SCENARIO_KWARGS = frozenset(
-    {"side", "dim", "n_tasks", "fault_prob", "n_nodes", "avg_degree", "graph_seed"}
+    {
+        "side", "dim", "n_tasks", "fault_prob", "n_nodes", "avg_degree",
+        "graph_seed", "straggler_frac", "straggler_slowdown",
+        "arrival_rate", "completion_prob", "n_hot",
+    }
 )
 
 

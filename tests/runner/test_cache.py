@@ -61,3 +61,35 @@ class TestResultCache:
 
     def test_len_of_empty_root(self, tmp_path):
         assert len(ResultCache(tmp_path / "never-created")) == 0
+
+
+class TestStatsAndClear:
+    def test_stats_on_missing_root(self, tmp_path):
+        stats = ResultCache(tmp_path / "nope").stats()
+        assert stats["exists"] is False
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, PAYLOAD)
+        cache.put("cd" + "0" * 62, {}, PAYLOAD)
+        stats = cache.stats()
+        assert stats["exists"] is True
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == str(cache.root)
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {}, PAYLOAD)
+        cache.put("cd" + "0" * 62, {}, PAYLOAD)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(KEY) is None
+        # Shard directories are pruned; the root itself survives.
+        assert cache.root.is_dir()
+        assert not any(cache.root.iterdir())
+
+    def test_clear_on_missing_root_is_a_noop(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").clear() == 0

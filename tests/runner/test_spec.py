@@ -36,11 +36,26 @@ class TestRunSpec:
             {"scenario_kwargs": {"side": 4}},
             {"algorithm_kwargs": {"beta0": 0.5}},
             {"sim_kwargs": {"link_capacity": 2}},
+            {"engine": "events"},
         ],
     )
     def test_any_field_change_changes_key(self, change):
         base = dict(scenario="mesh-hotspot", algorithm="pplb", seed=1)
         assert RunSpec(**base).key() != RunSpec(**{**base, **change}).key()
+
+    def test_engine_defaults_to_rounds_and_roundtrips(self):
+        spec = RunSpec(scenario="mesh-hotspot", algorithm="pplb")
+        assert spec.engine == "rounds"
+        # Pre-engine payloads (older caches/exports) rebuild as rounds.
+        legacy = spec.to_dict()
+        del legacy["engine"]
+        assert RunSpec.from_dict(legacy).engine == "rounds"
+        ev = RunSpec(scenario="mesh-hotspot", algorithm="pplb", engine="events")
+        assert RunSpec.from_dict(ev.to_dict()) == ev
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            RunSpec(scenario="mesh-hotspot", algorithm="pplb", engine="warp")
 
     def test_key_covers_library_version(self, monkeypatch):
         # Cached results must not survive a code-version bump.

@@ -82,3 +82,78 @@ class TestRunGrid:
         out = capsys.readouterr().out
         assert "2 from cache" not in out
         assert not (tmp_path / "cache").exists()
+
+
+class TestEngineFlag:
+    def test_engine_defaults_to_rounds(self):
+        for cmd in (["run"], ["compare"], ["run-grid"]):
+            assert build_parser().parse_args(cmd).engine == "rounds"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "warp"])
+
+    def test_run_with_events_engine(self, capsys):
+        rc = main(["run", "--scenario", "mesh-hotspot", "--algorithm", "pplb",
+                   "--rounds", "60", "--seed", "1", "--engine", "events"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events engine" in out
+
+    def test_grid_engines_do_not_share_cache_entries(self, capsys, tmp_path):
+        base = ["run-grid", "--scenarios", "mesh-hotspot", "--algorithms",
+                "diffusion", "--seeds", "1", "--rounds", "40",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base + ["--engine", "rounds"]) == 0
+        capsys.readouterr()
+        # Same grid on the other engine must miss the cache.
+        assert main(base + ["--engine", "events"]) == 0
+        out = capsys.readouterr().out
+        assert "1 specs: 1 executed, 0 from cache" in out
+
+
+class TestCompare:
+    def test_compare_routes_through_runner_cache(self, capsys, tmp_path):
+        argv = ["compare", "--scenario", "mesh-hotspot", "--rounds", "50",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 from cache" in out
+        assert "pplb" in out and "diffusion" in out
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+
+    def test_compare_accepts_workers(self, capsys, tmp_path):
+        argv = ["compare", "--scenario", "mesh-hotspot", "--rounds", "40",
+                "--workers", "2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "algorithm" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")])
+        assert rc == 0
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_stats_and_clear_cycle(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run-grid", "--seeds", "1", "--rounds", "40",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1 cached result" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
