@@ -18,7 +18,6 @@ delays, it does not misplace), and the size-proportional model lands
 between the small fixed latencies.
 """
 
-import numpy as np
 
 from repro.analysis import format_table
 from repro.core import ParticlePlaneBalancer, PPLBConfig

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: fresh measurement vs the committed baseline.
+
+Re-runs the ``benchmarks/bench_perf.py`` measurement and fails (exit 1)
+if any tracked rate — scalar or vectorised rounds/sec at each curve
+point, or the event engine's rounds/sec and events/sec — regresses more
+than ``MAX_REGRESSION`` against ``benchmarks/results/BENCH_engine.json``,
+or if the vectorised speedup drops below the acceptance floor at
+N ≥ 1024. A failing attempt is retried (up to ``ATTEMPTS`` total) to
+absorb runner noise: one quiet pass is proof the code can still reach
+the rate.
+
+Run from the repository root: ``python scripts/perf_gate.py``.
+Refresh the baseline after intentional perf changes with
+``PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -s``.
+
+Absolute rates are hardware-dependent, so they are only compared when
+the committed baseline comes from the same machine class as the gate
+run (the baseline records whether it was measured under CI; see
+``environment.ci`` in the JSON). Against a foreign-class baseline the
+gate still enforces the machine-independent speedup floor — both
+engines slow down together on a slower runner — and prints a notice to
+refresh the baseline from the gating machine class (re-run the
+benchmark on a CI runner and commit the JSON), which arms the absolute
+checks. ``PERF_GATE_MAX_REGRESSION`` (default 0.30) widens the absolute
+tolerance for noisier environments without editing this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+BASELINE = ROOT / "benchmarks" / "results" / "BENCH_engine.json"
+#: a rate may drop to this fraction below the committed baseline before
+#: we fail (overridable per environment, see module docstring).
+MAX_REGRESSION = float(os.environ.get("PERF_GATE_MAX_REGRESSION", "0.30"))
+ATTEMPTS = 3
+
+
+def tracked_rates(payload: dict) -> dict[str, float]:
+    """The gated metrics, flattened to comparable names."""
+    rates = {}
+    for pt in payload["curve"]["points"]:
+        rates[f"scalar_rps@N={pt['n_nodes']}"] = pt["scalar_rps"]
+        rates[f"fast_rps@N={pt['n_nodes']}"] = pt["fast_rps"]
+    rates["events_rounds_per_sec"] = payload["events"]["rounds_per_sec"]
+    rates["events_events_per_sec"] = payload["events"]["events_per_sec"]
+    return rates
+
+
+def same_machine_class(baseline: dict, fresh: dict) -> bool:
+    """Whether absolute rates are comparable (dev box vs CI runner)."""
+    return baseline.get("environment", {}).get("ci") == fresh.get(
+        "environment", {}
+    ).get("ci")
+
+
+def check(baseline: dict, fresh: dict) -> list[str]:
+    """Failure descriptions (empty = the attempt passes the gate)."""
+    from bench_perf import SPEEDUP_FLOOR, SPEEDUP_FROM_N
+
+    failures = []
+    if same_machine_class(baseline, fresh):
+        base_rates = tracked_rates(baseline)
+        fresh_rates = tracked_rates(fresh)
+        floor = 1.0 - MAX_REGRESSION
+        for name, base in base_rates.items():
+            got = fresh_rates.get(name)
+            if got is None:
+                failures.append(f"{name}: missing from fresh measurement")
+            elif got < floor * base:
+                failures.append(
+                    f"{name}: {got:.1f} < {floor:.0%} of baseline {base:.1f}"
+                )
+    else:
+        print(
+            "perf-gate: baseline was measured on a different machine class "
+            "(environment.ci mismatch) — gating the speedup floor only. "
+            "Refresh benchmarks/results/BENCH_engine.json from this machine "
+            "class to arm the absolute-rate checks."
+        )
+    for pt in fresh["curve"]["points"]:
+        if pt["n_nodes"] >= SPEEDUP_FROM_N and pt["speedup"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"speedup@N={pt['n_nodes']}: {pt['speedup']:.1f}x < "
+                f"{SPEEDUP_FLOOR}x acceptance floor"
+            )
+    return failures
+
+
+def main() -> int:
+    if not BASELINE.exists():
+        print(f"perf-gate: no baseline at {BASELINE}", file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE.read_text())
+
+    from bench_perf import measure
+
+    last_failures: list[str] = []
+    for attempt in range(1, ATTEMPTS + 1):
+        print(f"perf-gate: measurement attempt {attempt}/{ATTEMPTS} ...")
+        fresh = measure()
+        last_failures = check(baseline, fresh)
+        if not last_failures:
+            print("perf-gate: OK")
+            for name, rate in sorted(tracked_rates(fresh).items()):
+                print(f"  {name}: {rate:.1f}")
+            return 0
+        print(f"perf-gate: attempt {attempt} failed:")
+        for failure in last_failures:
+            print(f"  {failure}")
+    print(
+        f"perf-gate: FAILED after {ATTEMPTS} attempts — a tracked rate "
+        f"regressed >{MAX_REGRESSION:.0%} against {BASELINE}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

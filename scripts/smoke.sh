@@ -8,7 +8,9 @@
 # Exercises the full stack: the unit/property/integration suite, an
 # 8-spec (scenario × algorithm × seed) grid across 2 worker processes,
 # a second invocation that must be served entirely from the result
-# cache, and a 2-spec grid on the asynchronous event engine.
+# cache, a 2-spec grid on the asynchronous event engine, and a 2-spec
+# large-N grid (1024-node machines) on the vectorized rounds-fast
+# engine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,12 +41,18 @@ python -m repro.cli run-grid --scenarios straggler --algorithms pplb diffusion \
     | tee "$CACHE_DIR/events.out"
 grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/events.out"
 
+echo "==> vectorized fast-path grid (2 specs, 1024-node machines)"
+python -m repro.cli run-grid --scenarios torus-32x32 hotspot-scaled \
+    --algorithms pplb --seeds 1 --rounds 60 --engine rounds-fast \
+    --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/fast.out"
+grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/fast.out"
+
 echo "==> cache stats / clear round-trip"
 # Capture to files rather than piping into grep -q: grep exiting early
 # would hand the CLI a broken pipe (and mask its exit status).
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
-grep -q "entries    : 10" "$CACHE_DIR/stats.out"
+grep -q "entries    : 12" "$CACHE_DIR/stats.out"
 python -m repro.cli cache clear --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/clear.out"
-grep -q "removed 10 cached result" "$CACHE_DIR/clear.out"
+grep -q "removed 12 cached result" "$CACHE_DIR/clear.out"
 
 echo "==> smoke OK"

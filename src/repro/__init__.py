@@ -50,7 +50,13 @@ from repro.network import (
     torus,
     tree,
 )
-from repro.sim import EventSimulator, FluidSimulator, SimulationResult, Simulator
+from repro.sim import (
+    EventSimulator,
+    FastSimulator,
+    FluidSimulator,
+    SimulationResult,
+    Simulator,
+)
 from repro.sim.engine import ConvergenceCriteria
 from repro.tasks import ResourceMap, TaskGraph, TaskSystem
 from repro.workloads import (
@@ -64,7 +70,7 @@ from repro.workloads import (
     uniform_random,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -106,6 +112,7 @@ __all__ = [
     "build_scenario",
     # sim
     "Simulator",
+    "FastSimulator",
     "EventSimulator",
     "FluidSimulator",
     "SimulationResult",

@@ -17,9 +17,11 @@ Installed as ``pplb`` (see pyproject). Subcommands:
   experiment report.
 
 ``run``, ``compare`` and ``run-grid`` all accept ``--engine
-{rounds,events}``: ``rounds`` is the paper's synchronous protocol,
-``events`` the discrete-event asynchronous engine
-(:class:`repro.sim.EventSimulator`).
+{rounds,rounds-fast,events}``: ``rounds`` is the paper's synchronous
+protocol, ``rounds-fast`` the same protocol through the vectorised
+large-N fast path (:class:`repro.sim.FastSimulator` — identical
+records, so prefer it for big meshes), ``events`` the discrete-event
+asynchronous engine (:class:`repro.sim.EventSimulator`).
 
 Algorithm names come from :mod:`repro.runner.registry`, the registry
 shared with the runner, so ``--algorithm`` choices and runner specs can
@@ -194,8 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine(p: argparse.ArgumentParser) -> None:
         p.add_argument("--engine", choices=sorted(ENGINES), default="rounds",
-                       help="execution model: synchronous rounds or the "
-                            "asynchronous discrete-event engine")
+                       help="execution model: synchronous rounds, the "
+                            "vectorized rounds-fast path (identical results, "
+                            "built for large N), or the asynchronous "
+                            "discrete-event engine")
 
     def add_cache_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-dir", default=".pplb-cache",

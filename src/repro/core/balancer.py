@@ -38,12 +38,28 @@ Termination: every hop costs at least ``c0·µk·min(e) > 0`` of flag
 height while feasibility keeps the flag above the (non-negative) load
 surface, so journeys are finite whenever ``µk > 0`` — the discrete
 Corollary 2, and the bounded-time half of Theorem 2's proof.
+
+Large-N fast path (``BalanceContext.fast``): both phases admit a
+vectorised screen. During one ``step`` the task placements never change
+(the engine applies the returned orders afterwards), so the only
+decision inputs that evolve are the private surface ``h`` and the
+per-link reservations. The fast path batch-evaluates every Phase-A hop
+feasibility and every Phase-B initiation slope as whole-graph CSR array
+expressions, then runs the *identical* per-decision code only where it
+can matter: particles whose neighborhood changed since the batch, and
+nodes that either passed the (provably sound, load-floor based) screen
+or were touched by an earlier decision of the same round. Skipped work
+is exactly the work the scalar path would have done with no effect and
+no RNG consumption — which is why the fast path reproduces the scalar
+trajectory bit for bit (property-tested in
+``tests/sim/test_fast_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -51,10 +67,45 @@ from repro.core.arbiter import GreedyArbiter, StochasticArbiter
 from repro.core.config import PPLBConfig
 from repro.core.energy import MotionState, hop_heat_energy, hop_height_drop
 from repro.core.friction import FrictionModel
-from repro.core.surface import NeighborCache
+from repro.core.surface import NeighborCache, corrected_slopes_flat
 from repro.interfaces import BalanceContext, Balancer, Migration
 from repro.tasks.resources import ResourceMap
 from repro.tasks.task_graph import TaskGraph
+
+
+class _StepState:
+    """Shared working state of one balancing round.
+
+    Bundles the context unpacking plus the round-private surface copy
+    and link reservations, so the scalar loops and the vectorised fast
+    path drive the *same* decision bodies. ``on_change`` is the fast
+    path's invalidation hook — called after every applied decision with
+    the (src, dst) endpoints; None under the scalar path.
+    """
+
+    __slots__ = (
+        "system", "topo", "cache", "friction", "e", "up", "rng",
+        "t", "h", "inv_s", "used", "migrations", "on_change",
+    )
+
+    def __init__(self, ctx: BalanceContext, cache, friction, inv_s: np.ndarray):
+        self.system = ctx.system
+        self.topo = ctx.topology
+        self.cache = cache
+        self.friction = friction
+        self.e = ctx.link_costs
+        self.up = ctx.up_mask
+        self.rng = ctx.rng
+        self.t = ctx.round_index
+        self.inv_s = inv_s
+        # Private working copy of the surface. With engine-supplied node
+        # speeds (and speed_aware on) the surface is the *effective* load
+        # h_i/s_i, making the equilibrium capacity-proportional; the
+        # homogeneous case reduces to inv_s = 1 exactly.
+        self.h = np.array(ctx.system.node_loads) * inv_s
+        self.used = np.zeros(ctx.topology.n_edges, dtype=bool)
+        self.migrations: list[Migration] = []
+        self.on_change: Optional[Callable[[int, int], None]] = None
 
 
 class ParticlePlaneBalancer(Balancer):
@@ -130,32 +181,37 @@ class ParticlePlaneBalancer(Balancer):
     # ------------------------------------------------------------------ #
 
     def step(self, ctx: BalanceContext) -> list[Migration]:
-        """Plan one round of migrations (Phase A then Phase B)."""
+        """Plan one round of migrations (Phase A then Phase B).
+
+        With ``ctx.fast`` (the ``rounds-fast`` engine) both phases run
+        through the vectorised screen; the trajectory is identical
+        either way (see module docstring). Friction jitter draws RNG per
+        *evaluated* candidate, which the screen elides, so jittered
+        configs always take the scalar path.
+        """
         if self._cache is None or self._cache.topology is not ctx.topology:
             self.reset(ctx)
         cfg = self.config
-        cache = self._cache
-        friction = self._friction
-        system = ctx.system
-        topo = ctx.topology
-        e = ctx.link_costs
-        up = ctx.up_mask
-        rng = ctx.rng
-        t = ctx.round_index
-
-        # Private working copy of the surface. With engine-supplied node
-        # speeds (and speed_aware on) the surface is the *effective* load
-        # h_i/s_i, making the equilibrium capacity-proportional; the
-        # homogeneous case reduces to inv_s = 1 exactly.
         if cfg.speed_aware and ctx.node_speeds is not None:
             inv_s = 1.0 / np.asarray(ctx.node_speeds, dtype=np.float64)
         else:
-            inv_s = np.ones(topo.n_nodes)
-        h = np.array(system.node_loads) * inv_s
-        used = np.zeros(topo.n_edges, dtype=bool)
-        migrations: list[Migration] = []
+            inv_s = np.ones(ctx.topology.n_nodes)
+        s = _StepState(ctx, self._cache, self._friction, inv_s)
 
-        # ---------------- Phase A: in-flight particles ---------------- #
+        if ctx.fast and cfg.friction_jitter == 0.0:
+            self._phase_a_fast(s)
+            self._phase_b_fast(s)
+        else:
+            self._phase_a_scalar(s)
+            self._phase_b_scalar(s)
+        return s.migrations
+
+    # ------------------------- scalar phases -------------------------- #
+
+    def _phase_a_scalar(self, s: _StepState) -> None:
+        """Phase A reference loop: every in-flight particle, in id order."""
+        cfg = self.config
+        system = s.system
         for tid in sorted(self._motion):
             if not system.is_alive(tid):
                 del self._motion[tid]
@@ -163,113 +219,345 @@ class ParticlePlaneBalancer(Balancer):
             if system.in_transit(tid):
                 continue  # still on the wire; decides after landing
             st = self._motion[tid]
-            cur = system.location_of(tid)
-            load = system.load_of(tid)
-
             if cfg.max_hops is not None and st.hops >= cfg.max_hops:
                 self._settle(tid)
                 continue
+            self._phase_a_decide(
+                s, tid, st, system.location_of(tid), system.load_of(tid)
+            )
 
-            js = cache.nbrs[cur]
-            eids = cache.eids[cur]
-            mu_k = friction.mu_k(system, topo, tid, cur) * self._jitter(t, rng)
-            drops = cfg.c0 * mu_k * e[eids]
+    def _phase_b_scalar(self, s: _StepState) -> None:
+        """Phase B reference loop: every node, in descending height order."""
+        node_order = np.argsort(-s.h, kind="stable")
+        for i in node_order:
+            i = int(i)
+            if s.h[i] <= 0.0:
+                break  # descending order: nothing left to shed anywhere
+            self._phase_b_node(s, i)
+
+    # ------------------------ decision bodies ------------------------- #
+    # One body per phase, shared verbatim by the scalar loops and the
+    # fast path — the single place the paper's §5.1 rules live, so the
+    # two paths cannot drift.
+
+    def _phase_a_decide(
+        self,
+        s: _StepState,
+        tid: int,
+        st: MotionState,
+        cur: int,
+        load: float,
+        pre: Optional[tuple] = None,
+    ) -> None:
+        """One in-flight particle's §5.1 energy decision: hop or settle.
+
+        *pre* optionally supplies the batch-computed ``(js, eids, drops,
+        hop_scores, feasible)`` arrays; they are bitwise equal to the
+        inline computation (same operands, same operation order), so the
+        arbiter — and therefore the RNG stream — sees identical inputs.
+        """
+        cfg = self.config
+        h = s.h
+        if pre is None:
+            js = s.cache.nbrs[cur]
+            eids = s.cache.eids[cur]
+            mu_k = s.friction.mu_k(s.system, s.topo, tid, cur) * self._jitter(s.t, s.rng)
+            drops = cfg.c0 * mu_k * s.e[eids]
             hop_scores = st.hstar - drops - h[js]
-            feasible = up[eids] & ~used[eids] & (hop_scores > 0.0)
-            idxs = np.nonzero(feasible)[0]
+            feasible = s.up[eids] & ~s.used[eids] & (hop_scores > 0.0)
+        else:
+            js, eids, drops, hop_scores, feasible = pre
+        idxs = np.nonzero(feasible)[0]
 
-            if idxs.shape[0] == 0:
+        if idxs.shape[0] == 0:
+            self._settle(tid)
+            return
+
+        if cfg.motion_rule == "arbiter-settle":
+            settle_score = st.hstar - (h[cur] - load * s.inv_s[cur])
+            scores = np.concatenate([hop_scores[idxs], [settle_score]])
+            pick = self.arbiter.choose(scores, s.t, s.rng)
+            if pick == idxs.shape[0]:
                 self._settle(tid)
-                continue
+                return
+            k = int(idxs[pick])
+        else:  # "energy-only": the paper's literal rule
+            pick = self.arbiter.choose(hop_scores[idxs], s.t, s.rng)
+            k = int(idxs[pick])
 
-            if cfg.motion_rule == "arbiter-settle":
-                settle_score = st.hstar - (h[cur] - load * inv_s[cur])
-                scores = np.concatenate([hop_scores[idxs], [settle_score]])
-                pick = self.arbiter.choose(scores, t, rng)
-                if pick == idxs.shape[0]:
-                    self._settle(tid)
-                    continue
-                k = int(idxs[pick])
-            else:  # "energy-only": the paper's literal rule
-                pick = self.arbiter.choose(hop_scores[idxs], t, rng)
-                k = int(idxs[pick])
+        j = int(js[k])
+        eid = int(eids[k])
+        drop = float(drops[k])
+        heat = hop_heat_energy(cfg.g, load, drop)
+        st.record_hop(drop, heat, cur)
+        s.migrations.append(Migration(tid, cur, j, heat))
+        s.used[eid] = True
+        h[cur] -= load * s.inv_s[cur]
+        h[j] += load * s.inv_s[j]
+        self.stats["hops"] += 1
+        self.stats["heat"] += heat
+        if s.on_change is not None:
+            s.on_change(cur, j)
 
-            j = int(js[k])
-            eid = int(eids[k])
-            drop = float(drops[k])
-            heat = hop_heat_energy(cfg.g, load, drop)
-            st.record_hop(drop, heat, cur)
-            migrations.append(Migration(tid, cur, j, heat))
-            used[eid] = True
-            h[cur] -= load * inv_s[cur]
-            h[j] += load * inv_s[j]
-            self.stats["hops"] += 1
-            self.stats["heat"] += heat
-
-        # --------------- Phase B: stationary initiation --------------- #
+    def _phase_b_node(self, s: _StepState, i: int) -> None:
+        """One node's §5.1 initiation scan over its candidate tasks."""
+        cfg = self.config
+        system = s.system
+        h = s.h
+        inv_s = s.inv_s
+        e = s.e
         max_dep = (
             cfg.max_departures_per_node
             if cfg.max_departures_per_node is not None
             else math.inf
         )
-        node_order = np.argsort(-h, kind="stable")
-        for i in node_order:
-            i = int(i)
-            if h[i] <= 0.0:
-                break  # descending order: nothing left to shed anywhere
-            departures = 0
-            for tid in system.largest_tasks_at(i, cfg.candidates_per_node):
-                tid = int(tid)
-                if tid in self._motion:
-                    continue
-                load = system.load_of(tid)
-                js = cache.nbrs[i]
-                eids = cache.eids[i]
-                avail = up[eids] & ~used[eids]
-                if not avail.any():
-                    break  # no free links left at this node
-                mu_s, mu_k = friction.both(system, topo, tid, i)
-                jit = self._jitter(t, rng)
-                mu_s *= jit
-                mu_k *= jit
-                # (h_i − h_j − 2l)/e generalised to effective heights:
-                # moving l lowers h_i by l/s_i and raises h_j by l/s_j.
-                corrected = (h[i] - h[js] - load * (inv_s[i] + inv_s[js])) / e[eids]
-                feasible = avail & (corrected > mu_s)
-                idxs = np.nonzero(feasible)[0]
-                if idxs.shape[0] == 0:
-                    continue
-                if cfg.arbiter_score == "corrected":
-                    scores = corrected[idxs]
-                else:
-                    scores = (h[i] - h[js[idxs]]) / e[eids[idxs]]
-                pick = self.arbiter.choose(scores, t, rng)
-                k = int(idxs[pick])
-                j = int(js[k])
-                eid = int(eids[k])
-                drop = hop_height_drop(cfg.c0, mu_k, float(e[eid]))
-                heat = hop_heat_energy(cfg.g, load, drop)
-                st = MotionState(
-                    hstar=float(h[i]) - drop,
-                    origin=i,
-                    released_at=t,
-                    hops=1,
-                    heat=heat,
-                    prev_node=i,
-                )
-                self._motion[tid] = st
-                migrations.append(Migration(tid, i, j, heat))
-                used[eid] = True
-                h[i] -= load * inv_s[i]
-                h[j] += load * inv_s[j]
-                self.stats["initiated"] += 1
-                self.stats["hops"] += 1
-                self.stats["heat"] += heat
-                departures += 1
-                if departures >= max_dep:
-                    break
+        departures = 0
+        for tid in system.largest_tasks_at(i, cfg.candidates_per_node):
+            tid = int(tid)
+            if tid in self._motion:
+                continue
+            load = system.load_of(tid)
+            js = s.cache.nbrs[i]
+            eids = s.cache.eids[i]
+            avail = s.up[eids] & ~s.used[eids]
+            if not avail.any():
+                break  # no free links left at this node
+            mu_s, mu_k = s.friction.both(system, s.topo, tid, i)
+            jit = self._jitter(s.t, s.rng)
+            mu_s *= jit
+            mu_k *= jit
+            # (h_i − h_j − 2l)/e generalised to effective heights:
+            # moving l lowers h_i by l/s_i and raises h_j by l/s_j.
+            corrected = (h[i] - h[js] - load * (inv_s[i] + inv_s[js])) / e[eids]
+            feasible = avail & (corrected > mu_s)
+            idxs = np.nonzero(feasible)[0]
+            if idxs.shape[0] == 0:
+                continue
+            if cfg.arbiter_score == "corrected":
+                scores = corrected[idxs]
+            else:
+                scores = (h[i] - h[js[idxs]]) / e[eids[idxs]]
+            pick = self.arbiter.choose(scores, s.t, s.rng)
+            k = int(idxs[pick])
+            j = int(js[k])
+            eid = int(eids[k])
+            drop = hop_height_drop(cfg.c0, mu_k, float(e[eid]))
+            heat = hop_heat_energy(cfg.g, load, drop)
+            st = MotionState(
+                hstar=float(h[i]) - drop,
+                origin=i,
+                released_at=s.t,
+                hops=1,
+                heat=heat,
+                prev_node=i,
+            )
+            self._motion[tid] = st
+            s.migrations.append(Migration(tid, i, j, heat))
+            s.used[eid] = True
+            h[i] -= load * inv_s[i]
+            h[j] += load * inv_s[j]
+            self.stats["initiated"] += 1
+            self.stats["hops"] += 1
+            self.stats["heat"] += heat
+            if s.on_change is not None:
+                s.on_change(i, j)
+            departures += 1
+            if departures >= max_dep:
+                break
 
-        return migrations
+    # ------------------------ vectorised phases ----------------------- #
+
+    def _phase_a_fast(self, s: _StepState) -> None:
+        """Phase A with batch-precomputed hop feasibilities.
+
+        All particles still decide sequentially in id order (their
+        decisions are coupled through the surface and the per-link
+        reservations), but the per-particle score arrays come from one
+        whole-batch CSR expression. A particle falls back to the inline
+        computation only when an earlier decision touched its
+        neighborhood — tracked by an affected-nodes mask.
+        """
+        cfg = self.config
+        system = s.system
+        active: list[tuple[int, MotionState]] = []
+        for tid in sorted(self._motion):
+            if not system.is_alive(tid):
+                del self._motion[tid]
+                continue
+            if system.in_transit(tid):
+                continue  # still on the wire; decides after landing
+            st = self._motion[tid]
+            if cfg.max_hops is not None and st.hops >= cfg.max_hops:
+                self._settle(tid)
+                continue
+            active.append((tid, st))
+        if not active:
+            return
+        cache = s.cache
+        if s.topo.n_edges == 0:
+            for tid, st in active:
+                self._phase_a_decide(
+                    s, tid, st, system.location_of(tid), system.load_of(tid)
+                )
+            return
+
+        n_act = len(active)
+        cur = np.fromiter(
+            (system.location_of(tid) for tid, _ in active), np.int64, count=n_act
+        )
+        hstar = np.fromiter((st.hstar for _, st in active), np.float64, count=n_act)
+        mu_k = self._batch_mu_k(s, active, cur)
+
+        # Flat (particle, neighbor) segments gathered from the CSR rows
+        # of each particle's current node.
+        starts = cache.indptr[cur]
+        counts = cache.indptr[cur + 1] - starts
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        slot = (
+            np.arange(offsets[-1], dtype=np.int64)
+            - np.repeat(offsets[:-1], counts)
+            + np.repeat(starts, counts)
+        )
+        flat_js = cache.flat_nbrs[slot]
+        flat_eids = cache.flat_eids[slot]
+        # Same operands and operation order as the inline body — bitwise
+        # equal scores (see _phase_a_decide).
+        drops_flat = np.repeat(cfg.c0 * mu_k, counts) * s.e[flat_eids]
+        hop_flat = np.repeat(hstar, counts) - drops_flat - s.h[flat_js]
+        # No link is reserved yet at Phase-A start, so `up & ~used`
+        # reduces to `up` for every clean particle.
+        feas_flat = s.up[flat_eids] & (hop_flat > 0.0)
+
+        affected = np.zeros(s.topo.n_nodes, dtype=bool)
+
+        def on_change(u: int, v: int) -> None:
+            affected[u] = True
+            affected[v] = True
+            affected[cache.nbrs[u]] = True
+            affected[cache.nbrs[v]] = True
+
+        s.on_change = on_change
+        try:
+            for p, (tid, st) in enumerate(active):
+                c = int(cur[p])
+                if affected[c]:
+                    self._phase_a_decide(s, tid, st, c, system.load_of(tid))
+                else:
+                    seg = slice(offsets[p], offsets[p + 1])
+                    pre = (
+                        flat_js[seg],
+                        flat_eids[seg],
+                        drops_flat[seg],
+                        hop_flat[seg],
+                        feas_flat[seg],
+                    )
+                    self._phase_a_decide(
+                        s, tid, st, c, system.load_of(tid), pre=pre
+                    )
+        finally:
+            s.on_change = None
+
+    def _batch_mu_k(
+        self, s: _StepState, active: list[tuple[int, MotionState]], cur: np.ndarray
+    ) -> np.ndarray:
+        """Per-particle µk, vectorised whenever friction is closed-form."""
+        cfg = self.config
+        if cfg.kappa == 0.0:
+            return np.full(cur.shape[0], cfg.mu_k_base)
+        if s.friction.uniform:
+            return np.full(
+                cur.shape[0], cfg.mu_k_base + cfg.kappa * cfg.mu_s_base
+            )
+        return np.fromiter(
+            (
+                s.friction.mu_k(s.system, s.topo, tid, int(c))
+                for (tid, _), c in zip(active, cur)
+            ),
+            np.float64,
+            count=cur.shape[0],
+        )
+
+    def _phase_b_fast(self, s: _StepState) -> None:
+        """Phase B restricted to nodes that can possibly act.
+
+        The screen: a node may initiate only if some up, unreserved link
+        clears ``(h_i − h_j − l·(1/s_i + 1/s_j))/e_ij > µs`` for one of
+        its ``candidates_per_node`` largest tasks. The slope is monotone
+        decreasing in the moved load and ``µs ≥ mu_s_base`` always
+        (dependency/resource terms are non-negative, participation only
+        scales up), so evaluating every link of every node at the node's
+        *candidate floor* load against ``mu_s_base`` — one whole-graph
+        array expression — is a sound over-approximation, in floating
+        point too (every step of the expression is weakly monotone).
+        Screened-out nodes are exactly the nodes the scalar sweep would
+        visit without effect or RNG use. Decisions during the sweep can
+        re-enable a neighborhood, so every touched node later in the
+        height order is re-queued through a position heap; nodes that
+        were empty at the sort but received load mid-phase are handled
+        by walking the zero-height tail in order, as the scalar loop
+        does.
+        """
+        topo = s.topo
+        cache = s.cache
+        h = s.h
+        n = topo.n_nodes
+        node_order = np.argsort(-h, kind="stable")
+        n_pos = int(np.count_nonzero(h > 0.0))
+
+        if n_pos and topo.n_edges:
+            floor = s.system.candidate_floor(self.config.candidates_per_node)
+            opt = corrected_slopes_flat(h, floor, s.inv_s, s.e, cache)
+            ok = s.up[cache.flat_eids] & ~s.used[cache.flat_eids]
+            ok &= opt > self.config.mu_s_base
+            screened = np.zeros(n, dtype=bool)
+            screened[cache.flat_rows[ok]] = True
+            static_rs = np.nonzero(screened[node_order[:n_pos]])[0]
+        else:
+            static_rs = np.empty(0, dtype=np.int64)
+
+        pos_of = np.empty(n, dtype=np.int64)
+        pos_of[node_order] = np.arange(n)
+        processed = np.zeros(n, dtype=bool)
+        queued = np.zeros(n, dtype=bool)
+        heap: list[int] = []
+        cur_r = -1
+
+        def on_change(u: int, v: int) -> None:
+            for x in (u, v, *cache.nbrs[u], *cache.nbrs[v]):
+                x = int(x)
+                r = int(pos_of[x])
+                if cur_r < r < n_pos and not queued[x] and not processed[x]:
+                    queued[x] = True
+                    heapq.heappush(heap, r)
+
+        s.on_change = on_change
+        try:
+            si = 0
+            n_static = static_rs.shape[0]
+            while si < n_static or heap:
+                if si < n_static and (not heap or static_rs[si] <= heap[0]):
+                    r = int(static_rs[si])
+                    si += 1
+                else:
+                    r = heapq.heappop(heap)
+                i = int(node_order[r])
+                if processed[i]:
+                    continue
+                processed[i] = True
+                cur_r = r
+                self._phase_b_node(s, i)
+            # Zero-height tail: the scalar sweep keeps going past the
+            # last initially-loaded node and stops at the first node
+            # still empty *now* — nodes this phase already poured load
+            # into do get their turn.
+            cur_r = n
+            for r in range(n_pos, n):
+                i = int(node_order[r])
+                if h[i] <= 0.0:
+                    break
+                self._phase_b_node(s, i)
+        finally:
+            s.on_change = None
 
     # ------------------------------------------------------------------ #
 

@@ -94,6 +94,20 @@ class FrictionModel:
         )
         self._needs_r = resources is not None and config.w_resource > 0
 
+    @property
+    def uniform(self) -> bool:
+        """True when µs/µk are the same constants for every (task, node).
+
+        Holds whenever no dependency/resource term contributes and no
+        participation levels are set: then ``µs = mu_s_base`` and
+        ``µk = mu_k_base + kappa·mu_s_base`` exactly. The vectorised
+        balancer path uses this to lift friction out of its batch
+        expressions; note that µs is always ≥ ``mu_s_base`` regardless
+        (all weights are non-negative and participation only scales up),
+        which is what the fast-path screen's bound relies on.
+        """
+        return not self._needs_t and not self._needs_r and self.participation is None
+
     def _participation_scale(self, node: int) -> float:
         if self.participation is None:
             return 1.0

@@ -15,6 +15,12 @@ load ``l`` — is
 :class:`NeighborCache` precomputes, per node, the neighbor ids and the
 edge ids into the per-edge arrays (``e_ij``, fault mask, link usage), so
 the balancer's inner loop is pure NumPy indexing with no dict lookups.
+It is a thin view over :attr:`Topology.csr`, whose flat arrays
+(``flat_rows``/``flat_nbrs``/``flat_eids``) additionally support
+*whole-surface* expressions: :func:`corrected_slopes_flat` evaluates the
+transfer-corrected slope of **every** directed (node, neighbor) pair of
+the network in one fused array operation — the batched form of the
+per-decision expression the large-N fast path screens with.
 """
 
 from __future__ import annotations
@@ -39,6 +45,29 @@ def tan_beta_corrected(h_i: float, h_j: float, load, e_ij) -> float:
     return (h_i - h_j - 2.0 * load) / e_ij
 
 
+def corrected_slopes_flat(
+    h: np.ndarray,
+    load: np.ndarray,
+    inv_s: np.ndarray,
+    e: np.ndarray,
+    cache: "NeighborCache",
+) -> np.ndarray:
+    """Transfer-corrected slope of every directed (node, neighbor) pair.
+
+    Slot ``s`` (see :class:`~repro.network.topology.CSRAdjacency`) gets
+    ``(h[i] − h[j] − load[i]·(1/s_i + 1/s_j)) / e_ij`` for ``i =
+    flat_rows[s]``, ``j = flat_nbrs[s]`` — the §5.1 initiation slope
+    generalised to effective heights, with a *per-source* load vector.
+    The operation order matches the per-decision expression in the
+    balancer bit for bit, so a batched evaluation at the same operands
+    reproduces the scalar path's floats exactly (what the fast-path
+    screen's soundness argument rests on).
+    """
+    rows = cache.flat_rows
+    js = cache.flat_nbrs
+    return (h[rows] - h[js] - load[rows] * (inv_s[rows] + inv_s[js])) / e[cache.flat_eids]
+
+
 class NeighborCache:
     """Per-node neighbor/edge-id arrays for vectorised slope scans.
 
@@ -51,20 +80,25 @@ class NeighborCache:
         slopes = (h[i] - h[js] - 2*load) / e[eids]
         ok     = up_mask[eids] & ~used[eids] & (slopes > mu_s)
 
-    — one fused NumPy expression per (task, node) decision.
+    — one fused NumPy expression per (task, node) decision. The per-node
+    arrays are zero-copy slices of :attr:`Topology.csr`; the flat forms
+    (``flat_rows``/``flat_nbrs``/``flat_eids``/``indptr``) are exposed
+    for whole-graph batch expressions (the large-N fast path).
     """
 
     def __init__(self, topology: Topology):
         self.topology = topology
-        n = topology.n_nodes
-        self.nbrs: list[np.ndarray] = []
-        self.eids: list[np.ndarray] = []
-        for i in range(n):
-            js = topology.neighbors(i)
-            self.nbrs.append(js)
-            self.eids.append(
-                np.asarray([topology.edge_id(i, int(j)) for j in js], dtype=np.int64)
-            )
+        csr = topology.csr
+        self.indptr = csr.indptr
+        self.flat_rows = csr.rows
+        self.flat_nbrs = csr.indices
+        self.flat_eids = csr.edge_ids
+        self.nbrs: list[np.ndarray] = [
+            csr.neighbors(i) for i in range(topology.n_nodes)
+        ]
+        self.eids: list[np.ndarray] = [
+            csr.incident_edges(i) for i in range(topology.n_nodes)
+        ]
 
     def degree(self, node: int) -> int:
         """Number of incident links of *node*."""

@@ -15,7 +15,7 @@ Provides the multiprocessor's communication fabric:
   link kills ("the probability of occurrence of a fault in a time unit").
 """
 
-from repro.network.topology import Topology
+from repro.network.topology import CSRAdjacency, Topology
 from repro.network.builders import (
     complete,
     hypercube,
@@ -32,6 +32,7 @@ from repro.network.faults import FaultModel
 from repro.network.routing import hop_distances
 
 __all__ = [
+    "CSRAdjacency",
     "Topology",
     "mesh",
     "torus",

@@ -5,8 +5,9 @@ views of the same graph:
 
 * a :class:`networkx.Graph` for algorithms that want one (diameter,
   colorings, layouts),
-* array form — an ``(m, 2)`` edge array and per-node neighbor arrays —
-  for the vectorised hot paths of the balancers,
+* array form — an ``(m, 2)`` edge array, per-node neighbor arrays and
+  a flat :class:`CSRAdjacency` export — for the vectorised hot paths of
+  the balancers,
 * a 2-D embedding (the paper's ``M2: V(G) → R²``) used for the load
   surface, for locality metrics and for ASCII rendering.
 
@@ -16,6 +17,7 @@ Instances are immutable after construction; fault state lives in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Mapping
 
@@ -23,6 +25,52 @@ import networkx as nx
 import numpy as np
 
 from repro.exceptions import TopologyError
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Compressed-sparse-row view of an undirected topology.
+
+    The flat form of the per-node neighbor lists: slot ``s`` in
+    ``indptr[u] <= s < indptr[u + 1]`` holds neighbor ``indices[s]`` of
+    node ``u``, reached over edge ``edge_ids[s]`` (an index into
+    :attr:`Topology.edges` and every per-edge attribute array: link
+    costs, fault masks, usage reservations). ``rows[s]`` is ``u`` itself
+    — the ``np.repeat`` companion that lets whole-graph expressions like
+    ``h[rows] - h[indices]`` evaluate every directed (node, neighbor)
+    pair in one array operation. Neighbors are sorted within each row,
+    matching :meth:`Topology.neighbors`.
+
+    This is the export the vectorised balancer fast path and any future
+    array-at-scale consumer build on; it is immutable and shared.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_ids: np.ndarray
+    rows: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (rows)."""
+        return self.indptr.shape[0] - 1
+
+    @property
+    def n_slots(self) -> int:
+        """Number of directed (node, neighbor) slots: ``2·m``."""
+        return self.indices.shape[0]
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of *node* (view into :attr:`indices`)."""
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def incident_edges(self, node: int) -> np.ndarray:
+        """Edge ids of *node*'s links, parallel to :meth:`neighbors`."""
+        return self.edge_ids[self.indptr[node]:self.indptr[node + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Per-node degree vector derived from :attr:`indptr`."""
+        return np.diff(self.indptr)
 
 
 class Topology:
@@ -136,6 +184,31 @@ class Topology:
     # ------------------------------------------------------------------ #
     # Derived structure (cached)
     # ------------------------------------------------------------------ #
+
+    @cached_property
+    def csr(self) -> CSRAdjacency:
+        """CSR/array export of the adjacency (see :class:`CSRAdjacency`).
+
+        Built fully vectorised (no per-node Python loop), so it is cheap
+        even for the large-N topologies; the arrays are marked read-only
+        because every consumer shares them.
+        """
+        n = self.n_nodes
+        m = self.n_edges
+        if m == 0:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            empty = np.empty(0, dtype=np.int64)
+            return CSRAdjacency(indptr, empty, empty.copy(), empty.copy())
+        rows = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        cols = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        eids = np.concatenate([np.arange(m, dtype=np.int64)] * 2)
+        order = np.lexsort((cols, rows))
+        rows, cols, eids = rows[order], cols[order], eids[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        for arr in (indptr, cols, eids, rows):
+            arr.flags.writeable = False
+        return CSRAdjacency(indptr, cols, eids, rows)
 
     @cached_property
     def adjacency(self) -> np.ndarray:

@@ -18,7 +18,7 @@ and so tests can assert the spawning discipline.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

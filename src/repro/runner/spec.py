@@ -24,7 +24,7 @@ from repro.exceptions import ConfigurationError
 from repro.rng import seed_for
 
 #: execution models a spec may request (see :mod:`repro.runner.worker`).
-ENGINES = frozenset({"rounds", "events"})
+ENGINES = frozenset({"rounds", "rounds-fast", "events"})
 
 
 @dataclass
@@ -53,10 +53,13 @@ class RunSpec:
         accept ``cadence``, ``wake_jitter``, ``stragglers``, …).
     engine:
         Which execution model runs the spec: ``"rounds"`` (the
-        synchronous :class:`~repro.sim.Simulator`, the default) or
+        synchronous :class:`~repro.sim.Simulator`, the default),
+        ``"rounds-fast"`` (the same protocol through
+        :class:`~repro.sim.FastSimulator`'s vectorised large-N path —
+        identical records, so large grids should prefer it) or
         ``"events"`` (the asynchronous
         :class:`~repro.sim.EventSimulator`). Part of the content hash,
-        so the two engines never share cache entries.
+        so engines never share cache entries.
     """
 
     scenario: str

@@ -9,8 +9,10 @@ config and the simulator RNG are all seeded from ``spec.seed``), which
 is what licenses the content-addressed cache.
 
 ``spec.engine`` selects the execution model: ``"rounds"`` builds the
-synchronous :class:`~repro.sim.Simulator`, ``"events"`` the
-asynchronous :class:`~repro.sim.EventSimulator`. Both receive whatever
+synchronous :class:`~repro.sim.Simulator`, ``"rounds-fast"`` its
+vectorised twin :class:`~repro.sim.FastSimulator` (identical records,
+array fast path for large N), ``"events"`` the asynchronous
+:class:`~repro.sim.EventSimulator`. All receive whatever
 extras the scenario carries (per-node speeds, a churn process), so a
 scenario means the same workload under either engine.
 
@@ -24,15 +26,22 @@ from __future__ import annotations
 
 from repro.runner.registry import make_balancer
 from repro.runner.spec import RunSpec
-from repro.sim import EventSimulator, SimulationResult, Simulator
+from repro.sim import EventSimulator, FastSimulator, SimulationResult, Simulator
 from repro.workloads import build_scenario
+
+#: spec.engine -> simulator class (validated upstream by RunSpec).
+_ENGINE_CLASSES = {
+    "rounds": Simulator,
+    "rounds-fast": FastSimulator,
+    "events": EventSimulator,
+}
 
 
 def execute_spec(spec: RunSpec) -> SimulationResult:
     """Run one spec to completion and return its result."""
     scenario = build_scenario(spec.scenario, seed=spec.seed, **spec.scenario_kwargs)
     balancer = make_balancer(spec.algorithm, **spec.algorithm_kwargs)
-    engine_cls = EventSimulator if spec.engine == "events" else Simulator
+    engine_cls = _ENGINE_CLASSES[spec.engine]
     # Scenario-carried extras are defaults; explicit sim_kwargs win (a
     # spec may legitimately override e.g. node_speeds or dynamic).
     sim_kwargs: dict = {

@@ -8,6 +8,9 @@ start; balancers observe the state and order one-hop migrations.
 
 * :class:`Simulator` — task-granular synchronous simulation (the
   paper's setting).
+* :class:`FastSimulator` — the same synchronous protocol with the
+  vectorised large-N fast path enabled (``engine="rounds-fast"``);
+  property-tested to reproduce :class:`Simulator` exactly.
 * :class:`EventSimulator` — discrete-event *asynchronous* simulation in
   continuous time: per-node clocks (heterogeneous speeds, jitter,
   stragglers), latency-delayed transfers, results sampled at epoch
@@ -19,7 +22,7 @@ start; balancers observe the state and order one-hop migrations.
 * :class:`SimulationResult` — per-round history + summary.
 """
 
-from repro.sim.engine import FluidSimulator, Simulator
+from repro.sim.engine import FastSimulator, FluidSimulator, Simulator
 from repro.sim.events import EventSimulator
 from repro.sim.metrics import (
     coefficient_of_variation,
@@ -31,6 +34,7 @@ from repro.sim.results import RoundRecord, SimulationResult
 
 __all__ = [
     "Simulator",
+    "FastSimulator",
     "EventSimulator",
     "FluidSimulator",
     "SimulationResult",

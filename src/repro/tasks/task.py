@@ -56,6 +56,11 @@ class TaskSystem:
         self._moves = 0
         self._wire_load = 0.0
         self._in_transit: set[int] = set()
+        # candidate_floor cache: maintained incrementally once requested
+        # (a node's floor only changes when its task multiset does).
+        self._floor: np.ndarray | None = None
+        self._floor_k = 0
+        self._floor_dirty: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -87,6 +92,8 @@ class TaskSystem:
         self._alive[tid] = True
         self._node_loads[node] += float(load)
         self._node_tasks[node].add(tid)
+        if self._floor is not None:
+            self._floor_dirty.add(node)
         return tid
 
     def remove_task(self, tid: int) -> None:
@@ -99,6 +106,8 @@ class TaskSystem:
             node = int(self._location[tid])
             self._node_loads[node] -= self._loads[tid]
             self._node_tasks[node].discard(tid)
+            if self._floor is not None:
+                self._floor_dirty.add(node)
         self._alive[tid] = False
         self._location[tid] = -1
 
@@ -119,6 +128,9 @@ class TaskSystem:
         self._node_tasks[dest].add(tid)
         self._location[tid] = dest
         self._moves += 1
+        if self._floor is not None:
+            self._floor_dirty.add(src)
+            self._floor_dirty.add(dest)
 
     # ---------------------- wire (transfer latency) -------------------- #
 
@@ -140,6 +152,8 @@ class TaskSystem:
         self._location[tid] = self.TRANSIT
         self._wire_load += load
         self._in_transit.add(tid)
+        if self._floor is not None:
+            self._floor_dirty.add(node)
 
     def deliver(self, tid: int, dest: int) -> None:
         """Land an in-transit task on node *dest*."""
@@ -155,6 +169,8 @@ class TaskSystem:
         self._node_tasks[dest].add(tid)
         self._location[tid] = dest
         self._moves += 1
+        if self._floor is not None:
+            self._floor_dirty.add(dest)
 
     def in_transit(self, tid: int) -> bool:
         """Whether task *tid* is currently on the wire."""
@@ -255,6 +271,67 @@ class TaskSystem:
         sel = ids[part]
         order = np.argsort(-self._loads[sel], kind="stable")
         return sel[order]
+
+    def candidate_floor(self, k: int) -> np.ndarray:
+        """Smallest load among each node's ``k`` largest resident tasks.
+
+        Shape ``(n_nodes,)``, read-only; nodes hosting no task get
+        ``+inf``. This is the *most migratable* candidate load per node
+        — the §5.1 slope is decreasing in the moved load, so a node none
+        of whose links clear the slope threshold at its floor load
+        cannot initiate anything. The vectorised fast path screens whole
+        rounds with it. In-transit tasks (located on no node) are
+        excluded.
+
+        The first call builds the vector in one ``O(T log T)`` pass;
+        afterwards it is maintained incrementally — every mutation marks
+        only the touched nodes dirty, so the steady-state cost is
+        proportional to the tasks that actually moved, not to ``T``.
+        """
+        if k < 1:
+            raise TaskError(f"candidate_floor needs k >= 1, got {k}")
+        if self._floor is None or self._floor_k != k:
+            self._floor = self._floor_full(k)
+            self._floor_k = k
+            self._floor_dirty.clear()
+        elif self._floor_dirty:
+            for node in self._floor_dirty:
+                self._floor[node] = self._floor_one(node, k)
+            self._floor_dirty.clear()
+        view = self._floor.view()
+        view.flags.writeable = False
+        return view
+
+    def _floor_full(self, k: int) -> np.ndarray:
+        """Candidate floors of every node in one vectorised pass."""
+        out = np.full(self._n_nodes, np.inf)
+        alive = self._alive[: self._count]
+        location = self._location[: self._count]
+        resident = np.nonzero(alive & (location >= 0))[0]
+        if resident.shape[0] == 0:
+            return out
+        locs = location[resident]
+        loads = self._loads[: self._count][resident]
+        order = np.lexsort((loads, locs))  # by node, then ascending load
+        loads_sorted = loads[order]
+        counts = np.bincount(locs[order], minlength=self._n_nodes)
+        ends = np.cumsum(counts)
+        hosts = np.nonzero(counts)[0]
+        # Top-k occupy the last min(k, count) slots of each ascending
+        # segment; the floor is the first of them.
+        out[hosts] = loads_sorted[ends[hosts] - np.minimum(counts[hosts], k)]
+        return out
+
+    def _floor_one(self, node: int, k: int) -> float:
+        """Candidate floor of a single (dirty) node."""
+        tasks = self._node_tasks[node]
+        c = len(tasks)
+        if c == 0:
+            return np.inf
+        loads = self._loads[np.fromiter(tasks, np.int64, count=c)]
+        if c <= k:
+            return float(loads.min())
+        return float(np.partition(loads, c - k)[c - k])
 
     def snapshot_placement(self) -> dict[int, int]:
         """Dict of task id -> node for all alive tasks (for analysis)."""

@@ -20,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import TaskError
-from repro.network.topology import Topology
 from repro.rng import RngLike, ensure_rng
 from repro.tasks.generators import load_sizes
 from repro.tasks.task import TaskSystem

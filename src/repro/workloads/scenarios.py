@@ -191,6 +191,46 @@ def _bursty_arrivals(seed: RngLike, **kw) -> Scenario:
     return Scenario("bursty-arrivals", topo, links, system, ids, dynamic=dynamic)
 
 
+def _torus_32x32(seed: RngLike, **kw) -> Scenario:
+    """Large-N fixture: 1024-node torus hotspot (the scale at which the
+    vectorised ``rounds-fast`` engine starts to pay; Eibl & Rüde's point
+    that balancing studies only become informative at scale)."""
+    n_tasks = int(kw.get("n_tasks", 8 * 32 * 32))
+    topo = builders.torus(32, 32)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("torus-32x32", topo, links, system, ids)
+
+
+def _mesh_4096(seed: RngLike, **kw) -> Scenario:
+    """Large-N fixture: 4096-node mesh under a uniform random workload —
+    the every-node-occupied regime that makes the scalar Phase-B sweep
+    O(N) per round and is the fast path's best case."""
+    n_tasks = int(kw.get("n_tasks", 8 * 64 * 64))
+    topo = builders.mesh(64, 64)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-4096", topo, links, system, ids)
+
+
+def _hotspot_scaled(seed: RngLike, **kw) -> Scenario:
+    """Mesh hotspot whose task count scales with the machine:
+    ``n_tasks = load_factor · side²`` unless given explicitly. One name,
+    any N — the scenario behind the ``bench_perf`` scaling curve."""
+    side = int(kw.get("side", 32))
+    factor = float(kw.get("load_factor", 16.0))
+    if factor <= 0:
+        raise ConfigurationError(f"load_factor must be positive, got {factor}")
+    n_tasks = int(kw.get("n_tasks", round(factor * side * side)))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("hotspot-scaled", topo, links, system, ids)
+
+
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "mesh-hotspot": _mesh_hotspot,
     "torus-hotspot": _torus_hotspot,
@@ -201,6 +241,9 @@ SCENARIOS: dict[str, Callable[..., Scenario]] = {
     "random-hotspot": _random_hotspot,
     "straggler": _straggler,
     "bursty-arrivals": _bursty_arrivals,
+    "torus-32x32": _torus_32x32,
+    "mesh-4096": _mesh_4096,
+    "hotspot-scaled": _hotspot_scaled,
 }
 
 #: every kwarg some scenario constructor reads. Constructors ignore
@@ -212,7 +255,7 @@ SCENARIO_KWARGS = frozenset(
     {
         "side", "dim", "n_tasks", "fault_prob", "n_nodes", "avg_degree",
         "graph_seed", "straggler_frac", "straggler_slowdown",
-        "arrival_rate", "completion_prob", "n_hot",
+        "arrival_rate", "completion_prob", "n_hot", "load_factor",
     }
 )
 

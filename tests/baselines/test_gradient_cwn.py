@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import ContractingWithinNeighborhood, GradientModel
 from repro.baselines.gradient_model import proximity_map
 from repro.exceptions import ConfigurationError
-from repro.network import mesh
 from repro.sim import Simulator
 from repro.tasks import TaskSystem
 from repro.workloads import balanced, single_hotspot

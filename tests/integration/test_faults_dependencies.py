@@ -6,7 +6,6 @@ classical schemes.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import ParticlePlaneBalancer, PPLBConfig
 from repro.network import FaultModel, LinkAttributes, mesh

@@ -1,6 +1,5 @@
 """Property-based (hypothesis) system tests: invariants over random runs."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -11,7 +11,6 @@ import pytest
 from repro.core import ParticlePlaneBalancer, PPLBConfig
 from repro.network import hypercube, mesh, torus
 from repro.sim import Simulator
-from repro.sim.engine import ConvergenceCriteria
 from repro.tasks import TaskSystem
 from repro.workloads import single_hotspot, uniform_random
 

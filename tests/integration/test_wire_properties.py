@@ -1,6 +1,5 @@
 """Property tests for the transfer-latency wire model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

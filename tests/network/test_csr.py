@@ -1,0 +1,106 @@
+"""CSR/array adjacency export: round-trips against the neighbor API.
+
+The fast paths index per-edge attribute arrays (link costs, fault
+masks, usage reservations) through ``Topology.csr``; these tests pin
+the export to the reference ``neighbors()``/``edge_id()`` API on line,
+mesh, torus and hypercube builders — including the view a node gets of
+a faulted link set, since screening against ``up_mask`` through wrong
+edge ids would silently route traffic over dead links.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import CSRAdjacency, LinkAttributes, Topology, builders
+
+
+def line(n):
+    """A 1×n mesh is the line (path) topology."""
+    return builders.mesh(1, n)
+
+
+TOPOLOGIES = [
+    line(12),
+    builders.mesh(4, 5),
+    builders.torus(4, 4),
+    builders.hypercube(4),
+]
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
+class TestCSRRoundTrip:
+    def test_structure(self, topo):
+        csr = topo.csr
+        assert isinstance(csr, CSRAdjacency)
+        assert csr.n_nodes == topo.n_nodes
+        assert csr.n_slots == 2 * topo.n_edges
+        assert csr.indptr[0] == 0 and csr.indptr[-1] == csr.n_slots
+        assert (np.diff(csr.indptr) == topo.degree).all()
+        assert (csr.degrees() == topo.degree).all()
+
+    def test_neighbors_round_trip(self, topo):
+        csr = topo.csr
+        for i in range(topo.n_nodes):
+            assert (csr.neighbors(i) == topo.neighbors(i)).all()
+
+    def test_edge_ids_round_trip(self, topo):
+        csr = topo.csr
+        for i in range(topo.n_nodes):
+            expected = [topo.edge_id(i, int(j)) for j in topo.neighbors(i)]
+            assert csr.incident_edges(i).tolist() == expected
+
+    def test_rows_is_repeat_form(self, topo):
+        csr = topo.csr
+        assert (csr.rows == np.repeat(np.arange(topo.n_nodes), topo.degree)).all()
+        # Each flat slot names a real directed pair of the right edge.
+        for s in range(csr.n_slots):
+            u, j, eid = int(csr.rows[s]), int(csr.indices[s]), int(csr.edge_ids[s])
+            assert topo.has_edge(u, j)
+            assert topo.edge_id(u, j) == eid
+
+    def test_arrays_are_read_only(self, topo):
+        csr = topo.csr
+        for arr in (csr.indptr, csr.indices, csr.edge_ids, csr.rows):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_faulted_link_view_matches_neighbor_scan(self, topo):
+        # Kill every third edge; the per-node CSR gather of the up-mask
+        # must agree with the reference edge_id lookup, link by link.
+        up = np.ones(topo.n_edges, dtype=bool)
+        up[::3] = False
+        csr = topo.csr
+        flat_up = up[csr.edge_ids]
+        for i in range(topo.n_nodes):
+            seg = slice(csr.indptr[i], csr.indptr[i + 1])
+            expected = [
+                bool(up[topo.edge_id(i, int(j))]) for j in topo.neighbors(i)
+            ]
+            assert flat_up[seg].tolist() == expected
+
+    def test_link_cost_gather_matches(self, topo):
+        # Per-edge attribute arrays (here: heterogeneous bandwidths) are
+        # indexed by the same edge ids from both APIs.
+        attrs = LinkAttributes.heterogeneous(
+            topo, seed=3, bandwidth_range=(0.5, 2.0)
+        )
+        csr = topo.csr
+        for i in range(topo.n_nodes):
+            seg = slice(csr.indptr[i], csr.indptr[i + 1])
+            via_csr = attrs.bandwidth[csr.edge_ids[seg]]
+            via_api = attrs.bandwidth[
+                [topo.edge_id(i, int(j)) for j in topo.neighbors(i)]
+            ]
+            assert (via_csr == via_api).all()
+
+
+def test_single_node_topology_has_empty_csr():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_node(0)
+    topo = Topology(g, name="singleton")
+    csr = topo.csr
+    assert csr.n_nodes == 1
+    assert csr.n_slots == 0
+    assert csr.indptr.tolist() == [0, 0]

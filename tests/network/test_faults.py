@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, TopologyError
-from repro.network import FaultModel, LinkAttributes, mesh, ring
+from repro.network import FaultModel, LinkAttributes, ring
 
 
 class TestTransientFaults:

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.network import LinkAttributes, link_costs, mesh, random_connected
-from repro.network.topology import Topology
 
 _SETTINGS = dict(max_examples=50, deadline=None)
 

@@ -37,6 +37,7 @@ class TestRunSpec:
             {"algorithm_kwargs": {"beta0": 0.5}},
             {"sim_kwargs": {"link_capacity": 2}},
             {"engine": "events"},
+            {"engine": "rounds-fast"},
         ],
     )
     def test_any_field_change_changes_key(self, change):
@@ -56,6 +57,23 @@ class TestRunSpec:
     def test_rejects_unknown_engine(self):
         with pytest.raises(ConfigurationError, match="engine"):
             RunSpec(scenario="mesh-hotspot", algorithm="pplb", engine="warp")
+
+    def test_rounds_fast_engine_dispatches_and_matches_rounds(self):
+        # The spec level of the equivalence anchor: executing the same
+        # content through "rounds-fast" reproduces "rounds" exactly,
+        # while the cache keys stay distinct.
+        from repro.runner import execute_spec
+
+        base = dict(scenario="mesh-hotspot", algorithm="pplb", seed=4,
+                    max_rounds=40, scenario_kwargs={"side": 5, "n_tasks": 100})
+        rounds = RunSpec(**base, engine="rounds")
+        fast = RunSpec(**base, engine="rounds-fast")
+        assert rounds.key() != fast.key()
+        a = execute_spec(rounds).to_dict()
+        b = execute_spec(fast).to_dict()
+        a.pop("wall_time_s")
+        b.pop("wall_time_s")
+        assert a == b
 
     def test_key_covers_library_version(self, monkeypatch):
         # Cached results must not survive a code-version bump.

@@ -1,6 +1,5 @@
 """Unit tests for repro.sim.engine.Simulator (task mode)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import NoBalancer

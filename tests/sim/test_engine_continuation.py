@@ -1,7 +1,6 @@
 """Tests for chained Simulator.run(reset=False) continuation."""
 
 import numpy as np
-import pytest
 
 from repro.core import ParticlePlaneBalancer, PPLBConfig
 from repro.network import mesh

@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import FluidDiffusion
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.interfaces import FluidBalancer
-from repro.network import mesh
 from repro.sim import FluidSimulator
 from repro.sim.engine import ConvergenceCriteria
 

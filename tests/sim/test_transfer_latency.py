@@ -1,12 +1,10 @@
 """Tests for the transfer-latency (wire) model."""
 
-import numpy as np
 import pytest
 
 from repro.core import ParticlePlaneBalancer, PPLBConfig
 from repro.exceptions import ConfigurationError, TaskError
 from repro.interfaces import Balancer, Migration
-from repro.network import mesh
 from repro.sim import Simulator
 from repro.tasks import TaskSystem
 from repro.workloads import single_hotspot

@@ -1,0 +1,116 @@
+"""TaskSystem.candidate_floor: the fast-path screen's per-node bound.
+
+The floor must equal the smallest load among each node's k largest
+resident tasks (+inf when empty), and — because it is maintained
+incrementally through a dirty-node cache — it must stay exact under
+every mutation: moves, additions, removals, and the transit wire.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import builders
+from repro.tasks import TaskSystem
+
+
+def reference_floor(system, k):
+    """Brute-force floor straight from the public query API."""
+    out = np.full(system.topology.n_nodes, np.inf)
+    for node in range(system.topology.n_nodes):
+        loads = sorted(
+            (system.load_of(int(t)) for t in system.tasks_at(node)), reverse=True
+        )
+        if loads:
+            out[node] = loads[: k][-1]
+    return out
+
+
+def test_floor_matches_reference_and_largest_tasks_at():
+    topo = builders.mesh(3, 3)
+    system = TaskSystem(topo)
+    rng = np.random.default_rng(0)
+    for _ in range(40):
+        system.add_task(float(rng.uniform(0.1, 5.0)), int(rng.integers(9)))
+    k = 4
+    floors = system.candidate_floor(k)
+    assert (floors == reference_floor(system, k)).all()
+    for node in range(9):
+        cand = system.largest_tasks_at(node, k)
+        assert floors[node] == system.load_of(int(cand[-1]))
+
+
+def test_empty_nodes_get_inf():
+    topo = builders.mesh(2, 2)
+    system = TaskSystem(topo)
+    assert np.isinf(system.candidate_floor(3)).all()
+    system.add_task(2.0, 1)
+    floors = system.candidate_floor(3)
+    assert floors[1] == 2.0
+    assert np.isinf(floors[[0, 2, 3]]).all()
+
+
+def test_cache_tracks_every_mutation_kind():
+    topo = builders.mesh(2, 3)
+    system = TaskSystem(topo)
+    ids = [system.add_task(load, node)
+           for load, node in [(3.0, 0), (1.0, 0), (2.0, 1), (5.0, 1), (0.5, 2)]]
+    k = 2
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+
+    system.move(ids[0], 3)  # move
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+
+    system.remove_task(ids[3])  # removal
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+
+    new = system.add_task(9.0, 2)  # addition
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+
+    system.send_to_transit(new)  # wire: excluded while in flight
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+
+    system.deliver(new, 4)  # landing
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+
+    # Changing k rebuilds rather than reusing the stale cache.
+    assert (system.candidate_floor(1) == reference_floor(system, 1)).all()
+
+
+def test_returned_view_is_read_only():
+    topo = builders.mesh(2, 2)
+    system = TaskSystem(topo)
+    system.add_task(1.0, 0)
+    floors = system.candidate_floor(2)
+    try:
+        floors[0] = 0.0
+        raise AssertionError("floor view should be read-only")
+    except ValueError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_floor_stays_exact_under_random_mutation_streams(data):
+    topo = builders.mesh(2, 3)
+    system = TaskSystem(topo)
+    k = data.draw(st.integers(min_value=1, max_value=5))
+    alive: list[int] = []
+    # Interleave queries with mutations so the dirty-cache path (not
+    # just the initial full build) is what gets exercised.
+    for step in range(data.draw(st.integers(min_value=5, max_value=25))):
+        op = data.draw(st.sampled_from(["add", "move", "remove", "query"]))
+        if op == "add" or not alive:
+            load = data.draw(st.floats(min_value=0.1, max_value=10.0,
+                                       allow_nan=False))
+            alive.append(system.add_task(load, data.draw(st.integers(0, 5))))
+        elif op == "move":
+            system.move(data.draw(st.sampled_from(alive)),
+                        data.draw(st.integers(0, 5)))
+        elif op == "remove":
+            tid = data.draw(st.sampled_from(alive))
+            alive.remove(tid)
+            system.remove_task(tid)
+        else:
+            assert (system.candidate_floor(k) == reference_floor(system, k)).all()
+    assert (system.candidate_floor(k) == reference_floor(system, k)).all()

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.network import mesh
 from repro.viz import render_heatmap, render_surface, surface_film
 
 

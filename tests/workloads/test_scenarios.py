@@ -36,3 +36,22 @@ class TestRegistry:
     def test_size_overrides(self):
         sc = build_scenario("hypercube-hotspot", seed=0, dim=4, n_tasks=64)
         assert sc.topology.n_nodes == 16
+
+    def test_large_n_scenarios_have_fixed_machines(self):
+        torus = build_scenario("torus-32x32", seed=0, n_tasks=64)
+        assert torus.topology.n_nodes == 1024
+        assert torus.system.n_tasks == 64
+        mesh = build_scenario("mesh-4096", seed=0, n_tasks=64)
+        assert mesh.topology.n_nodes == 4096
+        # Uniform workload: tasks land across the machine, not one spot.
+        assert (mesh.system.node_loads > 0).sum() > 32
+
+    def test_hotspot_scaled_tracks_machine_size(self):
+        small = build_scenario("hotspot-scaled", seed=0, side=4)
+        big = build_scenario("hotspot-scaled", seed=0, side=8)
+        assert small.system.n_tasks == 16 * 16
+        assert big.system.n_tasks == 16 * 64
+        custom = build_scenario("hotspot-scaled", seed=0, side=4, load_factor=2.0)
+        assert custom.system.n_tasks == 2 * 16
+        with pytest.raises(ConfigurationError):
+            build_scenario("hotspot-scaled", seed=0, side=4, load_factor=0.0)
