@@ -14,6 +14,13 @@ the baseline CI's ``perf-gate`` job compares against. It records:
   trajectory.
 * **Event engine** — jittered clocks (so waves are genuinely per-node):
   processed events/sec and rounds/sec on a 16×16 torus hotspot.
+* **Record throughput** — the long-run measurement pipeline: a
+  1024-node ``rounds-fast`` run over 2000 rounds under the
+  ``summary`` recorder (O(1) memory, no per-round history) next to
+  the same run under ``full`` columnar recording. Both rates are
+  tracked; the summary run must retain zero per-round records and
+  never lag full recording by more than noise — the recorder is pure
+  observation, not a tax on the loop.
 
 The artifact is machine-readable (``benchmarks/results/
 BENCH_engine.json``) so successive baselines can be diffed and CI can
@@ -50,6 +57,14 @@ CURVE_ROUNDS = 40
 SPEEDUP_FLOOR = 5.0
 SPEEDUP_FROM_N = 1024
 
+#: record-throughput (long-run measurement pipeline) workload.
+RECORD_SIDE = 32  # 1024 nodes
+RECORD_ROUNDS = 2000
+#: summary recording may never cost more than this fraction vs full —
+#: machine-independent by construction (both runs share the machine);
+#: the slack absorbs run-to-run noise on loaded runners.
+RECORD_RPS_FLOOR = 0.85
+
 EVENT_SCENARIO = "torus-hotspot"
 EVENT_SIZE = {"side": 16, "n_tasks": 2048}
 #: desynchronised clocks mean one balancer step per *node* wake — a 256
@@ -63,13 +78,15 @@ EVENT_ROUNDS = 40
 _NO_EXIT = ConvergenceCriteria(quiet_rounds=10**9, min_rounds=0)
 
 
-def _timed_run(engine_cls, side: int):
+def _timed_run(engine_cls, side: int, rounds: int = CURVE_ROUNDS,
+               recorder: str = "full"):
     scenario = build_scenario(CURVE_SCENARIO, seed=SEED, side=side)
     sim = engine_cls(
         scenario.topology, scenario.system, make_balancer(ALGORITHM),
         links=scenario.links, seed=SEED, criteria=_NO_EXIT,
+        recorder=recorder,
     )
-    return sim.run(max_rounds=CURVE_ROUNDS)
+    return sim.run(max_rounds=rounds)
 
 
 def measure() -> dict:
@@ -95,6 +112,37 @@ def measure() -> dict:
             "speedup": fast_rps / scalar_rps,
         })
 
+    # Record throughput: the sustained service rate of a long run when
+    # nothing per-round is retained (summary aggregates) vs the full
+    # columnar log. Totals must agree exactly — the recorder observes,
+    # it never steers.
+    full = _timed_run(FastSimulator, RECORD_SIDE, rounds=RECORD_ROUNDS,
+                      recorder="full")
+    summary = _timed_run(FastSimulator, RECORD_SIDE, rounds=RECORD_ROUNDS,
+                         recorder="summary")
+    assert len(summary.records) == 0, "summary recorder retained history"
+    assert summary.n_rounds == full.n_rounds == RECORD_ROUNDS
+    assert summary.total_migrations == full.total_migrations
+    record_throughput = {
+        "scenario": CURVE_SCENARIO,
+        "n_nodes": RECORD_SIDE * RECORD_SIDE,
+        "rounds": RECORD_ROUNDS,
+        "full_rps": full.n_rounds / full.wall_time_s,
+        "summary_rps": summary.n_rounds / summary.wall_time_s,
+        "records_retained_full": len(full.records),
+        "records_retained_summary": len(summary.records),
+    }
+    # Enforced here (not only in the pytest wrapper) so every
+    # scripts/perf_gate.py attempt gates it too — the one
+    # machine-independent record-throughput check.
+    assert record_throughput["summary_rps"] >= (
+        RECORD_RPS_FLOOR * record_throughput["full_rps"]
+    ), (
+        f"summary recording lagged full recording: "
+        f"{record_throughput['summary_rps']:.1f} < {RECORD_RPS_FLOOR} * "
+        f"{record_throughput['full_rps']:.1f}"
+    )
+
     # The event engine is measured desynchronised (per-wake jitter), so
     # the heap, wave batching and per-node clocks are all on the hot
     # path — the degenerate config would just re-time the sync loop.
@@ -117,6 +165,7 @@ def measure() -> dict:
             "rounds_budget": CURVE_ROUNDS,
             "points": points,
         },
+        "record_throughput": record_throughput,
         "events": {
             "scenario": EVENT_SCENARIO,
             "scenario_kwargs": EVENT_SIZE,
@@ -149,6 +198,15 @@ def test_perf_baseline(benchmark):
         }
         for pt in payload["curve"]["points"]
     ]
+    rt = payload["record_throughput"]
+    rows.append({
+        "N": rt["n_nodes"],
+        "tasks": "-",
+        "rounds": rt["rounds"],
+        "scalar r/s": f"full rec: {round(rt['full_rps'], 1)} r/s",
+        "fast r/s": f"summary: {round(rt['summary_rps'], 1)} r/s",
+        "speedup": f"{rt['summary_rps'] / rt['full_rps']:.2f}x",
+    })
     ev = payload["events"]
     rows.append({
         "N": 256,
@@ -175,6 +233,10 @@ def test_perf_baseline(benchmark):
                 f"vectorised path only {pt['speedup']:.1f}x at "
                 f"N={pt['n_nodes']} (need >= {SPEEDUP_FLOOR}x)"
             )
+    rt = payload["record_throughput"]
+    assert rt["rounds"] == RECORD_ROUNDS
+    assert rt["records_retained_summary"] == 0  # O(1) record memory
+    assert rt["records_retained_full"] == RECORD_ROUNDS
     assert payload["events"]["events"] > payload["events"]["rounds"]
     assert payload["events"]["events_per_sec"] > 0
     reread = json.loads((RESULTS_DIR / "BENCH_engine.json").read_text())

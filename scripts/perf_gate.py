@@ -3,10 +3,14 @@
 
 Re-runs the ``benchmarks/bench_perf.py`` measurement and fails (exit 1)
 if any tracked rate — scalar or vectorised rounds/sec at each curve
-point, or the event engine's rounds/sec and events/sec — regresses more
-than ``MAX_REGRESSION`` against ``benchmarks/results/BENCH_engine.json``,
-or if the vectorised speedup drops below the acceptance floor at
-N ≥ 1024. A failing attempt is retried (up to ``ATTEMPTS`` total) to
+point, the long-run record-throughput rates (full and summary
+recording at N=1024 over 2000 rounds), or the event engine's
+rounds/sec and events/sec — regresses more than ``MAX_REGRESSION``
+against ``benchmarks/results/BENCH_engine.json``, or if the vectorised
+speedup drops below the acceptance floor at N ≥ 1024, or if summary
+recording lags full recording by more than the bench's floor (that
+last check is machine-independent and rides inside ``measure()``
+itself). A failing attempt is retried (up to ``ATTEMPTS`` total) to
 absorb runner noise: one quiet pass is proof the code can still reach
 the rate.
 
@@ -50,6 +54,10 @@ def tracked_rates(payload: dict) -> dict[str, float]:
     for pt in payload["curve"]["points"]:
         rates[f"scalar_rps@N={pt['n_nodes']}"] = pt["scalar_rps"]
         rates[f"fast_rps@N={pt['n_nodes']}"] = pt["fast_rps"]
+    rt = payload.get("record_throughput")
+    if rt is not None:  # absent only in pre-recorder baselines
+        rates[f"record_full_rps@N={rt['n_nodes']}"] = rt["full_rps"]
+        rates[f"record_summary_rps@N={rt['n_nodes']}"] = rt["summary_rps"]
     rates["events_rounds_per_sec"] = payload["events"]["rounds_per_sec"]
     rates["events_events_per_sec"] = payload["events"]["events_per_sec"]
     return rates

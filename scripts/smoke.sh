@@ -8,9 +8,10 @@
 # Exercises the full stack: the unit/property/integration suite, an
 # 8-spec (scenario × algorithm × seed) grid across 2 worker processes,
 # a second invocation that must be served entirely from the result
-# cache, a 2-spec grid on the asynchronous event engine, and a 2-spec
+# cache, a 2-spec grid on the asynchronous event engine, a 2-spec
 # large-N grid (1024-node machines) on the vectorized rounds-fast
-# engine.
+# engine, and a 2-spec grid under the O(1)-memory summary recorder
+# (which must not share cache entries with the full-recorded runs).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,12 +48,21 @@ python -m repro.cli run-grid --scenarios torus-32x32 hotspot-scaled \
     --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/fast.out"
 grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/fast.out"
 
+echo "==> summary-recorder grid (2 specs, O(1) record memory)"
+# Same scenario/seed as the full-recorded grid above: distinct recorder
+# policies must produce distinct cache entries, never replay each other.
+python -m repro.cli run-grid --scenarios mesh-hotspot --algorithms pplb diffusion \
+    --seeds 1 --rounds 120 --recorder summary --cache-dir "$CACHE_DIR/cache" \
+    | tee "$CACHE_DIR/summary.out"
+grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/summary.out"
+
 echo "==> cache stats / clear round-trip"
 # Capture to files rather than piping into grep -q: grep exiting early
 # would hand the CLI a broken pipe (and mask its exit status).
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
-grep -q "entries    : 12" "$CACHE_DIR/stats.out"
+grep -q "entries    : 14" "$CACHE_DIR/stats.out"
+grep -q "mean entry" "$CACHE_DIR/stats.out"
 python -m repro.cli cache clear --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/clear.out"
-grep -q "removed 12 cached result" "$CACHE_DIR/clear.out"
+grep -q "removed 14 cached result" "$CACHE_DIR/clear.out"
 
 echo "==> smoke OK"

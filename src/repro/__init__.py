@@ -54,8 +54,14 @@ from repro.sim import (
     EventSimulator,
     FastSimulator,
     FluidSimulator,
+    FullRecorder,
+    RoundLog,
+    SimulationLoop,
     SimulationResult,
     Simulator,
+    SummaryRecorder,
+    ThinningRecorder,
+    make_recorder,
 )
 from repro.sim.engine import ConvergenceCriteria
 from repro.tasks import ResourceMap, TaskGraph, TaskSystem
@@ -115,6 +121,12 @@ __all__ = [
     "FastSimulator",
     "EventSimulator",
     "FluidSimulator",
+    "SimulationLoop",
     "SimulationResult",
+    "RoundLog",
+    "FullRecorder",
+    "ThinningRecorder",
+    "SummaryRecorder",
+    "make_recorder",
     "ConvergenceCriteria",
 ]

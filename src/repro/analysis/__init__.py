@@ -1,7 +1,9 @@
 """Analysis & harness utilities.
 
 * :mod:`convergence <repro.analysis.convergence>` — time-to-balance and
-  exponential convergence-rate fits (the quantity [19] optimises).
+  exponential convergence-rate fits (the quantity [19] optimises),
+  consuming columnar series (``result.series``) rather than per-round
+  record objects.
 * :mod:`stats <repro.analysis.stats>` — multi-seed means and confidence
   intervals.
 * :mod:`sweep <repro.analysis.sweep>` — parameter-sweep harness used by

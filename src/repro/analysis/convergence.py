@@ -6,6 +6,13 @@ diffusion matrix. :func:`fit_convergence_rate` estimates γ from any
 simulated series (least squares on the log-linear tail), letting the
 benchmarks compare measured rates against the spectral prediction and
 against PPLB's empirical behaviour.
+
+Series come straight off the columnar round log
+(``result.series("spread")`` is one NumPy column, no record objects
+are materialised), so these fits stay cheap at million-round scale.
+Note that summary-recorded runs keep no per-round history and have
+nothing to fit; use ``full`` or ``thin:<k>`` recording for rate
+analysis.
 """
 
 from __future__ import annotations

@@ -77,7 +77,9 @@ def ascii_plot(
     if title:
         out.append(title)
     for r, rowchars in enumerate(canvas):
-        prefix = top if r == 0 else (bot if r == height - 1 else y_label if r == height // 2 else "")
+        prefix = top if r == 0 else (
+            bot if r == height - 1 else y_label if r == height // 2 else ""
+        )
         out.append(prefix.rjust(label_w) + " |" + "".join(rowchars))
     out.append(" " * label_w + " +" + "-" * width)
     out.append(" " * label_w + f"  0{x_label:>{width - 4}}={max_len - 1}")

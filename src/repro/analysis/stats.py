@@ -3,6 +3,11 @@
 Stochastic balancers are evaluated over several seeds; these helpers
 aggregate the per-run summaries into mean ± confidence interval rows for
 the benchmark tables.
+
+Everything here reads the result's summary surface (``final_cov``,
+``total_migrations``, …), which is computed from the columnar round log
+— or, for thin/summary-recorded runs, from their exact streamed
+aggregates — so aggregation works identically for every recorder.
 """
 
 from __future__ import annotations

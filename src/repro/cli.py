@@ -21,7 +21,11 @@ Installed as ``pplb`` (see pyproject). Subcommands:
 protocol, ``rounds-fast`` the same protocol through the vectorised
 large-N fast path (:class:`repro.sim.FastSimulator` — identical
 records, so prefer it for big meshes), ``events`` the discrete-event
-asynchronous engine (:class:`repro.sim.EventSimulator`).
+asynchronous engine (:class:`repro.sim.EventSimulator`). They also
+accept ``--recorder {full,thin:<k>,summary}`` — the recording policy
+(see :mod:`repro.sim.recording`): ``full`` keeps every round,
+``thin:<k>`` every k-th round plus the last with exact totals,
+``summary`` streams O(1) running aggregates for very long runs.
 
 Algorithm names come from :mod:`repro.runner.registry`, the registry
 shared with the runner, so ``--algorithm`` choices and runner specs can
@@ -55,10 +59,10 @@ ALGORITHMS = FACTORIES
 
 
 def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int,
-             engine: str = "rounds"):
+             engine: str = "rounds", recorder: str = "full"):
     spec = RunSpec(
         scenario=scenario_name, algorithm=algorithm, seed=seed,
-        max_rounds=rounds, engine=engine,
+        max_rounds=rounds, engine=engine, recorder=recorder,
     )
     return execute_spec(spec)
 
@@ -69,22 +73,29 @@ def _cache_from(args: argparse.Namespace) -> ResultCache | None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     result = _run_one(args.scenario, args.algorithm, args.seed, args.rounds,
-                      engine=args.engine)
+                      engine=args.engine, recorder=args.recorder)
     print(format_table(
         [result.summary_row()],
         title=f"{args.algorithm} on {args.scenario} "
               f"(seed {args.seed}, {args.engine} engine)",
     ))
     print()
-    print(ascii_plot({"cov": result.series("cov")},
-                     title="Imbalance (CoV) vs round", logy=True, height=12))
+    cov = result.series("cov")
+    if cov.shape[0]:
+        print(ascii_plot({"cov": cov},
+                         title="Imbalance (CoV) vs round", logy=True, height=12))
+    else:
+        # The summary recorder keeps no per-round history — totals
+        # only. (Use --recorder full or thin:<k> for a curve.)
+        print("(no per-round history recorded — summary recorder)")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     specs = [
         RunSpec(scenario=args.scenario, algorithm=name, seed=args.seed,
-                max_rounds=args.rounds, engine=args.engine)
+                max_rounds=args.rounds, engine=args.engine,
+                recorder=args.recorder)
         for name in ALGORITHMS
         if name != "none"
     ]
@@ -119,6 +130,7 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         grid_seeds(args.seeds, base_seed=args.base_seed),
         max_rounds=args.rounds,
         engine=args.engine,
+        recorder=args.recorder,
     )
     cache = _cache_from(args)
 
@@ -171,6 +183,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
             return 0
         print(f"entries    : {stats['entries']}")
         print(f"disk usage : {_human_bytes(int(stats['total_bytes']))}")
+        print(f"mean entry : {_human_bytes(int(stats['mean_bytes']))}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached result(s) from {cache.root}")
@@ -200,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "vectorized rounds-fast path (identical results, "
                             "built for large N), or the asynchronous "
                             "discrete-event engine")
+        p.add_argument("--recorder", default="full", metavar="POLICY",
+                       help="recording policy: 'full' (every round), "
+                            "'thin:<k>' (every k-th round + last, exact "
+                            "totals), or 'summary' (O(1) running aggregates "
+                            "for very long runs)")
 
     def add_cache_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-dir", default=".pplb-cache",

@@ -288,4 +288,6 @@ class ParticleSimulator:
     def release(self, position, mass: float = 1.0, velocity=None) -> TrajectoryResult:
         """Convenience: build a :class:`ParticleState` at *position* and run."""
         vel = np.zeros(2) if velocity is None else np.asarray(velocity, dtype=np.float64)
-        return self.run(ParticleState(position=np.asarray(position, float), velocity=vel, mass=mass))
+        return self.run(
+            ParticleState(position=np.asarray(position, float), velocity=vel, mass=mass)
+        )

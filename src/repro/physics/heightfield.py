@@ -97,8 +97,12 @@ class HeightField:
         pts = np.atleast_2d(p)
         i, j, tx, ty = self._locate(pts)
         z = self.z
-        dzdx = ((z[i + 1, j] - z[i, j]) * (1 - ty) + (z[i + 1, j + 1] - z[i, j + 1]) * ty) / self.dx
-        dzdy = ((z[i, j + 1] - z[i, j]) * (1 - tx) + (z[i + 1, j + 1] - z[i + 1, j]) * tx) / self.dy
+        dzdx = (
+            (z[i + 1, j] - z[i, j]) * (1 - ty) + (z[i + 1, j + 1] - z[i, j + 1]) * ty
+        ) / self.dx
+        dzdy = (
+            (z[i, j + 1] - z[i, j]) * (1 - tx) + (z[i + 1, j + 1] - z[i + 1, j]) * tx
+        ) / self.dy
         g = np.stack([dzdx, dzdy], axis=-1)
         return g[0] if scalar else g
 

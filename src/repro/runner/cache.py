@@ -97,9 +97,11 @@ class ResultCache:
     def stats(self) -> dict[str, object]:
         """On-disk usage summary (``pplb cache stats``).
 
-        Returns ``root``, whether it exists, entry count and total
-        payload bytes — everything needed to decide whether the cache
-        is worth keeping or due a :meth:`clear`.
+        Returns ``root``, whether it exists, entry count, total payload
+        bytes and the mean entry size — everything needed to decide
+        whether the cache is worth keeping or due a :meth:`clear`, and
+        the number that makes a wire-format change (e.g. the columnar
+        round log) visible on disk.
         """
         entries = 0
         total_bytes = 0
@@ -115,6 +117,7 @@ class ResultCache:
             "exists": self.root.is_dir(),
             "entries": entries,
             "total_bytes": total_bytes,
+            "mean_bytes": total_bytes / entries if entries else 0.0,
             "hits": self.hits,
             "misses": self.misses,
         }

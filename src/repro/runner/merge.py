@@ -26,7 +26,9 @@ def default_metrics(result: SimulationResult) -> dict[str, float]:
 
     ``converged_round`` is None for non-converged runs, so the
     aggregate exposes ``converged`` (0/1 rate) and ``rounds`` (rounds
-    actually simulated) instead.
+    actually simulated) instead. All values come off the result's
+    summary surface (columnar totals, or streamed aggregates for
+    thin/summary-recorded runs), so any recorder merges cleanly.
     """
     return {
         "final_cov": float(result.final_cov),

@@ -60,6 +60,13 @@ class RunSpec:
         ``"events"`` (the asynchronous
         :class:`~repro.sim.EventSimulator`). Part of the content hash,
         so engines never share cache entries.
+    recorder:
+        Recording policy for the run: ``"full"`` (every round, the
+        default), ``"thin:<k>"`` or ``"summary"`` — see
+        :mod:`repro.sim.recording`. Part of the content hash (a
+        thinned result must never be replayed as a full one); the
+        default is *omitted* from the canonical encoding so existing
+        full-recording cache entries keep their keys.
     """
 
     scenario: str
@@ -70,6 +77,7 @@ class RunSpec:
     algorithm_kwargs: dict = field(default_factory=dict)
     sim_kwargs: dict = field(default_factory=dict)
     engine: str = "rounds"
+    recorder: str = "full"
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -80,6 +88,11 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; available: {sorted(ENGINES)}"
             )
+        # Canonicalise the recorder spec (e.g. "thin:05" -> "thin:5") so
+        # equivalent specs share one cache key; raises on unknown specs.
+        from repro.sim.recording import recorder_tag
+
+        self.recorder = recorder_tag(self.recorder)
         # Validate names eagerly so a bad grid fails before any worker
         # spins up. Imported here to keep this module import-light for
         # worker processes.
@@ -107,8 +120,14 @@ class RunSpec:
     # --------------------------- identity ---------------------------- #
 
     def to_dict(self) -> dict[str, object]:
-        """Plain-data form (JSON-ready, inverts via :meth:`from_dict`)."""
-        return {
+        """Plain-data form (JSON-ready, inverts via :meth:`from_dict`).
+
+        The default recorder (``"full"``) is omitted rather than
+        encoded: the canonical JSON — and therefore the cache key — of
+        every pre-recorder spec is unchanged, so caches populated
+        before the recorder knob existed keep replaying.
+        """
+        payload = {
             "scenario": self.scenario,
             "algorithm": self.algorithm,
             "seed": self.seed,
@@ -118,6 +137,9 @@ class RunSpec:
             "sim_kwargs": dict(self.sim_kwargs),
             "engine": self.engine,
         }
+        if self.recorder != "full":
+            payload["recorder"] = self.recorder
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
@@ -131,6 +153,7 @@ class RunSpec:
             algorithm_kwargs=dict(data.get("algorithm_kwargs", {})),
             sim_kwargs=dict(data.get("sim_kwargs", {})),
             engine=str(data.get("engine", "rounds")),
+            recorder=str(data.get("recorder", "full")),
         )
 
     def canonical_json(self) -> str:
@@ -155,6 +178,8 @@ class RunSpec:
         tag = f"{self.scenario} × {self.algorithm} seed={self.seed}"
         if self.engine != "rounds":
             tag += f" [{self.engine}]"
+        if self.recorder != "full":
+            tag += f" [{self.recorder}]"
         return tag
 
 
@@ -178,6 +203,7 @@ def expand_grid(
     algorithm_kwargs: Mapping | None = None,
     sim_kwargs: Mapping | None = None,
     engine: str = "rounds",
+    recorder: str = "full",
 ) -> list[RunSpec]:
     """Cartesian (scenario × algorithm × seed) product, scenario-major.
 
@@ -199,6 +225,7 @@ def expand_grid(
             algorithm_kwargs=dict(algorithm_kwargs or {}),
             sim_kwargs=dict(sim_kwargs or {}),
             engine=engine,
+            recorder=recorder,
         )
         for sc in scenarios
         for alg in algorithms

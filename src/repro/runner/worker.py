@@ -49,6 +49,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         "dynamic": scenario.dynamic,
         "node_speeds": scenario.node_speeds,
         "seed": spec.seed,
+        "recorder": spec.recorder,
         **spec.sim_kwargs,
     }
     sim = engine_cls(scenario.topology, scenario.system, balancer, **sim_kwargs)

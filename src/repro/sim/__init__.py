@@ -18,27 +18,54 @@ start; balancers observe the state and order one-hop migrations.
   clocks / zero latency / uniform cadence.
 * :class:`FluidSimulator` — divisible-load simulation for the diffusion-
   family theory checks.
+* :mod:`kernel <repro.sim.kernel>` — the shared
+  :class:`SimulationLoop`: every engine above is a thin driver
+  supplying its round body, the kernel owns the lifecycle (observe,
+  record, convergence).
+* :mod:`recording <repro.sim.recording>` — pluggable recorders over a
+  columnar :class:`RoundLog`: ``full`` (every round), ``thin:k``
+  (every k-th + last, exact totals), ``summary`` (O(1) running
+  aggregates for million-round runs).
 * :mod:`metrics <repro.sim.metrics>` — imbalance and traffic metrics.
-* :class:`SimulationResult` — per-round history + summary.
+* :class:`SimulationResult` — columnar per-round history + summary.
 """
 
 from repro.sim.engine import FastSimulator, FluidSimulator, Simulator
 from repro.sim.events import EventSimulator
+from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop
 from repro.sim.metrics import (
     coefficient_of_variation,
     imbalance_summary,
     max_min_spread,
     normalized_spread,
 )
-from repro.sim.results import RoundRecord, SimulationResult
+from repro.sim.recording import (
+    FullRecorder,
+    Recorder,
+    SummaryRecorder,
+    ThinningRecorder,
+    make_recorder,
+    recorder_tag,
+)
+from repro.sim.results import RoundLog, RoundRecord, SimulationResult
 
 __all__ = [
     "Simulator",
     "FastSimulator",
     "EventSimulator",
     "FluidSimulator",
+    "SimulationLoop",
+    "RoundDriver",
+    "RoundStats",
     "SimulationResult",
     "RoundRecord",
+    "RoundLog",
+    "Recorder",
+    "FullRecorder",
+    "ThinningRecorder",
+    "SummaryRecorder",
+    "make_recorder",
+    "recorder_tag",
     "coefficient_of_variation",
     "max_min_spread",
     "normalized_spread",

@@ -2,14 +2,18 @@
 
 :class:`Simulator` drives task-granular balancers (PPLB and the discrete
 baselines); :class:`FluidSimulator` drives divisible-load balancers
-(diffusion-family theory checks). Both:
+(diffusion-family theory checks). Both are thin *drivers* for the shared
+:class:`~repro.sim.kernel.SimulationLoop`: they supply the
+engine-specific round body (fault realisation, delivery, churn, balancer
+step, order application) while the kernel owns the lifecycle —
+observation, recording (pluggable, see :mod:`repro.sim.recording`) and
+convergence detection. Both:
 
 * realise link faults at round start (balancers then see the same
   ``up_mask`` the engine enforces),
 * validate every order defensively (a bad order is a balancer bug and
   raises :class:`~repro.exceptions.SimulationError` — the engine never
-  silently repairs),
-* record per-round metrics and detect convergence.
+  silently repairs).
 
 Convergence (task mode): the system is converged when, for
 ``quiet_rounds`` consecutive rounds, no migrations were applied *and*
@@ -21,7 +25,6 @@ max−min spread drops below ``spread_tol``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -33,8 +36,9 @@ from repro.network.faults import FaultModel
 from repro.network.links import LinkAttributes, link_costs
 from repro.network.topology import Topology
 from repro.rng import RngLike, ensure_rng
-from repro.sim.metrics import imbalance_summary
-from repro.sim.results import RoundRecord, SimulationResult
+from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop, TaskStateMixin
+from repro.sim.recording import RecorderSpec
+from repro.sim.results import SimulationResult
 from repro.tasks.resources import ResourceMap
 from repro.tasks.task import TaskSystem
 from repro.tasks.task_graph import TaskGraph
@@ -70,7 +74,7 @@ class ConvergenceCriteria:
             raise ConfigurationError(f"min_rounds must be >= 0, got {self.min_rounds}")
 
 
-class Simulator:
+class Simulator(TaskStateMixin, RoundDriver):
     """Task-granular synchronous simulation (the paper's machine model).
 
     Parameters
@@ -112,6 +116,12 @@ class Simulator:
         metrics are computed on the *effective* loads ``h_i / s_i``
         (CoV 0 ⟺ every node holds load proportional to its speed), and
         the speeds are exposed to balancers through the context.
+    recorder:
+        Recording policy: ``"full"`` (every round, the default),
+        ``"thin:<k>"`` (every k-th round plus the last, exact running
+        totals) or ``"summary"`` (O(1) running aggregates, no per-round
+        history) — or a :class:`~repro.sim.recording.Recorder`
+        instance. See :mod:`repro.sim.recording`.
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class Simulator:
         criteria: ConvergenceCriteria = ConvergenceCriteria(),
         track_journeys: bool = False,
         node_speeds: Optional[np.ndarray] = None,
+        recorder: RecorderSpec = "full",
     ):
         if system.topology is not topology:
             raise ConfigurationError("task system was built for a different topology")
@@ -180,6 +191,7 @@ class Simulator:
         self.task_hops: dict[int, int] = {}
         self.task_origin: dict[int, int] = {}
         self._rounds_done = 0  # global round counter across chained runs
+        self._loop = SimulationLoop(self, recorder=recorder)
 
     # ------------------------------------------------------------------ #
 
@@ -196,13 +208,6 @@ class Simulator:
             resources=self.resources,
             node_speeds=self.node_speeds,
         )
-
-    def _effective_loads(self) -> np.ndarray:
-        """Loads normalised by speed (the metric surface)."""
-        h = self.system.node_loads
-        if self.node_speeds is None:
-            return h
-        return h / self.node_speeds
 
     def _latency_of(self, load: float, eid: int) -> int:
         if self.transfer_latency == 0:
@@ -268,23 +273,10 @@ class Simulator:
                 self.task_hops[m.task_id] = self.task_hops.get(m.task_id, 0) + 1
         return applied, work, heat, blocked
 
-    # ------------------------------------------------------------------ #
+    # ------------------------- kernel driver hooks -------------------- #
 
-    def run(self, max_rounds: int = 1000, reset: bool = True) -> SimulationResult:
-        """Simulate up to *max_rounds* rounds (early exit on convergence).
-
-        With ``reset=False`` the run *continues* a previous one: the
-        balancer keeps its in-flight state, the round counter (and thus
-        the arbiter's annealing clock) keeps advancing, and the returned
-        result covers only the new rounds. Used to photograph the load
-        surface mid-flight (``examples/surface_watch.py``).
-        """
-        if max_rounds < 1:
-            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
-        result = SimulationResult(balancer_name=self.balancer.name)
-        result.initial_summary = imbalance_summary(self._effective_loads())
-
-        start = time.perf_counter()
+    def prepare(self, reset: bool) -> int:
+        """Reset (or continue) run state; return the starting round."""
         if reset or self._rounds_done == 0:
             ctx0 = self._context(0, self._all_up)
             self.balancer.reset(ctx0)
@@ -296,78 +288,47 @@ class Simulator:
             for due in sorted(self._wire):
                 self._deliver_due(due)
             self._wire.clear()
+        return self._rounds_done
 
-        quiet = 0
-        converged_at: int | None = None
-        crit = self.criteria
-        base = self._rounds_done
+    def play_round(self, round_index: int) -> RoundStats:
+        """One synchronous round: faults → deliver → churn → step → apply."""
+        if self.fault_model is not None:
+            self.fault_model.advance(round_index)
+            up = self.fault_model.up_mask()
+        else:
+            up = self._all_up
 
-        for r in range(base, base + max_rounds):
-            if self.fault_model is not None:
-                self.fault_model.advance(r)
-                up = self.fault_model.up_mask()
-            else:
-                up = self._all_up
+        self._deliver_due(round_index)  # in-transit tasks landing this round
 
-            self._deliver_due(r)  # in-transit tasks landing this round
+        if self.dynamic is not None:
+            self._churn()
 
-            if self.dynamic is not None:
-                created, removed = self.dynamic.step(self.system)
-                if self.task_graph is not None:
-                    for tid in removed:
-                        self.task_graph.drop_task(tid)
-                if self.resources is not None:
-                    for tid in removed:
-                        self.resources.drop_task(tid)
+        ctx = self._context(round_index, up)
+        migrations = self.balancer.step(ctx)
+        applied, work, heat, blocked = self._apply(migrations, up, round_index)
+        return RoundStats(
+            applied=applied,
+            work=work,
+            heat=heat,
+            blocked=blocked,
+            n_tasks=self.system.n_tasks,
+        )
 
-            ctx = self._context(r, up)
-            migrations = self.balancer.step(ctx)
-            applied, work, heat, blocked = self._apply(migrations, up, r)
+    def finish(self, next_round: int) -> None:
+        self._rounds_done = next_round
 
-            summ = imbalance_summary(self._effective_loads())
-            in_flight = 0 if self.balancer.idle() else getattr(self.balancer, "in_flight", 1)
-            result.records.append(
-                RoundRecord(
-                    round_index=r,
-                    n_migrations=applied,
-                    traffic_work=work,
-                    heat=heat,
-                    cov=summ["cov"],
-                    spread=summ["spread"],
-                    max_load=summ["max"],
-                    min_load=summ["min"],
-                    in_flight=in_flight,
-                    blocked=blocked,
-                    n_tasks=self.system.n_tasks,
-                )
-            )
+    # ------------------------------------------------------------------ #
 
-            # Convergence detection (skipped under churn: there is no
-            # quiescent state to converge to).
-            if self.dynamic is None:
-                balanced_enough = (
-                    crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
-                )
-                if (
-                    applied == 0
-                    and self.balancer.idle()
-                    and self.system.n_in_transit == 0
-                ):
-                    quiet += 1
-                else:
-                    quiet = 0
-                if r + 1 >= crit.min_rounds and (
-                    quiet >= crit.quiet_rounds
-                    or (balanced_enough and self.balancer.idle())
-                ):
-                    converged_at = r - quiet + 1 if quiet >= crit.quiet_rounds else r
-                    break
+    def run(self, max_rounds: int = 1000, reset: bool = True) -> SimulationResult:
+        """Simulate up to *max_rounds* rounds (early exit on convergence).
 
-        self._rounds_done = r + 1
-        result.converged_round = converged_at
-        result.final_summary = imbalance_summary(self._effective_loads())
-        result.wall_time_s = time.perf_counter() - start
-        return result
+        With ``reset=False`` the run *continues* a previous one: the
+        balancer keeps its in-flight state, the round counter (and thus
+        the arbiter's annealing clock) keeps advancing, and the returned
+        result covers only the new rounds. Used to photograph the load
+        surface mid-flight (``examples/surface_watch.py``).
+        """
+        return self._loop.run(max_rounds, reset=reset)
 
     # ------------------------------------------------------------------ #
 
@@ -407,13 +368,18 @@ class FastSimulator(Simulator):
         return ctx
 
 
-class FluidSimulator:
+class FluidSimulator(RoundDriver):
     """Divisible-load simulation for :class:`FluidBalancer` algorithms.
 
     Owns the load vector ``h`` directly (no tasks). Used for the theory
     validations: diffusion convergence, optimal-α comparisons, and the
-    dimension-exchange one-sweep hypercube result.
+    dimension-exchange one-sweep hypercube result. Runs through the
+    same :class:`~repro.sim.kernel.SimulationLoop` as the task engines
+    (fluid mode: spread-tolerance convergence), so it accepts the same
+    ``recorder`` policies.
     """
+
+    fluid_mode = True
 
     def __init__(
         self,
@@ -425,6 +391,7 @@ class FluidSimulator:
         e0: float = 1.0,
         seed: RngLike = None,
         criteria: ConvergenceCriteria = ConvergenceCriteria(spread_tol=1e-6),
+        recorder: RecorderSpec = "full",
     ):
         h = np.asarray(initial_loads, dtype=np.float64).copy()
         if h.shape != (topology.n_nodes,):
@@ -440,7 +407,9 @@ class FluidSimulator:
         self.link_costs = link_costs(self.links, c1=c1, e0=e0)
         self.rng = ensure_rng(seed)
         self.criteria = criteria
+        self.dynamic = None
         self._all_up = np.ones(topology.n_edges, dtype=bool)
+        self._loop = SimulationLoop(self, recorder=recorder)
 
     def _context(self, round_index: int) -> BalanceContext:
         # Fluid mode has no TaskSystem; balancers must not touch ctx.system.
@@ -454,53 +423,43 @@ class FluidSimulator:
             rng=self.rng,
         )
 
+    # ------------------------- kernel driver hooks -------------------- #
+
+    def prepare(self, reset: bool) -> int:
+        self.balancer.reset(self._context(0))
+        return 0
+
+    def play_round(self, round_index: int) -> RoundStats:
+        """One fluid step: ask for flows, apply them, account traffic."""
+        ctx = self._context(round_index)
+        flow = np.asarray(self.balancer.fluid_step(self.h, ctx), dtype=np.float64)
+        if flow.shape != (self.topology.n_edges,):
+            raise SimulationError(
+                f"fluid balancer returned flow of shape {flow.shape}, "
+                f"expected ({self.topology.n_edges},)"
+            )
+        e = self.topology.edges
+        np.subtract.at(self.h, e[:, 0], flow)
+        np.add.at(self.h, e[:, 1], flow)
+        if (self.h < -1e-9).any():
+            raise SimulationError(
+                "fluid step drove a node's load negative — flow exceeds supply"
+            )
+        self.h = np.maximum(self.h, 0.0)
+        return RoundStats(
+            applied=int((np.abs(flow) > 0).sum()),
+            work=float(np.abs(flow) @ self.link_costs),
+        )
+
+    def observed_loads(self) -> np.ndarray:
+        return self.h
+
+    def in_flight_now(self) -> int:
+        # Fluid balancers have no in-flight particles (and no idle()).
+        return 0
+
+    # ------------------------------------------------------------------ #
+
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Iterate fluid steps until the spread tolerance or *max_rounds*."""
-        if max_rounds < 1:
-            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
-        result = SimulationResult(balancer_name=self.balancer.name)
-        result.initial_summary = imbalance_summary(self.h)
-        start = time.perf_counter()
-        ctx0 = self._context(0)
-        self.balancer.reset(ctx0)
-        e = self.topology.edges
-        converged_at: int | None = None
-
-        for r in range(max_rounds):
-            ctx = self._context(r)
-            flow = np.asarray(self.balancer.fluid_step(self.h, ctx), dtype=np.float64)
-            if flow.shape != (self.topology.n_edges,):
-                raise SimulationError(
-                    f"fluid balancer returned flow of shape {flow.shape}, "
-                    f"expected ({self.topology.n_edges},)"
-                )
-            np.subtract.at(self.h, e[:, 0], flow)
-            np.add.at(self.h, e[:, 1], flow)
-            if (self.h < -1e-9).any():
-                raise SimulationError(
-                    "fluid step drove a node's load negative — flow exceeds supply"
-                )
-            self.h = np.maximum(self.h, 0.0)
-
-            summ = imbalance_summary(self.h)
-            work = float(np.abs(flow) @ self.link_costs)
-            result.records.append(
-                RoundRecord(
-                    round_index=r,
-                    n_migrations=int((np.abs(flow) > 0).sum()),
-                    traffic_work=work,
-                    heat=0.0,
-                    cov=summ["cov"],
-                    spread=summ["spread"],
-                    max_load=summ["max"],
-                    min_load=summ["min"],
-                )
-            )
-            if summ["spread"] <= self.criteria.spread_tol and r + 1 >= self.criteria.min_rounds:
-                converged_at = r
-                break
-
-        result.converged_round = converged_at
-        result.final_summary = imbalance_summary(self.h)
-        result.wall_time_s = time.perf_counter() - start
-        return result
+        return self._loop.run(max_rounds)

@@ -10,8 +10,11 @@ and issues the same one-hop :class:`~repro.interfaces.Migration`
 orders — so every registered :class:`~repro.interfaces.Balancer` runs
 unchanged on both engines.
 
-Event types (ordered by a fixed priority at equal timestamps, so the
-schedule is deterministic):
+Like the synchronous engines, the event engine is a driver for the
+shared :class:`~repro.sim.kernel.SimulationLoop`: one *epoch* of
+continuous time is one kernel round, played by draining the event heap
+up to the epoch-end marker. Event types (ordered by a fixed priority at
+equal timestamps, so the schedule is deterministic):
 
 1. **epoch-begin** — link fault/repair transitions are realised
    (:class:`~repro.network.faults.FaultModel.advance`), once per epoch.
@@ -30,8 +33,9 @@ schedule is deterministic):
    earlier wave refuses further transfers as busy (counted in
    ``blocked``), preserving the paper's "a single load per link per
    time unit" under desynchronised clocks.
-5. **epoch-end** — metrics are sampled into a
-   :class:`~repro.sim.results.RoundRecord` and convergence is checked.
+5. **epoch-end** — the kernel samples metrics through the run's
+   recorder (full / thin / summary — see :mod:`repro.sim.recording`)
+   and checks convergence.
 
 Results are sampled at *epoch* boundaries (default epoch length 1.0, one
 epoch ⇔ one synchronous round), so they land in the existing
@@ -51,7 +55,6 @@ as a property, not a hope.
 from __future__ import annotations
 
 import heapq
-import time
 from typing import Mapping, Optional, Union
 
 import numpy as np
@@ -63,8 +66,9 @@ from repro.network.links import LinkAttributes, link_costs
 from repro.network.topology import Topology
 from repro.rng import RngLike, derive, ensure_rng
 from repro.sim.engine import ConvergenceCriteria
-from repro.sim.metrics import imbalance_summary
-from repro.sim.results import RoundRecord, SimulationResult
+from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop, TaskStateMixin
+from repro.sim.recording import RecorderSpec
+from repro.sim.results import SimulationResult
 from repro.tasks.resources import ResourceMap
 from repro.tasks.task import TaskSystem
 from repro.tasks.task_graph import TaskGraph
@@ -81,7 +85,7 @@ _EPOCH_BEGIN, _ARRIVAL, _CHURN, _WAKE, _EPOCH_END = range(5)
 _CLOCK_STREAM = 9001
 
 
-class EventSimulator:
+class EventSimulator(TaskStateMixin, RoundDriver):
     """Asynchronous, continuous-time simulation of the same protocol.
 
     Parameters mirror :class:`repro.sim.engine.Simulator` where the
@@ -91,7 +95,7 @@ class EventSimulator:
     ----------
     topology, system, balancer, links, fault_model, task_graph,
     resources, dynamic, link_capacity, c1, e0, seed, criteria,
-    node_speeds:
+    node_speeds, recorder:
         As in :class:`~repro.sim.engine.Simulator`. ``node_speeds`` are
         *processing* speeds: they define the effective metric surface
         ``h_i / s_i`` and, by default, also drive each node's wake rate
@@ -159,6 +163,7 @@ class EventSimulator:
         wake_jitter: float = 0.0,
         stragglers: Optional[Mapping] = None,
         epoch: float = 1.0,
+        recorder: RecorderSpec = "full",
     ):
         if system.topology is not topology:
             raise ConfigurationError("task system was built for a different topology")
@@ -257,6 +262,7 @@ class EventSimulator:
         self.events_processed = 0
         self.wakes_per_node = np.zeros(n, dtype=np.int64)
         self.now = 0.0
+        self._loop = SimulationLoop(self, recorder=recorder)
 
     # ------------------------------------------------------------------ #
 
@@ -276,12 +282,6 @@ class EventSimulator:
             node_speeds=self.node_speeds,
             awake=awake,
         )
-
-    def _effective_loads(self) -> np.ndarray:
-        h = self.system.node_loads
-        if self.node_speeds is None:
-            return h
-        return h / self.node_speeds
 
     def _latency_of(self, load: float, eid: int) -> float:
         if self.transfer_latency == 0:
@@ -378,30 +378,10 @@ class EventSimulator:
             self._ep_heat += m.heat
         self._ep_link_used += capacity
 
-    def _churn(self) -> None:
-        created, removed = self.dynamic.step(self.system)
-        if self.task_graph is not None:
-            for tid in removed:
-                self.task_graph.drop_task(tid)
-        if self.resources is not None:
-            for tid in removed:
-                self.resources.drop_task(tid)
+    # ------------------------- kernel driver hooks -------------------- #
 
-    # ------------------------------------------------------------------ #
-
-    def run(self, max_rounds: int = 1000) -> SimulationResult:
-        """Simulate up to *max_rounds* epochs (early exit on convergence).
-
-        One epoch spans ``epoch`` simulation-time units and produces one
-        :class:`~repro.sim.results.RoundRecord`, so ``max_rounds`` plays
-        the same budget role as in the synchronous engine.
-        """
-        if max_rounds < 1:
-            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
-        result = SimulationResult(balancer_name=self.balancer.name)
-        result.initial_summary = imbalance_summary(self._effective_loads())
-        start = time.perf_counter()
-
+    def prepare(self, reset: bool) -> int:
+        """Full reset (the event engine does not support continuation)."""
         self.balancer.reset(self._context(0, self._all_up, None))
         self.events_processed = 0
         self.wakes_per_node[:] = 0
@@ -425,22 +405,28 @@ class EventSimulator:
         # Per-link transfers already scheduled this epoch (= time
         # unit): caps cross-wave traffic at link_capacity per epoch.
         self._ep_link_used = np.zeros(self.topology.n_edges, dtype=np.int64)
-        up_mask = self._all_up
+        self._up_mask = self._all_up
+        return 0
 
-        quiet = 0
-        converged_at: Optional[int] = None
-        crit = self.criteria
+    def play_round(self, round_index: int) -> RoundStats:
+        """Drain the event heap through epoch *round_index*.
 
-        self._push(0.0, _EPOCH_BEGIN, 0)
+        One epoch spans ``epoch`` simulation-time units; its boundary
+        events (begin/churn/end) are scheduled here, wakes and arrivals
+        re-schedule themselves. Returns when the epoch-end marker pops,
+        handing the epoch's accumulated counters to the kernel.
+        """
+        when = round_index * self.epoch
+        self._push(when, _EPOCH_BEGIN, round_index)
         if self.dynamic is not None:
-            self._push(0.0, _CHURN, 0)
-        self._push(0.0, _EPOCH_END, 0)
-        for node in range(self.topology.n_nodes):
-            self._push(0.0, _WAKE, node)
+            self._push(when, _CHURN, round_index)
+        self._push(when, _EPOCH_END, round_index)
+        if round_index == 0:
+            for node in range(self.topology.n_nodes):
+                self._push(0.0, _WAKE, node)
 
         heap = self._heap
-        stop = False
-        while heap and not stop:
+        while heap:
             t, priority, _seq, payload = heapq.heappop(heap)
             self.now = t
             self.events_processed += 1
@@ -453,7 +439,7 @@ class EventSimulator:
                 while heap and heap[0][0] == t and heap[0][1] == _WAKE:
                     nodes.append(heapq.heappop(heap)[3])
                     self.events_processed += 1
-                self._wave(t, nodes, up_mask)
+                self._wave(t, nodes, self._up_mask)
                 for node in nodes:
                     self._push(t + self._next_period(node), _WAKE, node)
 
@@ -466,72 +452,39 @@ class EventSimulator:
                 self._epoch_index = payload
                 if self.fault_model is not None:
                     self.fault_model.advance(payload)
-                    up_mask = self.fault_model.up_mask()
+                    self._up_mask = self.fault_model.up_mask()
 
             elif priority == _CHURN:
                 self._churn()
 
-            else:  # _EPOCH_END
-                k = payload
-                summ = imbalance_summary(self._effective_loads())
-                in_flight = (
-                    0 if self.balancer.idle()
-                    else getattr(self.balancer, "in_flight", 1)
+            else:  # _EPOCH_END — the kernel's observation point
+                stats = RoundStats(
+                    applied=self._ep_applied,
+                    work=self._ep_work,
+                    heat=self._ep_heat,
+                    blocked=self._ep_blocked,
+                    asleep=self._ep_asleep,
+                    n_tasks=self.system.n_tasks,
                 )
-                result.records.append(
-                    RoundRecord(
-                        round_index=k,
-                        n_migrations=self._ep_applied,
-                        traffic_work=self._ep_work,
-                        heat=self._ep_heat,
-                        cov=summ["cov"],
-                        spread=summ["spread"],
-                        max_load=summ["max"],
-                        min_load=summ["min"],
-                        in_flight=in_flight,
-                        blocked=self._ep_blocked,
-                        n_tasks=self.system.n_tasks,
-                        asleep=self._ep_asleep,
-                    )
-                )
-                applied = self._ep_applied
                 self._ep_applied = 0
                 self._ep_work = 0.0
                 self._ep_heat = 0.0
                 self._ep_blocked = 0
                 self._ep_asleep = 0
                 self._ep_link_used[:] = 0
+                return stats
 
-                if self.dynamic is None:
-                    balanced_enough = (
-                        crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
-                    )
-                    if (
-                        applied == 0
-                        and self.balancer.idle()
-                        and self.system.n_in_transit == 0
-                    ):
-                        quiet += 1
-                    else:
-                        quiet = 0
-                    if k + 1 >= crit.min_rounds and (
-                        quiet >= crit.quiet_rounds
-                        or (balanced_enough and self.balancer.idle())
-                    ):
-                        converged_at = k - quiet + 1 if quiet >= crit.quiet_rounds else k
-                        stop = True
-                        continue
+        raise SimulationError(
+            "event heap drained without reaching an epoch-end marker"
+        )  # pragma: no cover - wakes always re-schedule themselves
 
-                if k + 1 >= max_rounds:
-                    stop = True
-                    continue
-                when = (k + 1) * self.epoch
-                self._push(when, _EPOCH_BEGIN, k + 1)
-                if self.dynamic is not None:
-                    self._push(when, _CHURN, k + 1)
-                self._push(when, _EPOCH_END, k + 1)
+    # ------------------------------------------------------------------ #
 
-        result.converged_round = converged_at
-        result.final_summary = imbalance_summary(self._effective_loads())
-        result.wall_time_s = time.perf_counter() - start
-        return result
+    def run(self, max_rounds: int = 1000) -> SimulationResult:
+        """Simulate up to *max_rounds* epochs (early exit on convergence).
+
+        One epoch spans ``epoch`` simulation-time units and produces one
+        recorded round, so ``max_rounds`` plays the same budget role as
+        in the synchronous engine.
+        """
+        return self._loop.run(max_rounds)

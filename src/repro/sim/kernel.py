@@ -1,0 +1,228 @@
+"""The shared simulation kernel: one run loop for every engine.
+
+Historically each engine (synchronous, fast, fluid, event) carried its
+own copy of the per-round lifecycle — fault sampling, churn, balancer
+step, apply/deliver, metric observation, convergence detection — so
+every new capability had to be written four times.
+:class:`SimulationLoop` owns that lifecycle once; each engine is a thin
+*driver* (:class:`RoundDriver`) that supplies the engine-specific
+pieces: how to reset, how to advance the system through one round (or
+epoch of continuous time), and what load surface to observe.
+
+Per round, the kernel runs::
+
+    driver.play_round(r)     fault/churn sampling, balancer step(s),
+                             apply/deliver — engine-specific
+    observe                  imbalance summary of driver.observed_loads()
+    recorder.observe(...)    pluggable recording policy (full / thin /
+                             summary — see repro.sim.recording)
+    convergence check        quiet-window (task mode) or spread
+                             tolerance (fluid mode), shared verbatim
+
+so every engine gets identical convergence semantics, identical record
+fields, and any :class:`~repro.sim.recording.Recorder` for free. The
+kernel allocates no per-round Python objects: metrics flow to the
+recorder as scalars, and a columnar
+:class:`~repro.sim.results.RoundLog` (or O(1) running aggregates)
+receives them.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import imbalance_summary
+from repro.sim.recording import RecorderSpec, make_recorder
+from repro.sim.results import SimulationResult
+
+__all__ = ["RoundStats", "RoundDriver", "TaskStateMixin", "SimulationLoop"]
+
+
+@dataclass
+class RoundStats:
+    """What one round of engine work reports back to the kernel.
+
+    The imbalance metrics are *not* here — the kernel observes them
+    itself from :meth:`RoundDriver.observed_loads` so every engine
+    measures the same surface the same way.
+    """
+
+    applied: int = 0
+    work: float = 0.0
+    heat: float = 0.0
+    blocked: int = 0
+    asleep: int = 0
+    n_tasks: int = 0
+
+
+class RoundDriver(abc.ABC):
+    """The engine-specific hooks :class:`SimulationLoop` drives.
+
+    Required attributes (engines set these in ``__init__``):
+
+    ``balancer``
+        The algorithm under test (`.name` labels the result; task-mode
+        drivers additionally rely on ``.idle()``).
+    ``criteria``
+        The :class:`~repro.sim.engine.ConvergenceCriteria` in force.
+    ``dynamic``
+        The churn process or None — convergence detection is skipped
+        under churn (there is no quiescent state to converge to).
+    ``fluid_mode``
+        Class flag selecting the spread-tolerance convergence rule
+        instead of the task-mode quiet-window rule.
+    """
+
+    #: fluid drivers flip this to get spread-tolerance convergence.
+    fluid_mode = False
+
+    @abc.abstractmethod
+    def prepare(self, reset: bool) -> int:
+        """Reset run state as requested; return the starting round index.
+
+        A driver that supports continuation (``reset=False``) keeps the
+        balancer's in-flight state and returns its running round
+        counter; all others reset unconditionally and return 0.
+        """
+
+    @abc.abstractmethod
+    def play_round(self, round_index: int) -> RoundStats:
+        """Advance the system through one round (or epoch) of protocol.
+
+        Everything between two observations lives here: fault
+        realisation, in-transit deliveries, workload churn, the
+        balancer step(s) and order application. The returned stats
+        feed the recorder and the convergence check.
+        """
+
+    @abc.abstractmethod
+    def observed_loads(self) -> np.ndarray:
+        """The load surface metrics are computed on (effective loads)."""
+
+    def in_transit_count(self) -> int:
+        """Tasks currently on the wire (task engines override)."""
+        return 0
+
+    def in_flight_now(self) -> int:
+        """Balancer-reported in-flight particles after this round."""
+        balancer = self.balancer
+        return 0 if balancer.idle() else getattr(balancer, "in_flight", 1)
+
+    def finish(self, next_round: int) -> None:
+        """Post-run bookkeeping (e.g. persisting the round counter)."""
+
+
+class TaskStateMixin:
+    """Shared task-engine state helpers (sync and event engines).
+
+    Expects the host to provide ``system``, ``node_speeds``,
+    ``dynamic``, ``task_graph`` and ``resources`` attributes.
+    """
+
+    def observed_loads(self) -> np.ndarray:
+        """Loads normalised by speed (the metric surface)."""
+        h = self.system.node_loads
+        if self.node_speeds is None:
+            return h
+        return h / self.node_speeds
+
+    def in_transit_count(self) -> int:
+        return self.system.n_in_transit
+
+    def _churn(self) -> None:
+        """One churn step, with dependency/affinity cleanup."""
+        created, removed = self.dynamic.step(self.system)
+        if self.task_graph is not None:
+            for tid in removed:
+                self.task_graph.drop_task(tid)
+        if self.resources is not None:
+            for tid in removed:
+                self.resources.drop_task(tid)
+
+
+class SimulationLoop:
+    """The run loop shared by every engine.
+
+    Parameters
+    ----------
+    driver:
+        The engine supplying the per-round hooks.
+    recorder:
+        Recording policy — a spec string (``"full"``, ``"thin:<k>"``,
+        ``"summary"``) or a :class:`~repro.sim.recording.Recorder`
+        instance. The recorder is restarted at the top of every run,
+        so one loop serves repeated/chained runs.
+    """
+
+    def __init__(self, driver: RoundDriver, recorder: RecorderSpec = "full"):
+        self.driver = driver
+        self.recorder = make_recorder(recorder)
+
+    def run(self, max_rounds: int = 1000, reset: bool = True) -> SimulationResult:
+        """Simulate up to *max_rounds* rounds (early exit on convergence)."""
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        driver = self.driver
+        crit = driver.criteria
+        recorder = self.recorder
+
+        result = SimulationResult(balancer_name=driver.balancer.name)
+        result.initial_summary = imbalance_summary(driver.observed_loads())
+        start = time.perf_counter()
+        recorder.start()
+        base = driver.prepare(reset)
+
+        quiet = 0
+        converged_at: int | None = None
+        r = base
+
+        for r in range(base, base + max_rounds):
+            stats = driver.play_round(r)
+            summ = imbalance_summary(driver.observed_loads())
+            recorder.observe(
+                r,
+                stats.applied,
+                stats.work,
+                stats.heat,
+                summ["cov"],
+                summ["spread"],
+                summ["max"],
+                summ["min"],
+                driver.in_flight_now(),
+                stats.blocked,
+                stats.n_tasks,
+                stats.asleep,
+            )
+
+            if driver.fluid_mode:
+                if summ["spread"] <= crit.spread_tol and r + 1 >= crit.min_rounds:
+                    converged_at = r
+                    break
+            elif driver.dynamic is None:
+                # Convergence detection (skipped under churn: there is
+                # no quiescent state to converge to).
+                idle = driver.balancer.idle()
+                balanced_enough = (
+                    crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
+                )
+                if stats.applied == 0 and idle and driver.in_transit_count() == 0:
+                    quiet += 1
+                else:
+                    quiet = 0
+                if r + 1 >= crit.min_rounds and (
+                    quiet >= crit.quiet_rounds or (balanced_enough and idle)
+                ):
+                    converged_at = r - quiet + 1 if quiet >= crit.quiet_rounds else r
+                    break
+
+        driver.finish(r + 1)
+        result.converged_round = converged_at
+        result.final_summary = imbalance_summary(driver.observed_loads())
+        recorder.finalize(result)
+        result.wall_time_s = time.perf_counter() - start
+        return result

@@ -1,0 +1,271 @@
+"""Columnar round logs and pluggable recorders.
+
+Every engine used to materialise one Python :class:`RoundRecord` per
+round into an unbounded list. At production scale (million-round runs,
+thousands of nodes) that measurement pipeline dominates memory — and
+often time — long before the balancing math does. This module replaces
+it with two cooperating pieces:
+
+* :class:`RoundLog` — a columnar store: one preallocated, growable
+  NumPy array per metric field. Appending a round writes twelve array
+  slots; materialising :class:`~repro.sim.results.RoundRecord` objects
+  happens only when somebody actually asks for them. The log is also
+  the wire format: ``to_columns``/``from_columns`` serialise the whole
+  history as one array per field (keys stored once, not once per
+  round), which is what shrinks runner-cache entries.
+* :class:`Recorder` — the observation policy. The simulation kernel
+  (:class:`~repro.sim.kernel.SimulationLoop`) calls
+  :meth:`Recorder.observe` once per round with plain scalars; the
+  recorder decides what to keep:
+
+  ========================= ==========================================
+  ``full``                  every round, bit-for-bit what the eager
+                            record list used to hold (the default)
+  ``thin:k``                every k-th round plus the last one, with
+                            exact running totals for the skipped rounds
+  ``summary``               no per-round history at all — O(1) running
+                            aggregates, built for million-round runs
+  ========================= ==========================================
+
+Recorders are named by spec strings (``"full"``, ``"thin:50"``,
+``"summary"``) so they can ride inside a :class:`~repro.runner.spec.
+RunSpec`, enter the result-cache key and be selected from the CLI
+(``--recorder``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from repro.exceptions import ConfigurationError
+from repro.sim.results import ROUND_FIELDS, RoundLog, SimulationResult
+
+#: position of each metric in an observe() row — derived from the
+#: columnar schema so the aggregating recorders can never drift from
+#: the field order the kernel and the log agree on.
+_COL = {name: i for i, (name, _dtype) in enumerate(ROUND_FIELDS)}
+
+__all__ = [
+    "RoundLog",
+    "Recorder",
+    "FullRecorder",
+    "ThinningRecorder",
+    "SummaryRecorder",
+    "RecorderSpec",
+    "make_recorder",
+    "recorder_tag",
+]
+
+#: what a ``recorder=`` engine/spec knob accepts.
+RecorderSpec = Union[str, "Recorder"]
+
+
+class Recorder:
+    """Observation policy: what the kernel keeps of each round.
+
+    The kernel drives every recorder through the same three calls:
+    :meth:`start` once per run, :meth:`observe` once per round (plain
+    scalars — no per-round object is allocated on the hot path), and
+    :meth:`finalize` once at the end, which installs whatever was kept
+    (a :class:`RoundLog`, running aggregates, or both) into the
+    :class:`~repro.sim.results.SimulationResult`.
+
+    Subclasses override :meth:`observe`; the base class records
+    nothing (useful on its own as a null recorder for pure timing
+    runs, though ``summary`` is almost always the better choice).
+    """
+
+    #: spec-string name (subclasses override; ``thin`` renders ``thin:k``).
+    name = "null"
+
+    def start(self) -> None:
+        """Reset per-run state (recorders are reusable across runs)."""
+
+    def observe(
+        self,
+        round_index: int,
+        n_migrations: int,
+        traffic_work: float,
+        heat: float,
+        cov: float,
+        spread: float,
+        max_load: float,
+        min_load: float,
+        in_flight: int,
+        blocked: int,
+        n_tasks: int,
+        asleep: int,
+    ) -> None:
+        """Record one completed round (post-apply metrics)."""
+
+    def finalize(self, result: SimulationResult) -> None:
+        """Install the kept history/aggregates into *result*."""
+
+    def tag(self) -> str:
+        """The spec string this recorder answers to (cache-key form)."""
+        return self.name
+
+
+class FullRecorder(Recorder):
+    """Keep every round — the pre-kernel behaviour, columnar now.
+
+    The resulting :class:`~repro.sim.results.SimulationResult` exposes
+    exactly the records the eager list used to hold (``result.records``
+    materialises bit-for-bit equal :class:`RoundRecord` objects), so
+    the scalar/fast and sync/async equivalence suites hold unchanged.
+    No aggregates are stored: with the complete log present, totals are
+    computed exactly from the columns.
+    """
+
+    name = "full"
+
+    def __init__(self) -> None:
+        self._log = RoundLog()
+
+    def start(self) -> None:
+        self._log = RoundLog()
+
+    def observe(self, *row) -> None:  # noqa: D102 - inherited contract
+        self._log.append_row(*row)
+
+    def finalize(self, result: SimulationResult) -> None:
+        result.log = self._log
+        result.aggregates = None
+
+
+class _AggregatingRecorder(Recorder):
+    """Shared running-total machinery for thinning/summary recorders.
+
+    Tracks in O(1) memory everything the result's summary surface
+    (``n_rounds``, ``total_*``, ``summary_row``) needs, so results
+    whose logs are thinned or empty still report exact totals.
+    """
+
+    def start(self) -> None:
+        self._rounds = 0
+        self._migrations = 0
+        self._traffic = 0.0
+        self._heat = 0.0
+        self._blocked = 0
+        self._asleep = 0
+        self._cov_sum = 0.0
+        self._spread_min = math.inf
+
+    def _accumulate(self, row: Sequence) -> None:
+        self._rounds += 1
+        self._migrations += row[_COL["n_migrations"]]
+        self._traffic += row[_COL["traffic_work"]]
+        self._heat += row[_COL["heat"]]
+        self._cov_sum += row[_COL["cov"]]
+        self._spread_min = min(self._spread_min, row[_COL["spread"]])
+        self._blocked += row[_COL["blocked"]]
+        self._asleep += row[_COL["asleep"]]
+
+    def _aggregates(self) -> dict[str, float]:
+        return {
+            "rounds": self._rounds,
+            "migrations": self._migrations,
+            "traffic": self._traffic,
+            "heat": self._heat,
+            "blocked": self._blocked,
+            "asleep": self._asleep,
+            "cov_mean": self._cov_sum / self._rounds if self._rounds else 0.0,
+            "spread_min": self._spread_min if self._rounds else 0.0,
+        }
+
+
+class ThinningRecorder(_AggregatingRecorder):
+    """Keep every *k*-th round plus the last, with exact totals.
+
+    The kept rounds give the convergence curve its shape at 1/k the
+    memory; the running aggregates keep ``total_migrations`` and
+    friends exact even though most rounds never enter the log.
+    """
+
+    name = "thin"
+
+    def __init__(self, every: int):
+        if every < 1:
+            raise ConfigurationError(
+                f"thinning stride must be >= 1, got {every}"
+            )
+        self.every = int(every)
+        self._log = RoundLog()
+        self._last_row: tuple | None = None
+
+    def start(self) -> None:
+        super().start()
+        self._log = RoundLog()
+        self._last_row = None
+
+    def observe(self, *row) -> None:  # noqa: D102 - inherited contract
+        self._accumulate(row)
+        if (self._rounds - 1) % self.every == 0:
+            self._log.append_row(*row)
+            self._last_row = None
+        else:
+            self._last_row = row
+
+    def finalize(self, result: SimulationResult) -> None:
+        if self._last_row is not None:  # always keep the final round
+            self._log.append_row(*self._last_row)
+            self._last_row = None
+        result.log = self._log
+        result.aggregates = self._aggregates()
+
+    def tag(self) -> str:
+        return f"thin:{self.every}"
+
+
+class SummaryRecorder(_AggregatingRecorder):
+    """Stream running aggregates only — O(1) memory at any round count.
+
+    Nothing per-round is retained (``result.records`` is empty); the
+    result still answers ``n_rounds``, ``total_migrations``,
+    ``total_traffic``, ``total_heat`` and ``summary_row()`` exactly,
+    plus the mean CoV and minimum spread seen. Built for million-round
+    endurance runs where even a columnar log is dead weight.
+    """
+
+    name = "summary"
+
+    def observe(self, *row) -> None:  # noqa: D102 - inherited contract
+        self._accumulate(row)
+
+    def finalize(self, result: SimulationResult) -> None:
+        result.log = RoundLog()
+        result.aggregates = self._aggregates()
+
+
+def make_recorder(spec: RecorderSpec = "full") -> Recorder:
+    """Build a recorder from a spec string (or pass an instance through).
+
+    Accepted spec strings: ``"full"``, ``"summary"``, ``"thin:<k>"``
+    with integer ``k >= 1``. Unknown specs raise
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+    if isinstance(spec, Recorder):
+        return spec
+    if spec == "full":
+        return FullRecorder()
+    if spec == "summary":
+        return SummaryRecorder()
+    if isinstance(spec, str) and spec.startswith("thin:"):
+        try:
+            every = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad thinning stride in recorder spec {spec!r} "
+                f"(expected thin:<int>)"
+            ) from None
+        return ThinningRecorder(every)
+    raise ConfigurationError(
+        f"unknown recorder spec {spec!r}; expected 'full', 'summary' "
+        f"or 'thin:<k>'"
+    )
+
+
+def recorder_tag(spec: RecorderSpec) -> str:
+    """Canonical spec string for *spec* (validates along the way)."""
+    return make_recorder(spec).tag()

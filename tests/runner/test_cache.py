@@ -69,6 +69,7 @@ class TestStatsAndClear:
         assert stats["exists"] is False
         assert stats["entries"] == 0
         assert stats["total_bytes"] == 0
+        assert stats["mean_bytes"] == 0.0
 
     def test_stats_counts_entries_and_bytes(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -78,7 +79,25 @@ class TestStatsAndClear:
         assert stats["exists"] is True
         assert stats["entries"] == 2
         assert stats["total_bytes"] > 0
+        assert stats["mean_bytes"] == stats["total_bytes"] / 2
         assert stats["root"] == str(cache.root)
+
+    def test_mean_entry_size_reflects_recorder_payloads(self, tmp_path):
+        # The columnar/summary shrink must be visible on disk: a
+        # summary-recorded entry is far smaller than a full one.
+        from repro.runner import RunSpec, run_grid
+
+        base = dict(scenario="mesh-hotspot", algorithm="diffusion", seed=1,
+                    max_rounds=60, scenario_kwargs={"side": 5, "n_tasks": 75})
+        full_cache = ResultCache(tmp_path / "full")
+        summary_cache = ResultCache(tmp_path / "summary")
+        run_grid([RunSpec(**base)], cache=full_cache)
+        run_grid([RunSpec(**base, recorder="summary")], cache=summary_cache)
+        full_mean = full_cache.stats()["mean_bytes"]
+        summary_mean = summary_cache.stats()["mean_bytes"]
+        # The entry shares the spec dict and summaries; the per-round
+        # columns are what the summary recorder removes entirely.
+        assert summary_mean < full_mean / 2
 
     def test_clear_removes_everything(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -93,3 +112,44 @@ class TestStatsAndClear:
 
     def test_clear_on_missing_root_is_a_noop(self, tmp_path):
         assert ResultCache(tmp_path / "nope").clear() == 0
+
+
+class TestLegacyFormatReplay:
+    """Cache entries written before the columnar wire format must keep
+    replaying: same key (the default recorder is omitted from the
+    canonical spec encoding) and a readable record-list payload."""
+
+    def test_default_spec_key_has_no_recorder_field(self):
+        from repro.runner import RunSpec
+
+        spec = RunSpec(scenario="mesh-hotspot", algorithm="pplb", seed=3)
+        assert "recorder" not in spec.to_dict()
+        explicit = RunSpec.from_dict({**spec.to_dict(), "recorder": "full"})
+        assert explicit.key() == spec.key()  # canonical forms agree
+
+    def test_legacy_record_list_entry_is_replayed(self, tmp_path):
+        from dataclasses import asdict
+
+        from repro.runner import RunSpec, execute_spec, run_grid
+
+        spec = RunSpec(scenario="mesh-hotspot", algorithm="diffusion",
+                       seed=2, max_rounds=30,
+                       scenario_kwargs={"side": 4, "n_tasks": 32})
+        fresh = execute_spec(spec)
+
+        # Write the entry exactly as the pre-columnar code would have.
+        legacy_payload = {
+            "records": [asdict(r) for r in fresh.records],
+            "converged_round": fresh.converged_round,
+            "initial_summary": dict(fresh.initial_summary),
+            "final_summary": dict(fresh.final_summary),
+            "balancer_name": fresh.balancer_name,
+            "wall_time_s": fresh.wall_time_s,
+        }
+        cache = ResultCache(tmp_path / "c")
+        cache.put(spec.key(), spec.to_dict(), legacy_payload)
+
+        [outcome] = run_grid([spec], cache=cache)
+        assert outcome.cached  # served from the legacy entry, no re-run
+        assert outcome.result == fresh
+        assert list(outcome.result.records) == list(fresh.records)

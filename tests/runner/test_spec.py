@@ -38,6 +38,8 @@ class TestRunSpec:
             {"sim_kwargs": {"link_capacity": 2}},
             {"engine": "events"},
             {"engine": "rounds-fast"},
+            {"recorder": "summary"},
+            {"recorder": "thin:5"},
         ],
     )
     def test_any_field_change_changes_key(self, change):
@@ -57,6 +59,35 @@ class TestRunSpec:
     def test_rejects_unknown_engine(self):
         with pytest.raises(ConfigurationError, match="engine"):
             RunSpec(scenario="mesh-hotspot", algorithm="pplb", engine="warp")
+
+    def test_recorder_defaults_to_full_and_roundtrips(self):
+        spec = RunSpec(scenario="mesh-hotspot", algorithm="pplb")
+        assert spec.recorder == "full"
+        thin = RunSpec(scenario="mesh-hotspot", algorithm="pplb",
+                       recorder="thin:10")
+        assert RunSpec.from_dict(thin.to_dict()) == thin
+        # The canonical spec string is normalised for key stability.
+        padded = RunSpec(scenario="mesh-hotspot", algorithm="pplb",
+                         recorder="thin:010")
+        assert padded.recorder == "thin:10"
+        assert padded.key() == thin.key()
+
+    def test_rejects_unknown_recorder(self):
+        with pytest.raises(ConfigurationError, match="recorder"):
+            RunSpec(scenario="mesh-hotspot", algorithm="pplb",
+                    recorder="verbose")
+
+    def test_summary_spec_executes_with_exact_totals(self):
+        from repro.runner import execute_spec
+
+        base = dict(scenario="mesh-hotspot", algorithm="diffusion", seed=6,
+                    max_rounds=40, scenario_kwargs={"side": 5, "n_tasks": 75})
+        full = execute_spec(RunSpec(**base, recorder="full"))
+        summary = execute_spec(RunSpec(**base, recorder="summary"))
+        assert len(summary.records) == 0
+        assert summary.n_rounds == full.n_rounds
+        assert summary.total_migrations == full.total_migrations
+        assert summary.final_summary == full.final_summary
 
     def test_rounds_fast_engine_dispatches_and_matches_rounds(self):
         # The spec level of the equivalence anchor: executing the same

@@ -87,10 +87,60 @@ class TestSerialization:
         np.testing.assert_array_equal(clone.series("spread"), res.series("spread"))
         assert clone.summary_row() == res.summary_row()
 
-    def test_to_dict_is_json_ready(self):
+    def test_to_dict_is_json_ready_and_columnar(self):
         payload = make_result([1.0]).to_dict()
         json.dumps(payload)  # must not raise
         assert set(payload) == {
-            "records", "converged_round", "initial_summary",
-            "final_summary", "balancer_name", "wall_time_s",
+            "format", "columns", "aggregates", "converged_round",
+            "initial_summary", "final_summary", "balancer_name",
+            "wall_time_s",
         }
+        assert payload["format"] == 2
+        # One array per field, keys stored once — not one dict per round.
+        assert payload["columns"]["spread"] == [1.0]
+        assert payload["columns"]["n_migrations"] == [1]
+
+    def test_from_dict_reads_legacy_record_list_format(self):
+        # Results cached before the columnar switch keep replaying.
+        res = make_result([10.0, 5.0], migrations=[3, 2], converged=1)
+        legacy = {
+            "records": [
+                {
+                    "round_index": r.round_index,
+                    "n_migrations": r.n_migrations,
+                    "traffic_work": r.traffic_work,
+                    "heat": r.heat,
+                    "cov": r.cov,
+                    "spread": r.spread,
+                    "max_load": r.max_load,
+                    "min_load": r.min_load,
+                    "in_flight": r.in_flight,
+                    "blocked": r.blocked,
+                    "n_tasks": r.n_tasks,
+                    "asleep": r.asleep,
+                }
+                for r in res.records
+            ],
+            "converged_round": res.converged_round,
+            "initial_summary": dict(res.initial_summary),
+            "final_summary": dict(res.final_summary),
+            "balancer_name": res.balancer_name,
+            "wall_time_s": res.wall_time_s,
+        }
+        clone = SimulationResult.from_dict(json.loads(json.dumps(legacy)))
+        assert clone == res
+        assert list(clone.records) == list(res.records)
+
+    def test_columnar_payload_is_smaller_than_legacy(self):
+        res = make_result([float(s) for s in range(200, 0, -1)])
+        legacy_size = len(json.dumps({
+            "records": [
+                {f: getattr(r, f) for f in (
+                    "round_index", "n_migrations", "traffic_work", "heat",
+                    "cov", "spread", "max_load", "min_load", "in_flight",
+                    "blocked", "n_tasks", "asleep")}
+                for r in res.records
+            ],
+        }))
+        columnar_size = len(json.dumps({"columns": res.to_dict()["columns"]}))
+        assert columnar_size < 0.6 * legacy_size

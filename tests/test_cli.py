@@ -112,6 +112,36 @@ class TestEngineFlag:
         assert "1 specs: 1 executed, 0 from cache" in out
 
 
+class TestRecorderFlag:
+    def test_recorder_defaults_to_full(self):
+        for cmd in (["run"], ["compare"], ["run-grid"]):
+            assert build_parser().parse_args(cmd).recorder == "full"
+
+    def test_run_with_summary_recorder_prints_totals(self, capsys):
+        rc = main(["run", "--scenario", "mesh-hotspot", "--algorithm", "pplb",
+                   "--rounds", "50", "--seed", "1", "--recorder", "summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no per-round history" in out
+        assert "pplb" in out
+
+    def test_bad_recorder_is_a_clean_error(self, capsys):
+        rc = main(["run", "--recorder", "verbose"])
+        assert rc == 1
+        assert "recorder" in capsys.readouterr().err
+
+    def test_grid_recorders_do_not_share_cache_entries(self, capsys, tmp_path):
+        base = ["run-grid", "--scenarios", "mesh-hotspot", "--algorithms",
+                "diffusion", "--seeds", "1", "--rounds", "40",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(base) == 0
+        capsys.readouterr()
+        # Same grid under a different recorder must miss the cache.
+        assert main(base + ["--recorder", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "1 specs: 1 executed, 0 from cache" in out
+
+
 class TestCompare:
     def test_compare_routes_through_runner_cache(self, capsys, tmp_path):
         argv = ["compare", "--scenario", "mesh-hotspot", "--rounds", "50",
@@ -147,6 +177,7 @@ class TestCacheCommand:
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "entries    : 1" in out
+        assert "mean entry" in out
 
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert "removed 1 cached result" in capsys.readouterr().out
