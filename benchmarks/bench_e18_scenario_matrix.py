@@ -1,0 +1,81 @@
+"""E18 — the workload cross product: scenario algebra as an experiment.
+
+Paper claim (§6 and the systematic-comparison literature it leans on,
+e.g. Eibl & Rüde's assessment methodology): a balancer's value shows
+across *settings*, not on one benchmark — topology × load shape ×
+churn must be swept as a cross product.
+
+Reproduced artifact: a component grid (`expand_component_grid`) over
+{mesh, torus} × {hotspot, clustered, power-law} × {static, diurnal
+churn}, PPLB vs task diffusion, aggregated per scenario axis. Every
+cell is a composed-spec string, so the whole matrix is cacheable data.
+
+Expected shape: PPLB converges on every static cell; under diurnal
+churn nothing converges (arrivals never stop) but imbalance stays
+bounded and PPLB's mean steady CoV is no worse than ~1.5× diffusion's
+on every cell (it is usually better; the guard is deliberately loose
+for small-sample noise).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.runner import expand_component_grid, grid_seeds
+
+from _harness import emit, once, run_grid_specs
+
+TOPOLOGIES = ["mesh:8", "torus:8"]
+PLACEMENTS = ["hotspot", "clustered", "power-law"]
+DYNAMICS = [None, "diurnal:rate=4.0"]
+ALGORITHMS = ["pplb", "diffusion"]
+ROUNDS = 200
+
+
+def test_e18_scenario_matrix(benchmark):
+    specs = expand_component_grid(
+        ALGORITHMS,
+        grid_seeds(2),
+        topologies=TOPOLOGIES,
+        placements=PLACEMENTS,
+        dynamics=DYNAMICS,
+        max_rounds=ROUNDS,
+    )
+    assert len(specs) == 2 * 3 * 2 * 2 * 2  # topo × place × dyn × alg × seed
+
+    outcomes = once(benchmark, lambda: run_grid_specs(specs))
+
+    cells: dict[tuple[str, str], dict[str, list]] = {}
+    for out in outcomes:
+        cell = cells.setdefault((out.spec.scenario, out.spec.algorithm),
+                                {"cov": [], "converged": []})
+        res = out.result
+        covs = res.series("cov")[ROUNDS // 2:]
+        cell["cov"].append(float(covs.mean()) if covs.shape[0] else res.final_cov)
+        cell["converged"].append(res.converged_round is not None)
+
+    rows = []
+    for (scenario, algorithm), agg in sorted(cells.items()):
+        rows.append({
+            "scenario": scenario,
+            "algorithm": algorithm,
+            "steady_cov": round(float(np.mean(agg["cov"])), 3),
+            "converged": f"{sum(agg['converged'])}/{len(agg['converged'])}",
+        })
+    emit("E18_scenario_matrix", format_table(
+        rows,
+        columns=["scenario", "algorithm", "steady_cov", "converged"],
+        title="E18 — component cross product (steady-state CoV, "
+              "2 seeds per cell)",
+    ))
+
+    by_cell = {(r["scenario"], r["algorithm"]): r for r in rows}
+    for scenario in {r["scenario"] for r in rows}:
+        pplb = by_cell[(scenario, "pplb")]
+        diff = by_cell[(scenario, "diffusion")]
+        if "diurnal" in scenario:
+            # Churn never stops; quality is bounded steady imbalance.
+            assert pplb["steady_cov"] < 1.5
+            assert pplb["steady_cov"] <= 1.5 * max(diff["steady_cov"], 0.05)
+        else:
+            # Static cells: PPLB must actually converge everywhere.
+            assert pplb["converged"] == "2/2", scenario

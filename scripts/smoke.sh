@@ -10,8 +10,11 @@
 # a second invocation that must be served entirely from the result
 # cache, a 2-spec grid on the asynchronous event engine, a 2-spec
 # large-N grid (1024-node machines) on the vectorized rounds-fast
-# engine, and a 2-spec grid under the O(1)-memory summary recorder
-# (which must not share cache entries with the full-recorded runs).
+# engine, a 2-spec grid under the O(1)-memory summary recorder
+# (which must not share cache entries with the full-recorded runs),
+# the scenario catalogue listing, a composed-scenario (component
+# grammar) grid on the fast path, and a 2-spec divisible-load grid on
+# the fluid engine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -56,13 +59,30 @@ python -m repro.cli run-grid --scenarios mesh-hotspot --algorithms pplb diffusio
     | tee "$CACHE_DIR/summary.out"
 grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/summary.out"
 
+echo "==> scenario catalogue (registered names + component registries)"
+python -m repro.cli scenarios > "$CACHE_DIR/scenarios.out"
+grep -q "mesh-hotspot" "$CACHE_DIR/scenarios.out"
+grep -q "dynamics components" "$CACHE_DIR/scenarios.out"
+
+echo "==> composed-scenario grid (component grammar, 1024-node fast path)"
+python -m repro.cli run-grid --scenarios "mesh:32x32+hotspot+stragglers" \
+    --algorithms pplb diffusion --seeds 1 --rounds 60 --engine rounds-fast \
+    --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/composed.out"
+grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/composed.out"
+
+echo "==> fluid-engine grid (2 specs, divisible-load model)"
+python -m repro.cli run-grid --scenarios mesh-hotspot \
+    --algorithms fluid-diffusion fluid-sos --seeds 1 --rounds 120 \
+    --engine fluid --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/fluid.out"
+grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/fluid.out"
+
 echo "==> cache stats / clear round-trip"
 # Capture to files rather than piping into grep -q: grep exiting early
 # would hand the CLI a broken pipe (and mask its exit status).
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
-grep -q "entries    : 14" "$CACHE_DIR/stats.out"
+grep -q "entries    : 18" "$CACHE_DIR/stats.out"
 grep -q "mean entry" "$CACHE_DIR/stats.out"
 python -m repro.cli cache clear --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/clear.out"
-grep -q "removed 14 cached result" "$CACHE_DIR/clear.out"
+grep -q "removed 18 cached result" "$CACHE_DIR/clear.out"
 
 echo "==> smoke OK"

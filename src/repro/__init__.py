@@ -67,11 +67,14 @@ from repro.sim.engine import ConvergenceCriteria
 from repro.tasks import ResourceMap, TaskGraph, TaskSystem
 from repro.workloads import (
     DynamicWorkload,
+    ScenarioSpec,
     balanced,
     build_scenario,
+    compose_scenarios,
     gaussian_blob,
     linear_ramp,
     multi_hotspot,
+    parse_scenario,
     single_hotspot,
     uniform_random,
 )
@@ -116,6 +119,9 @@ __all__ = [
     "balanced",
     "DynamicWorkload",
     "build_scenario",
+    "ScenarioSpec",
+    "parse_scenario",
+    "compose_scenarios",
     # sim
     "Simulator",
     "FastSimulator",

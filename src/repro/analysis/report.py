@@ -33,6 +33,7 @@ EXPERIMENT_ORDER = [
     "E15_transfer_latency",
     "E16_heterogeneous",
     "E17_async",
+    "E18_scenario_matrix",
     "BENCH_engine",
 ]
 

@@ -10,20 +10,37 @@ Installed as ``pplb`` (see pyproject). Subcommands:
 * ``pplb run-grid --scenarios … --algorithms … --seeds N --workers W`` —
   a (scenario × algorithm × seed) grid through the parallel runner with
   result caching (see :mod:`repro.runner`).
+* ``pplb scenarios`` — the scenario catalogue: every registered name
+  with its composed equivalent, plus the component registries and the
+  composition grammar.
 * ``pplb cache stats|clear`` — inspect or empty the on-disk result cache.
 * ``pplb table1`` — regenerate the paper's Table 1 from the parameter
   registry.
 * ``pplb report`` — stitch ``benchmarks/results/`` artifacts into one
   experiment report.
 
+**Scenarios.** Anywhere a scenario is accepted — ``--scenario`` /
+``--scenarios`` — both registered names (``pplb scenarios`` lists them)
+and composed component strings work::
+
+    pplb run --scenario "mesh:16x16+hotspot+stragglers:frac=0.1+diurnal"
+
+See :mod:`repro.workloads.composition` for the grammar; strings are
+validated at parse time (unknown components or parameters fail before
+anything runs).
+
 ``run``, ``compare`` and ``run-grid`` all accept ``--engine
-{rounds,rounds-fast,events}``: ``rounds`` is the paper's synchronous
-protocol, ``rounds-fast`` the same protocol through the vectorised
-large-N fast path (:class:`repro.sim.FastSimulator` — identical
-records, so prefer it for big meshes), ``events`` the discrete-event
-asynchronous engine (:class:`repro.sim.EventSimulator`). They also
-accept ``--recorder {full,thin:<k>,summary}`` — the recording policy
-(see :mod:`repro.sim.recording`): ``full`` keeps every round,
+{rounds,rounds-fast,events,fluid}``: ``rounds`` is the paper's
+synchronous protocol, ``rounds-fast`` the same protocol through the
+vectorised large-N fast path (:class:`repro.sim.FastSimulator` —
+identical records, so prefer it for big meshes), ``events`` the
+discrete-event asynchronous engine (:class:`repro.sim.EventSimulator`)
+and ``fluid`` the divisible-load engine
+(:class:`repro.sim.FluidSimulator`) over the scenario's initial
+per-node loads — it requires one of the fluid algorithms
+(``fluid-diffusion``, ``fluid-dimension-exchange``, ``fluid-sos``).
+They also accept ``--recorder {full,thin:<k>,summary}`` — the recording
+policy (see :mod:`repro.sim.recording`): ``full`` keeps every round,
 ``thin:<k>`` every k-th round plus the last with exact totals,
 ``summary`` streams O(1) running aggregates for very long runs.
 
@@ -44,6 +61,7 @@ from repro.exceptions import ReproError
 from repro.runner import (
     ENGINES,
     FACTORIES,
+    FLUID_FACTORIES,
     ResultCache,
     RunSpec,
     execute_spec,
@@ -51,11 +69,23 @@ from repro.runner import (
     grid_seeds,
     run_grid,
 )
-from repro.workloads import SCENARIOS
 
 #: the CLI's historical name for the balancer registry (every factory
 #: works as a zero-argument constructor with registry defaults).
 ALGORITHMS = FACTORIES
+
+
+def _scenario_arg(value: str) -> str:
+    """Argparse type for scenario arguments: any registered name or
+    composed component string; fails at parse time with the library's
+    own diagnostics."""
+    from repro.workloads import canonical_scenario_name
+
+    try:
+        canonical_scenario_name(value)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int,
@@ -92,11 +122,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    # The algorithm family follows the engine: task balancers on the
+    # task engines, the divisible-load field under --engine fluid.
+    names = FLUID_FACTORIES if args.engine == "fluid" else ALGORITHMS
     specs = [
         RunSpec(scenario=args.scenario, algorithm=name, seed=args.seed,
                 max_rounds=args.rounds, engine=args.engine,
                 recorder=args.recorder)
-        for name in ALGORITHMS
+        for name in names
         if name != "none"
     ]
     outcomes = run_grid(specs, workers=args.workers, cache=_cache_from(args))
@@ -190,6 +223,32 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.workloads.composition import describe_aliases, describe_components
+
+    print(format_table(
+        describe_aliases(),
+        columns=["scenario", "composition", "what"],
+        title="Registered scenarios (aliases over composed specs)",
+    ))
+    print()
+    print("Composition grammar: topology[+placement][+links][+heterogeneity]"
+          "[+dynamics]")
+    print("  component := name | name:k=v[,k=v...] | name:16x16 "
+          "(topology shorthand)")
+    print("  example   : mesh:16x16+hotspot+stragglers:frac=0.1+diurnal")
+    print("  defaults  : placement=hotspot, links=unit; kinds are "
+          "inferred from component names")
+    for kind, rows in describe_components().items():
+        print()
+        print(format_table(
+            rows,
+            columns=["component", "parameters", "what"],
+            title=f"{kind} components",
+        ))
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     rows = [
         {"parameter": p, "load-balancing equivalent": m, "implemented by": s}
@@ -211,8 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--engine", choices=sorted(ENGINES), default="rounds",
                        help="execution model: synchronous rounds, the "
                             "vectorized rounds-fast path (identical results, "
-                            "built for large N), or the asynchronous "
-                            "discrete-event engine")
+                            "built for large N), the asynchronous "
+                            "discrete-event engine, or the divisible-load "
+                            "fluid engine (fluid-* algorithms only)")
         p.add_argument("--recorder", default="full", metavar="POLICY",
                        help="recording policy: 'full' (every round), "
                             "'thin:<k>' (every k-th round + last, exact "
@@ -225,9 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
 
+    all_algorithms = sorted(ALGORITHMS) + sorted(FLUID_FACTORIES)
+
     p_run = sub.add_parser("run", help="run one scenario with one algorithm")
-    p_run.add_argument("--scenario", choices=sorted(SCENARIOS), default="mesh-hotspot")
-    p_run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="pplb")
+    p_run.add_argument("--scenario", type=_scenario_arg, default="mesh-hotspot",
+                       metavar="SCENARIO",
+                       help="registered name (see `pplb scenarios`) or "
+                            "composed string, e.g. "
+                            "'mesh:16x16+hotspot+stragglers:frac=0.1'")
+    p_run.add_argument("--algorithm", choices=all_algorithms, default="pplb")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--rounds", type=int, default=500)
     add_engine(p_run)
@@ -238,7 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every algorithm on a scenario (through the parallel "
              "runner, so --workers and the result cache apply)",
     )
-    p_cmp.add_argument("--scenario", choices=sorted(SCENARIOS), default="mesh-hotspot")
+    p_cmp.add_argument("--scenario", type=_scenario_arg, default="mesh-hotspot",
+                       metavar="SCENARIO",
+                       help="registered name or composed string")
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--rounds", type=int, default=500)
     p_cmp.add_argument("--workers", type=int, default=1,
@@ -252,9 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a (scenario × algorithm × seed) grid in parallel with "
              "result caching",
     )
-    p_grid.add_argument("--scenarios", nargs="+", choices=sorted(SCENARIOS),
-                        default=["mesh-hotspot"], metavar="SCENARIO")
-    p_grid.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+    p_grid.add_argument("--scenarios", nargs="+", type=_scenario_arg,
+                        default=["mesh-hotspot"], metavar="SCENARIO",
+                        help="registered names and/or composed strings")
+    p_grid.add_argument("--algorithms", nargs="+", choices=all_algorithms,
                         default=["pplb"], metavar="ALGO")
     p_grid.add_argument("--seeds", type=int, default=4,
                         help="repetitions per (scenario, algorithm) cell")
@@ -277,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
         p_cache_cmd.add_argument("--cache-dir", default=".pplb-cache",
                                  help="result cache directory")
         p_cache_cmd.set_defaults(fn=cmd_cache)
+
+    p_sc = sub.add_parser(
+        "scenarios",
+        help="list registered scenarios, the component registries and "
+             "the composition grammar",
+    )
+    p_sc.set_defaults(fn=cmd_scenarios)
 
     p_t1 = sub.add_parser("table1", help="print the paper's Table 1 mapping")
     p_t1.set_defaults(fn=cmd_table1)

@@ -40,19 +40,27 @@ from repro.runner.merge import (
     spec_value,
 )
 from repro.runner.pool import map_tasks, resolve_workers
-from repro.runner.registry import FACTORIES, make_balancer
+from repro.runner.registry import FACTORIES, FLUID_FACTORIES, make_balancer
 from repro.runner.runner import RunOutcome, run_grid
-from repro.runner.spec import ENGINES, RunSpec, expand_grid, grid_seeds
+from repro.runner.spec import (
+    ENGINES,
+    RunSpec,
+    expand_component_grid,
+    expand_grid,
+    grid_seeds,
+)
 from repro.runner.worker import execute_spec
 
 __all__ = [
     "ENGINES",
     "FACTORIES",
+    "FLUID_FACTORIES",
     "ResultCache",
     "RunOutcome",
     "RunSpec",
     "default_metrics",
     "execute_spec",
+    "expand_component_grid",
     "expand_grid",
     "grid_seeds",
     "make_balancer",

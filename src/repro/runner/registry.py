@@ -20,9 +20,12 @@ from typing import Callable
 from repro.baselines import (
     ContractingWithinNeighborhood,
     DimensionExchange,
+    FluidDiffusion,
+    FluidDimensionExchange,
     GradientModel,
     NoBalancer,
     RandomWorkStealing,
+    SecondOrderDiffusion,
     SenderInitiated,
     TaskDiffusion,
 )
@@ -60,12 +63,27 @@ FACTORIES: dict[str, Callable[..., Balancer]] = {
     "none": NoBalancer,
 }
 
-def make_balancer(name: str, **overrides) -> Balancer:
-    """Construct the registered balancer *name* with keyword *overrides*."""
-    try:
-        factory = FACTORIES[name]
-    except KeyError:
+#: divisible-load algorithm name -> factory. These run only under the
+#: ``fluid`` engine (they prescribe per-edge flows on the load vector
+#: instead of per-task migrations); :class:`~repro.runner.spec.RunSpec`
+#: enforces the pairing in both directions.
+FLUID_FACTORIES: dict[str, Callable[..., object]] = {
+    "fluid-diffusion": FluidDiffusion,
+    "fluid-dimension-exchange": FluidDimensionExchange,
+    "fluid-sos": SecondOrderDiffusion,
+}
+
+
+def make_balancer(name: str, **overrides):
+    """Construct the registered balancer *name* with keyword *overrides*.
+
+    Looks in :data:`FACTORIES` first, then :data:`FLUID_FACTORIES`
+    (names are unique across the two registries).
+    """
+    factory = FACTORIES.get(name) or FLUID_FACTORIES.get(name)
+    if factory is None:
         raise ConfigurationError(
-            f"unknown algorithm {name!r}; available: {sorted(FACTORIES)}"
+            f"unknown algorithm {name!r}; available: "
+            f"{sorted(FACTORIES)} (task) + {sorted(FLUID_FACTORIES)} (fluid)"
         )
     return factory(**overrides)

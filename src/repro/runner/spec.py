@@ -1,14 +1,23 @@
 """Run specifications: the unit of work the parallel runner schedules.
 
-A :class:`RunSpec` is plain data — scenario name, algorithm name, seed
-and keyword overrides — so it can cross process boundaries, be hashed
-for the result cache, and be rebuilt from JSON. Two specs with the same
-content produce the same :meth:`RunSpec.key`, and executing a spec is a
-pure function of its content (see :mod:`repro.runner.worker`), which is
-what makes cached results safe to replay.
+A :class:`RunSpec` is plain data — scenario name (registered or a
+composed component string), algorithm name, seed and keyword overrides
+— so it can cross process boundaries, be hashed for the result cache,
+and be rebuilt from JSON. Two specs with the same content produce the
+same :meth:`RunSpec.key`, and executing a spec is a pure function of
+its content (see :mod:`repro.runner.worker`), which is what makes
+cached results safe to replay.
+
+Scenario identity is *canonicalised* at construction: registered names
+stay verbatim (pre-composition cache keys are unchanged, so old caches
+keep replaying) while composed strings normalise to their canonical
+grammar form, so every equivalent spelling of one setting shares one
+cache entry.
 
 :func:`expand_grid` builds the (scenario × algorithm × seed) cartesian
-product in deterministic order; :func:`grid_seeds` mints the per-
+product in deterministic order; :func:`expand_component_grid` does the
+same over *component axes* (topology × placement × links × … —
+the workload cross product as data); :func:`grid_seeds` mints the per-
 repetition seeds with the same :func:`repro.rng.seed_for` discipline the
 sweep harness uses.
 """
@@ -24,7 +33,7 @@ from repro.exceptions import ConfigurationError
 from repro.rng import seed_for
 
 #: execution models a spec may request (see :mod:`repro.runner.worker`).
-ENGINES = frozenset({"rounds", "rounds-fast", "events"})
+ENGINES = frozenset({"rounds", "rounds-fast", "events", "fluid"})
 
 
 @dataclass
@@ -34,9 +43,16 @@ class RunSpec:
     Attributes
     ----------
     scenario:
-        Name in :data:`repro.workloads.SCENARIOS`.
+        A registered name in :data:`repro.workloads.SCENARIOS` or a
+        composed component string
+        (``"mesh:16x16+hotspot+stragglers:frac=0.1"`` — see
+        :mod:`repro.workloads.composition`). Canonicalised at
+        construction: registered names verbatim, composed strings to
+        their canonical grammar form.
     algorithm:
-        Name in :data:`repro.runner.registry.FACTORIES`.
+        Name in :data:`repro.runner.registry.FACTORIES` (task
+        balancers) or, for ``engine="fluid"``,
+        :data:`repro.runner.registry.FLUID_FACTORIES`.
     seed:
         Seed for both scenario construction and the simulator RNG
         (mirrors ``pplb run``'s single ``--seed``).
@@ -56,10 +72,17 @@ class RunSpec:
         synchronous :class:`~repro.sim.Simulator`, the default),
         ``"rounds-fast"`` (the same protocol through
         :class:`~repro.sim.FastSimulator`'s vectorised large-N path —
-        identical records, so large grids should prefer it) or
+        identical records, so large grids should prefer it),
         ``"events"`` (the asynchronous
-        :class:`~repro.sim.EventSimulator`). Part of the content hash,
-        so engines never share cache entries.
+        :class:`~repro.sim.EventSimulator`) or ``"fluid"`` (the
+        divisible-load :class:`~repro.sim.FluidSimulator`; requires a
+        fluid algorithm). The fluid engine is a *projection*: it
+        simulates the scenario's initial per-node load surface in the
+        continuous limit — task-granular extras (node speeds, churn,
+        fault realisation) have no divisible-load counterpart and do
+        not apply, so e.g. ``straggler`` under ``fluid`` is exactly
+        the ``torus-hotspot`` surface. Part of the content hash, so
+        engines never share cache entries.
     recorder:
         Recording policy for the run: ``"full"`` (every round, the
         default), ``"thin:<k>"`` or ``"summary"`` — see
@@ -96,25 +119,34 @@ class RunSpec:
         # Validate names eagerly so a bad grid fails before any worker
         # spins up. Imported here to keep this module import-light for
         # worker processes.
-        from repro.runner.registry import FACTORIES
-        from repro.workloads.scenarios import SCENARIO_KWARGS, SCENARIOS
+        from repro.runner.registry import FACTORIES, FLUID_FACTORIES
+        from repro.workloads.composition import canonical_scenario_name
 
-        if self.scenario not in SCENARIOS:
+        # Canonicalise the scenario identity and validate the kwargs in
+        # one parse: registered names stay verbatim (their historical
+        # cache keys must keep replaying), composed strings normalise
+        # so equivalent spellings share one cache entry, and bad
+        # overrides (typos, misrouted or out-of-range values) fail here
+        # — before any worker spins up — with the accepted keys listed.
+        # The per-name regimes (strict vs the legacy shared-kwargs
+        # shim) live in repro.workloads.composition.
+        self.scenario = canonical_scenario_name(
+            self.scenario, self.scenario_kwargs
+        )
+        if self.engine == "fluid":
+            if self.algorithm not in FLUID_FACTORIES:
+                raise ConfigurationError(
+                    f"the fluid engine needs a divisible-load algorithm, "
+                    f"got {self.algorithm!r}; available: {sorted(FLUID_FACTORIES)}"
+                )
+        elif self.algorithm in FLUID_FACTORIES:
             raise ConfigurationError(
-                f"unknown scenario {self.scenario!r}; available: {sorted(SCENARIOS)}"
+                f"algorithm {self.algorithm!r} is a fluid (divisible-load) "
+                f"balancer; run it with engine='fluid'"
             )
-        if self.algorithm not in FACTORIES:
+        elif self.algorithm not in FACTORIES:
             raise ConfigurationError(
                 f"unknown algorithm {self.algorithm!r}; available: {sorted(FACTORIES)}"
-            )
-        # Scenario builders ignore kwargs they don't read (one kwargs
-        # dict may serve a whole grid), so a typo'd key would silently
-        # run the default scenario while still changing the cache key.
-        unknown = set(self.scenario_kwargs) - SCENARIO_KWARGS
-        if unknown:
-            raise ConfigurationError(
-                f"unknown scenario kwargs {sorted(unknown)}; "
-                f"known: {sorted(SCENARIO_KWARGS)}"
             )
 
     # --------------------------- identity ---------------------------- #
@@ -231,3 +263,38 @@ def expand_grid(
         for alg in algorithms
         for seed in seeds
     ]
+
+
+def expand_component_grid(
+    algorithms: Sequence[str],
+    seeds: Sequence[int],
+    topologies: Sequence[str],
+    placements: Sequence[str] = ("hotspot",),
+    links: Sequence[str] = ("unit",),
+    heterogeneity: Sequence[str | None] = (None,),
+    dynamics: Sequence[str | None] = (None,),
+    **expand_kwargs,
+) -> list[RunSpec]:
+    """Axis-wise grid expansion over scenario *components*.
+
+    The scenario axis of :func:`expand_grid` becomes a cross product
+    over component axes (each a sequence of grammar tokens; ``None``
+    omits an optional kind), so a systematic comparison à la Eibl &
+    Rüde — every topology × every load shape × every churn model — is
+    one call::
+
+        specs = expand_component_grid(
+            ["pplb", "diffusion"], grid_seeds(3),
+            topologies=["mesh:16x16", "torus:16x16", "hypercube:8"],
+            placements=["hotspot", "clustered", "power-law"],
+            dynamics=[None, "diurnal"],
+        )
+
+    Remaining keyword arguments are forwarded to :func:`expand_grid`.
+    """
+    from repro.workloads.composition import compose_scenarios
+
+    scenarios = compose_scenarios(
+        topologies, placements, links, heterogeneity, dynamics
+    )
+    return expand_grid(scenarios, algorithms, seeds, **expand_kwargs)

@@ -12,9 +12,13 @@ is what licenses the content-addressed cache.
 synchronous :class:`~repro.sim.Simulator`, ``"rounds-fast"`` its
 vectorised twin :class:`~repro.sim.FastSimulator` (identical records,
 array fast path for large N), ``"events"`` the asynchronous
-:class:`~repro.sim.EventSimulator`. All receive whatever
+:class:`~repro.sim.EventSimulator`. The task engines receive whatever
 extras the scenario carries (per-node speeds, a churn process), so a
-scenario means the same workload under either engine.
+scenario means the same workload under any of them. ``"fluid"`` builds
+the divisible-load :class:`~repro.sim.FluidSimulator` over the
+scenario's *initial per-node loads* — the continuous-limit view of the
+same setting; task-granular extras (churn, node speeds) have no fluid
+counterpart and are not forwarded.
 
 ``execute_payload`` is the pool entry point: module-level (hence
 picklable by reference) and returning the JSON payload rather than the
@@ -26,10 +30,17 @@ from __future__ import annotations
 
 from repro.runner.registry import make_balancer
 from repro.runner.spec import RunSpec
-from repro.sim import EventSimulator, FastSimulator, SimulationResult, Simulator
+from repro.sim import (
+    EventSimulator,
+    FastSimulator,
+    FluidSimulator,
+    SimulationResult,
+    Simulator,
+)
 from repro.workloads import build_scenario
 
-#: spec.engine -> simulator class (validated upstream by RunSpec).
+#: spec.engine -> task-granular simulator class (validated upstream by
+#: RunSpec; "fluid" dispatches separately below).
 _ENGINE_CLASSES = {
     "rounds": Simulator,
     "rounds-fast": FastSimulator,
@@ -41,6 +52,17 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     """Run one spec to completion and return its result."""
     scenario = build_scenario(spec.scenario, seed=spec.seed, **spec.scenario_kwargs)
     balancer = make_balancer(spec.algorithm, **spec.algorithm_kwargs)
+    if spec.engine == "fluid":
+        sim = FluidSimulator(
+            scenario.topology,
+            scenario.system.node_loads,
+            balancer,
+            links=scenario.links,
+            seed=spec.seed,
+            recorder=spec.recorder,
+            **spec.sim_kwargs,
+        )
+        return sim.run(max_rounds=spec.max_rounds)
     engine_cls = _ENGINE_CLASSES[spec.engine]
     # Scenario-carried extras are defaults; explicit sim_kwargs win (a
     # spec may legitimately override e.g. node_speeds or dynamic).

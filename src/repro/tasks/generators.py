@@ -38,6 +38,7 @@ def load_sizes(
     distribution: str = "uniform",
     mean: float = 1.0,
     spread: float = 0.5,
+    alpha: float = 2.5,
 ) -> np.ndarray:
     """Draw *n* positive task sizes.
 
@@ -49,11 +50,18 @@ def load_sizes(
         tail: a few big particles among many light ones);
         ``"constant"`` — all equal to *mean*;
         ``"bimodal"`` — half light (``mean·(1−spread)``), half heavy
-        (``mean·(1+spread)``), shuffled.
+        (``mean·(1+spread)``), shuffled;
+        ``"pareto"`` — classical Pareto with tail index *alpha*, scaled
+        so the distribution mean equals *mean* (a few giant particles
+        dominate the total load — the paper's "considerable amount of
+        data" concern at its sharpest).
     mean:
         Target mean size (must be positive).
     spread:
         Relative spread in ``[0, 1)`` for the uniform/bimodal families.
+    alpha:
+        Tail index for the Pareto family; must exceed 1 for the mean to
+        exist (smaller = heavier tail).
     """
     if n < 0:
         raise TaskError(f"n must be >= 0, got {n}")
@@ -67,6 +75,11 @@ def load_sizes(
     elif distribution == "exponential":
         sizes = rng.exponential(mean, n)
         sizes = np.maximum(sizes, mean * 1e-3)  # keep strictly positive
+    elif distribution == "pareto":
+        if alpha <= 1:
+            raise TaskError(f"pareto tail index alpha must be > 1, got {alpha}")
+        scale = mean * (alpha - 1) / alpha  # x_m making E[X] = mean
+        sizes = scale * (1.0 + rng.pareto(alpha, n))
     elif distribution == "constant":
         sizes = np.full(n, float(mean))
     elif distribution == "bimodal":

@@ -1,22 +1,38 @@
 """Workload generation (paper §1, §4).
 
-Initial load distributions (*where the hills start*) and dynamic task
+Initial load distributions (*where the hills start*), dynamic task
 arrival/departure processes (*new tasks may enter the system at any time
 and at any node* — the paper's motivation for dynamic over static
-balancing).
+balancing), and the composable scenario layer
+(:mod:`repro.workloads.composition`) that assembles topology, placement,
+links, heterogeneity and dynamics components into named, serialisable,
+cache-addressable settings.
 """
 
 from repro.workloads.distributions import (
     balanced,
+    clustered,
     gaussian_blob,
     linear_ramp,
     multi_hotspot,
     single_hotspot,
     uniform_random,
 )
-from repro.workloads.dynamic import DynamicWorkload
-from repro.workloads.scenarios import Scenario, build_scenario, SCENARIOS
+from repro.workloads.dynamic import (
+    DiurnalWorkload,
+    DynamicWorkload,
+    MovingHotspotWorkload,
+)
 from repro.workloads.traces import TraceReplay, WorkloadTrace, record_trace
+from repro.workloads.composition import (
+    ComponentSpec,
+    Scenario,
+    ScenarioSpec,
+    canonical_scenario_name,
+    compose_scenarios,
+    parse_scenario,
+)
+from repro.workloads.scenarios import SCENARIO_KWARGS, SCENARIOS, build_scenario
 
 __all__ = [
     "WorkloadTrace",
@@ -27,9 +43,18 @@ __all__ = [
     "uniform_random",
     "linear_ramp",
     "gaussian_blob",
+    "clustered",
     "balanced",
     "DynamicWorkload",
+    "DiurnalWorkload",
+    "MovingHotspotWorkload",
     "Scenario",
+    "ScenarioSpec",
+    "ComponentSpec",
+    "parse_scenario",
+    "canonical_scenario_name",
+    "compose_scenarios",
     "build_scenario",
     "SCENARIOS",
+    "SCENARIO_KWARGS",
 ]

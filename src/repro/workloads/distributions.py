@@ -12,6 +12,8 @@ shape in the paper's surface picture:
 * :func:`linear_ramp` — a tilted plane (constant gradient everywhere).
 * :func:`gaussian_blob` — a smooth hill spread over hop-distance from a
   centre.
+* :func:`clustered` — several smooth hills around far-apart centres
+  (the blob/multi-hotspot hybrid: lumpy but not spiky terrain).
 * :func:`balanced` — flat surface (control: nothing should move).
 """
 
@@ -27,6 +29,19 @@ from repro.tasks.task import TaskSystem
 
 def _create(system: TaskSystem, nodes: np.ndarray, sizes: np.ndarray) -> list[int]:
     return [system.add_task(float(s), int(v)) for v, s in zip(nodes, sizes)]
+
+
+def _far_apart_centers(system: TaskSystem, k: int) -> list[int]:
+    """*k* pairwise-far nodes: greedy k-center on hop distances,
+    seeded at a peripheral node (shared by :func:`multi_hotspot` and
+    :func:`clustered`, so the two "far-apart centres" placements can
+    never diverge)."""
+    hd = system.topology.hop_distances
+    chosen = [int(np.argmax(hd.max(axis=1)))]  # a peripheral node
+    while len(chosen) < min(k, system.topology.n_nodes):
+        d_to_chosen = hd[:, chosen].min(axis=1)
+        chosen.append(int(np.argmax(d_to_chosen)))
+    return chosen
 
 
 def single_hotspot(
@@ -71,12 +86,7 @@ def multi_hotspot(
     if nodes is None:
         if n_spots < 1:
             raise TaskError(f"n_spots must be >= 1, got {n_spots}")
-        hd = topo.hop_distances
-        chosen = [int(np.argmax(hd.max(axis=1)))]  # a peripheral node
-        while len(chosen) < min(n_spots, topo.n_nodes):
-            d_to_chosen = hd[:, chosen].min(axis=1)
-            chosen.append(int(np.argmax(d_to_chosen)))
-        nodes = chosen
+        nodes = _far_apart_centers(system, n_spots)
     if not nodes:
         raise TaskError("hotspot node list must be non-empty")
     k = len(nodes)
@@ -139,6 +149,36 @@ def gaussian_blob(
         center = int(np.argmin(ecc))
     d = topo.hop_distances[center].astype(np.float64)
     p = np.exp(-0.5 * (d / sigma_hops) ** 2)
+    p /= p.sum()
+    nodes = rng.choice(topo.n_nodes, size=n_tasks, p=p)
+    sizes = load_sizes(n_tasks, rng, **size_kwargs)
+    return _create(system, nodes, sizes)
+
+
+def clustered(
+    system: TaskSystem,
+    n_tasks: int,
+    rng: RngLike = None,
+    n_clusters: int = 4,
+    sigma_hops: float = 1.5,
+    **size_kwargs,
+) -> list[int]:
+    """Load in *n_clusters* smooth lumps around pairwise-far centres.
+
+    Centres are chosen greedily far apart (k-center on hop distances,
+    like :func:`multi_hotspot`); each node's density is the sum of
+    Gaussian fall-offs from every centre, so the surface has several
+    soft hills rather than single-node spikes.
+    """
+    if n_clusters < 1:
+        raise TaskError(f"n_clusters must be >= 1, got {n_clusters}")
+    if sigma_hops <= 0:
+        raise TaskError(f"sigma_hops must be positive, got {sigma_hops}")
+    rng = ensure_rng(rng)
+    topo = system.topology
+    centers = _far_apart_centers(system, n_clusters)
+    d = topo.hop_distances[centers].astype(np.float64)  # (k, n) hops
+    p = np.exp(-0.5 * (d / sigma_hops) ** 2).sum(axis=0)
     p /= p.sum()
     nodes = rng.choice(topo.n_nodes, size=n_tasks, p=p)
     sizes = load_sizes(n_tasks, rng, **size_kwargs)

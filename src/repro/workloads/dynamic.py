@@ -8,7 +8,12 @@ workload generated, none completed*) is exactly what this module breaks,
 so experiment E10 can measure sustained imbalance under churn.
 
 :class:`DynamicWorkload` injects Poisson task arrivals and geometric
-task completions each round.
+task completions each round. Two subclasses shape the arrival process
+over *time*: :class:`DiurnalWorkload` (sinusoidal day/night rate
+modulation) and :class:`MovingHotspotWorkload` (the arrival hotspot
+re-targets periodically — adversarially onto the currently
+least-loaded node, so the balancer's valley keeps becoming the next
+hill).
 """
 
 from __future__ import annotations
@@ -62,10 +67,23 @@ class DynamicWorkload:
         if not 0 <= self.spread < 1:
             raise ConfigurationError(f"spread must be in [0, 1), got {self.spread}")
         self.rng = ensure_rng(self.rng)
+        self._round = 0
+
+    def rate_at(self, round_index: int) -> float:
+        """Arrival rate for *round_index* (hook for time-varying churn).
+
+        The base process is stationary; subclasses override this. The
+        RNG draw sequence is unchanged when the returned rate equals
+        ``arrival_rate``, so the base class behaves exactly as before
+        the hook existed.
+        """
+        return self.arrival_rate
 
     def step(self, system: TaskSystem) -> tuple[list[int], list[int]]:
         """Apply one round of churn; returns ``(created_ids, removed_ids)``."""
         rng = self.rng
+        rate = float(self.rate_at(self._round))
+        self._round += 1
 
         # Completions first (a task created this round cannot complete
         # within the same round).
@@ -79,7 +97,7 @@ class DynamicWorkload:
                     removed.append(int(tid))
 
         created: list[int] = []
-        n_new = int(rng.poisson(self.arrival_rate)) if self.arrival_rate > 0 else 0
+        n_new = int(rng.poisson(rate)) if rate > 0 else 0
         if n_new:
             n_nodes = system.topology.n_nodes
             if self.arrival_nodes is None:
@@ -92,3 +110,74 @@ class DynamicWorkload:
             for node, size in zip(nodes, sizes):
                 created.append(system.add_task(float(size), int(node)))
         return created, removed
+
+
+@dataclass
+class DiurnalWorkload(DynamicWorkload):
+    """Churn whose arrival rate follows a day/night sinusoid.
+
+    The instantaneous rate at round *r* is
+    ``arrival_rate · (1 + amplitude · sin(2π r / period))`` — peak
+    "daytime" bursts alternate with quiet "nights", so sustained
+    imbalance is periodically created and drained. With
+    ``amplitude = 0`` this degenerates exactly to
+    :class:`DynamicWorkload`.
+    """
+
+    amplitude: float = 0.9
+    period: int = 50
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.amplitude <= 1:
+            raise ConfigurationError(
+                f"amplitude must be in [0, 1], got {self.amplitude}"
+            )
+        if self.period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {self.period}")
+
+    def rate_at(self, round_index: int) -> float:
+        phase = 2.0 * np.pi * round_index / self.period
+        return max(self.arrival_rate * (1.0 + self.amplitude * np.sin(phase)), 0.0)
+
+
+@dataclass
+class MovingHotspotWorkload(DynamicWorkload):
+    """Churn whose arrival hotspot re-targets every *dwell* rounds.
+
+    ``mode="adversarial"`` (default) re-targets onto the node with the
+    currently *smallest* load — the worst case for any balancer, since
+    the valley it just finished filling becomes the next hill.
+    ``mode="walk"`` moves the hotspot to a random neighbor instead
+    (spatially correlated drift).
+    """
+
+    dwell: int = 20
+    mode: str = "adversarial"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.dwell < 1:
+            raise ConfigurationError(f"dwell must be >= 1, got {self.dwell}")
+        if self.mode not in ("adversarial", "walk"):
+            raise ConfigurationError(
+                f"mode must be 'adversarial' or 'walk', got {self.mode!r}"
+            )
+
+    def _retarget(self, system: TaskSystem) -> None:
+        topo = system.topology
+        if self.mode == "adversarial":
+            target = int(np.argmin(system.node_loads))
+        else:
+            current = self.arrival_nodes[0] if self.arrival_nodes else None
+            if current is None:
+                target = int(self.rng.integers(0, topo.n_nodes))
+            else:
+                neighbors = topo.neighbors(int(current))
+                target = int(self.rng.choice(neighbors))
+        self.arrival_nodes = [target]
+
+    def step(self, system: TaskSystem) -> tuple[list[int], list[int]]:
+        if self._round % self.dwell == 0:
+            self._retarget(system)
+        return super().step(system)

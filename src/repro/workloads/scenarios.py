@@ -3,254 +3,301 @@
 A :class:`Scenario` bundles a topology, link attributes and an initial
 workload into one reproducible object, so every experiment names its
 setting instead of re-rolling bespoke setup code. ``build_scenario`` is
-the single entry point; the registry :data:`SCENARIOS` maps names to
-constructors.
+the single entry point; it accepts
+
+* a **registered name** from :data:`SCENARIOS` (the twelve historical
+  names plus the pre-composed additions below), or
+* a **composed string** in the component grammar of
+  :mod:`repro.workloads.composition`, e.g.
+  ``"mesh:16x16+hotspot+stragglers:frac=0.1+diurnal"``.
+
+Every registered name is an *alias* for a
+:class:`~repro.workloads.composition.ScenarioSpec`: the legacy flat
+kwargs (``side``, ``n_tasks``, …) are mapped onto the spec's
+components, and the alias builds a **bit-for-bit identical**
+``Scenario`` to the hand-written constructor it replaced (same derived
+RNG streams, same defaults) — which keeps result-cache keys of bare
+legacy names valid across the refactor.
+
+Legacy kwarg convention (deprecation shim): the twelve *historical*
+names silently ignore keys from the shared set :data:`SCENARIO_KWARGS`
+that they do not read, so one kwargs dict can still serve a mixed grid
+(``side`` for meshes, ``dim`` for hypercubes). Everything else is
+strict: names registered after the composition system validate kwargs
+against their accepted keys, and composed strings validate per
+component — unknown keys raise with the accepted keys listed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
-import numpy as np
+from repro.rng import RngLike
+from repro.workloads.composition import (
+    ALIASES,
+    Scenario,
+    ScenarioSpec,
+    make_component,
+    register_alias,
+    resolve_scenario,
+)
 
-from repro.exceptions import ConfigurationError
-from repro.network import builders
-from repro.network.links import LinkAttributes
-from repro.network.topology import Topology
-from repro.rng import RngLike, derive, ensure_rng
-from repro.tasks.task import TaskSystem
-from repro.workloads import distributions
-from repro.workloads.dynamic import DynamicWorkload
-
-
-@dataclass
-class Scenario:
-    """One fully-built experimental setting.
-
-    Attributes
-    ----------
-    name:
-        Registry key this scenario was built from.
-    topology, links, system:
-        The network, its link attributes, and the populated task system.
-    task_ids:
-        Ids of the initially created tasks.
-    node_speeds:
-        Optional per-node processing speeds (None = homogeneous). The
-        engines use them for the effective metric surface; the event
-        engine additionally derives per-node balancing cadences from
-        them (a slow node balances less often).
-    dynamic:
-        Optional workload churn process the engines should drive (None
-        = static workload).
-    """
-
-    name: str
-    topology: Topology
-    links: LinkAttributes
-    system: TaskSystem
-    task_ids: list[int] = field(default_factory=list)
-    node_speeds: np.ndarray | None = None
-    dynamic: DynamicWorkload | None = None
+__all__ = ["Scenario", "SCENARIOS", "SCENARIO_KWARGS", "build_scenario"]
 
 
-def _mesh_hotspot(seed: RngLike, **kw) -> Scenario:
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 8 * side * side))
-    topo = builders.mesh(side, side)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("mesh-hotspot", topo, links, system, ids)
+def _c(name: str, **kwargs) -> object:
+    """Component spec with ``None``-valued kwargs dropped (readability)."""
+    return make_component(name, {k: v for k, v in kwargs.items() if v is not None})
 
 
-def _torus_hotspot(seed: RngLike, **kw) -> Scenario:
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 8 * side * side))
-    topo = builders.torus(side, side)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("torus-hotspot", topo, links, system, ids)
+# --------------------------------------------------------------------- #
+# The twelve historical scenarios, as alias -> spec mappings.
+#
+# Each `make` receives only the legacy kwargs it declared in `accepts`
+# and must reproduce the defaults of the retired hand-written
+# constructor exactly (e.g. "8 tasks per node" == load_factor 8.0, the
+# placement default). Parity is locked by
+# tests/workloads/test_scenario_parity.py.
+# --------------------------------------------------------------------- #
 
 
-def _hypercube_hotspot(seed: RngLike, **kw) -> Scenario:
-    dim = int(kw.get("dim", 6))
-    n_tasks = int(kw.get("n_tasks", 8 * (1 << dim)))
-    topo = builders.hypercube(dim)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("hypercube-hotspot", topo, links, system, ids)
-
-
-def _mesh_random(seed: RngLike, **kw) -> Scenario:
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 8 * side * side))
-    topo = builders.mesh(side, side)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
-    return Scenario("mesh-random", topo, links, system, ids)
-
-
-def _mesh_two_valleys(seed: RngLike, **kw) -> Scenario:
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 8 * side * side))
-    topo = builders.mesh(side, side)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.multi_hotspot(
-        system, n_tasks, derive(seed, 0), n_spots=2, weights=[0.7, 0.3]
+def _mesh_hotspot(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
     )
-    return Scenario("mesh-two-valleys", topo, links, system, ids)
 
 
-def _mesh_faulty(seed: RngLike, **kw) -> Scenario:
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 8 * side * side))
-    fault = float(kw.get("fault_prob", 0.05))
-    topo = builders.mesh(side, side)
-    rng = ensure_rng(derive(seed, 1))
-    links = LinkAttributes.heterogeneous(
-        topo,
-        seed=rng,
-        bandwidth_range=(0.5, 2.0),
-        distance_range=(1.0, 1.0),
-        fault_range=(0.0, fault),
+def _torus_hotspot(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("torus", side=kw.get("side", 8)),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
     )
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("mesh-faulty", topo, links, system, ids)
 
 
-def _random_hotspot(seed: RngLike, **kw) -> Scenario:
-    n_nodes = int(kw.get("n_nodes", 64))
-    avg_degree = float(kw.get("avg_degree", 4.0))
-    graph_seed = int(kw.get("graph_seed", 1))
-    n_tasks = int(kw.get("n_tasks", 8 * n_nodes))
-    topo = builders.random_connected(n_nodes, avg_degree, seed=graph_seed)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("random-hotspot", topo, links, system, ids)
+def _hypercube_hotspot(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("hypercube", dim=kw.get("dim", 6)),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
+    )
 
 
-def _straggler(seed: RngLike, **kw) -> Scenario:
+def _mesh_random(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("uniform", n_tasks=kw.get("n_tasks")),
+    )
+
+
+def _mesh_two_valleys(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("two-valleys", n_tasks=kw.get("n_tasks")),
+    )
+
+
+def _mesh_faulty(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
+        _c("faulty", fault=kw.get("fault_prob")),
+    )
+
+
+def _random_hotspot(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c(
+            "random",
+            n_nodes=kw.get("n_nodes"),
+            avg_degree=kw.get("avg_degree"),
+            graph_seed=kw.get("graph_seed"),
+        ),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
+    )
+
+
+def _straggler(kw: Mapping) -> ScenarioSpec:
     """Hotspot on a torus where a few nodes run slow (paper's
     heterogeneity concern, the async engine's bread and butter: slow
     nodes also *balance* less often under the event engine)."""
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 8 * side * side))
-    frac = float(kw.get("straggler_frac", 0.125))
-    slowdown = float(kw.get("straggler_slowdown", 4.0))
-    if not 0 < frac < 1:
-        raise ConfigurationError(f"straggler_frac must be in (0, 1), got {frac}")
-    if slowdown < 1:
-        raise ConfigurationError(
-            f"straggler_slowdown must be >= 1, got {slowdown}"
-        )
-    topo = builders.torus(side, side)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    rng = ensure_rng(derive(seed, 2))
-    n_slow = max(1, round(frac * topo.n_nodes))
-    slow = rng.choice(topo.n_nodes, size=n_slow, replace=False)
-    speeds = np.ones(topo.n_nodes)
-    speeds[slow] = 1.0 / slowdown
-    return Scenario("straggler", topo, links, system, ids, node_speeds=speeds)
+    return ScenarioSpec.compose(
+        _c("torus", side=kw.get("side", 8)),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
+        heterogeneity=_c(
+            "stragglers",
+            frac=kw.get("straggler_frac"),
+            slowdown=kw.get("straggler_slowdown"),
+        ),
+    )
 
 
-def _bursty_arrivals(seed: RngLike, **kw) -> Scenario:
+def _bursty_arrivals(kw: Mapping) -> ScenarioSpec:
     """Light uniform start, then churn whose arrivals all land on a few
     hot nodes — the sustained-imbalance regime where balancing quality
     is throughput, not convergence."""
-    side = int(kw.get("side", 8))
-    n_tasks = int(kw.get("n_tasks", 2 * side * side))
-    arrival_rate = float(kw.get("arrival_rate", 8.0))
-    completion_prob = float(kw.get("completion_prob", 0.05))
-    n_hot = int(kw.get("n_hot", 4))
-    topo = builders.mesh(side, side)
-    if not 1 <= n_hot <= topo.n_nodes:
-        raise ConfigurationError(
-            f"n_hot must be in [1, {topo.n_nodes}], got {n_hot}"
-        )
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
-    hot_rng = ensure_rng(derive(seed, 2))
-    hot = [int(v) for v in hot_rng.choice(topo.n_nodes, size=n_hot, replace=False)]
-    dynamic = DynamicWorkload(
-        arrival_rate=arrival_rate,
-        completion_prob=completion_prob,
-        arrival_nodes=hot,
-        rng=derive(seed, 3),
+    side = kw.get("side", 8)
+    placement = (
+        _c("uniform", n_tasks=kw["n_tasks"])
+        if "n_tasks" in kw
+        else _c("uniform", load_factor=2.0)
     )
-    return Scenario("bursty-arrivals", topo, links, system, ids, dynamic=dynamic)
+    return ScenarioSpec.compose(
+        _c("mesh", side=side),
+        placement,
+        dynamics=_c(
+            "bursty",
+            rate=kw.get("arrival_rate"),
+            completion_prob=kw.get("completion_prob"),
+            n_hot=kw.get("n_hot"),
+        ),
+    )
 
 
-def _torus_32x32(seed: RngLike, **kw) -> Scenario:
+def _torus_32x32(kw: Mapping) -> ScenarioSpec:
     """Large-N fixture: 1024-node torus hotspot (the scale at which the
-    vectorised ``rounds-fast`` engine starts to pay; Eibl & Rüde's point
-    that balancing studies only become informative at scale)."""
-    n_tasks = int(kw.get("n_tasks", 8 * 32 * 32))
-    topo = builders.torus(32, 32)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("torus-32x32", topo, links, system, ids)
+    vectorised ``rounds-fast`` engine starts to pay)."""
+    return ScenarioSpec.compose(
+        _c("torus", side=32), _c("hotspot", n_tasks=kw.get("n_tasks"))
+    )
 
 
-def _mesh_4096(seed: RngLike, **kw) -> Scenario:
-    """Large-N fixture: 4096-node mesh under a uniform random workload —
-    the every-node-occupied regime that makes the scalar Phase-B sweep
-    O(N) per round and is the fast path's best case."""
-    n_tasks = int(kw.get("n_tasks", 8 * 64 * 64))
-    topo = builders.mesh(64, 64)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
-    return Scenario("mesh-4096", topo, links, system, ids)
+def _mesh_4096(kw: Mapping) -> ScenarioSpec:
+    """Large-N fixture: 4096-node mesh under a uniform random workload."""
+    return ScenarioSpec.compose(
+        _c("mesh", side=64), _c("uniform", n_tasks=kw.get("n_tasks"))
+    )
 
 
-def _hotspot_scaled(seed: RngLike, **kw) -> Scenario:
+def _hotspot_scaled(kw: Mapping) -> ScenarioSpec:
     """Mesh hotspot whose task count scales with the machine:
     ``n_tasks = load_factor · side²`` unless given explicitly. One name,
     any N — the scenario behind the ``bench_perf`` scaling curve."""
-    side = int(kw.get("side", 32))
-    factor = float(kw.get("load_factor", 16.0))
-    if factor <= 0:
-        raise ConfigurationError(f"load_factor must be positive, got {factor}")
-    n_tasks = int(kw.get("n_tasks", round(factor * side * side)))
-    topo = builders.mesh(side, side)
-    links = LinkAttributes.uniform(topo)
-    system = TaskSystem(topo)
-    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
-    return Scenario("hotspot-scaled", topo, links, system, ids)
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 32)),
+        _c(
+            "hotspot",
+            n_tasks=kw.get("n_tasks"),
+            load_factor=kw.get("load_factor", 16.0),
+        ),
+    )
 
 
+# --------------------------------------------------------------------- #
+# New pre-composed scenarios (each also reachable through the grammar).
+# --------------------------------------------------------------------- #
+
+
+def _diurnal(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("uniform", n_tasks=kw.get("n_tasks")),
+        dynamics=_c("diurnal"),
+    )
+
+
+def _moving_hotspot(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("torus", side=kw.get("side", 8)),
+        _c("uniform", n_tasks=kw.get("n_tasks")),
+        dynamics=_c("moving-hotspot"),
+    )
+
+
+def _power_law(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("power-law", n_tasks=kw.get("n_tasks")),
+    )
+
+
+def _clustered(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("clustered", n_tasks=kw.get("n_tasks")),
+    )
+
+
+def _fault_storm(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("torus", side=kw.get("side", 8)),
+        _c("hotspot", n_tasks=kw.get("n_tasks")),
+        _c("fault-storm"),
+    )
+
+
+def _trace_replay(kw: Mapping) -> ScenarioSpec:
+    return ScenarioSpec.compose(
+        _c("mesh", side=kw.get("side", 8)),
+        _c("uniform", n_tasks=kw.get("n_tasks")),
+        dynamics=_c("replay"),
+    )
+
+
+_SIZE = ("side", "n_tasks")
+
+#: the twelve pre-composition names keep the historical shared-kwargs
+#: tolerance (legacy=True); everything registered later is strict.
+for _name, _summary, _accepts, _make, _legacy in (
+    ("mesh-hotspot", "one towering hill mid-mesh", _SIZE, _mesh_hotspot, True),
+    ("torus-hotspot", "the same hill with wraparound links", _SIZE,
+     _torus_hotspot, True),
+    ("hypercube-hotspot", "hotspot on a binary hypercube",
+     ("dim", "n_tasks"), _hypercube_hotspot, True),
+    ("mesh-random", "rough random terrain", _SIZE, _mesh_random, True),
+    ("mesh-two-valleys", "two hills at a 70/30 split (arbiter test)",
+     _SIZE, _mesh_two_valleys, True),
+    ("mesh-faulty", "hotspot over heterogeneous, fault-prone links",
+     ("side", "n_tasks", "fault_prob"), _mesh_faulty, True),
+    ("random-hotspot", "hotspot on a random connected graph",
+     ("n_nodes", "avg_degree", "graph_seed", "n_tasks"), _random_hotspot, True),
+    ("straggler", "torus hotspot with a slow minority of nodes",
+     ("side", "n_tasks", "straggler_frac", "straggler_slowdown"),
+     _straggler, True),
+    ("bursty-arrivals", "skewed churn onto a few hot nodes",
+     ("side", "n_tasks", "arrival_rate", "completion_prob", "n_hot"),
+     _bursty_arrivals, True),
+    ("torus-32x32", "1024-node torus hotspot (fast-path fixture)",
+     ("n_tasks",), _torus_32x32, True),
+    ("mesh-4096", "4096-node mesh, uniform workload (fast-path fixture)",
+     ("n_tasks",), _mesh_4096, True),
+    ("hotspot-scaled", "mesh hotspot scaling as load_factor·side²",
+     ("side", "load_factor", "n_tasks"), _hotspot_scaled, True),
+    ("diurnal", "uniform start, day/night sinusoidal churn", _SIZE,
+     _diurnal, False),
+    ("moving-hotspot", "arrival hotspot re-targets the emptiest node",
+     _SIZE, _moving_hotspot, False),
+    ("power-law", "uniform placement, Pareto heavy-tail task sizes",
+     _SIZE, _power_law, False),
+    ("clustered", "several soft load lumps around far-apart centres",
+     _SIZE, _clustered, False),
+    ("fault-storm", "torus hotspot where 10% of links are storm-prone",
+     _SIZE, _fault_storm, False),
+    ("trace-replay", "churn frozen into a trace, replayed identically",
+     _SIZE, _trace_replay, False),
+):
+    register_alias(_name, _summary, _accepts, _make, legacy=_legacy)
+
+
+def _registry_entry(name: str) -> Callable[..., Scenario]:
+    def build(seed: RngLike = 0, **kwargs) -> Scenario:
+        return build_scenario(name, seed, **kwargs)
+
+    build.__name__ = f"build_{name.replace('-', '_')}"
+    build.__doc__ = ALIASES[name].summary
+    return build
+
+
+#: registered scenario names -> zero-config builders (kept as a dict for
+#: backward compatibility; the authoritative registry is
+#: ``composition.ALIASES``).
 SCENARIOS: dict[str, Callable[..., Scenario]] = {
-    "mesh-hotspot": _mesh_hotspot,
-    "torus-hotspot": _torus_hotspot,
-    "hypercube-hotspot": _hypercube_hotspot,
-    "mesh-random": _mesh_random,
-    "mesh-two-valleys": _mesh_two_valleys,
-    "mesh-faulty": _mesh_faulty,
-    "random-hotspot": _random_hotspot,
-    "straggler": _straggler,
-    "bursty-arrivals": _bursty_arrivals,
-    "torus-32x32": _torus_32x32,
-    "mesh-4096": _mesh_4096,
-    "hotspot-scaled": _hotspot_scaled,
+    name: _registry_entry(name) for name in ALIASES
 }
 
-#: every kwarg some scenario constructor reads. Constructors ignore
-#: keys they don't use (so one kwargs dict can be shared across a
-#: grid of different scenarios), which makes typos silent — callers
-#: that accept user-supplied kwargs (e.g. ``repro.runner.RunSpec``)
-#: validate against this set to catch them.
+#: the historical shared kwarg set (deprecation shim). Aliases ignore
+#: keys from this set that they do not read — one kwargs dict may serve
+#: a whole grid — while anything outside it raises. New code should
+#: prefer composed strings, whose kwargs are validated per component.
 SCENARIO_KWARGS = frozenset(
     {
         "side", "dim", "n_tasks", "fault_prob", "n_nodes", "avg_degree",
@@ -261,15 +308,10 @@ SCENARIO_KWARGS = frozenset(
 
 
 def build_scenario(name: str, seed: RngLike = 0, **kwargs) -> Scenario:
-    """Build a registered scenario by *name* (see :data:`SCENARIOS`).
+    """Build a scenario by registered *name* or composed string.
 
-    Extra keyword arguments override scenario-specific sizes (e.g.
-    ``side=16``, ``n_tasks=2048``).
+    Extra keyword arguments override component parameters (e.g.
+    ``side=16``, ``n_tasks=2048``); see the module docstring for how
+    they are routed and validated.
     """
-    try:
-        ctor = SCENARIOS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
-        )
-    return ctor(seed, **kwargs)
+    return resolve_scenario(name, kwargs).build(seed)

@@ -137,6 +137,76 @@ class TestRunSpec:
                 scenario_kwargs={"dim": 4, "side": 8})
 
 
+class TestComposedScenarios:
+    def test_composed_string_canonicalizes_in_the_spec(self):
+        spec = RunSpec(scenario="stragglers:frac=0.1+mesh:16x16+hotspot",
+                       algorithm="pplb")
+        assert spec.scenario == "mesh:side=16+hotspot+stragglers:frac=0.1"
+
+    def test_equivalent_spellings_share_a_cache_key(self):
+        a = RunSpec(scenario="mesh:16x16+hotspot+diurnal", algorithm="pplb")
+        b = RunSpec(scenario="diurnal+hotspot+mesh:side=16", algorithm="pplb")
+        assert a.key() == b.key()
+
+    def test_composed_spec_roundtrips(self):
+        spec = RunSpec(
+            scenario="torus:6+clustered+fault-storm:frac=0.2+tiered",
+            algorithm="diffusion", seed=3, engine="rounds-fast",
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_composed_spec_roundtrips_through_the_result_cache(self, tmp_path):
+        from repro.runner import ResultCache, run_grid
+
+        spec = RunSpec(scenario="mesh:5+power-law+replay:horizon=20",
+                       algorithm="diffusion", seed=2, max_rounds=10)
+        cache = ResultCache(tmp_path / "cache")
+        first = run_grid([spec], cache=cache)[0]
+        again = run_grid([spec], cache=cache)[0]
+        assert not first.cached and again.cached
+        a, b = first.result.to_dict(), again.result.to_dict()
+        a.pop("wall_time_s")
+        b.pop("wall_time_s")
+        assert a == b
+
+    def test_composed_kwargs_validate_per_component(self):
+        with pytest.raises(ConfigurationError, match="accepted per component"):
+            RunSpec(scenario="mesh:4+uniform", algorithm="pplb",
+                    scenario_kwargs={"n_task": 64})
+        # Routed overrides are fine (side -> topology, n_tasks -> placement).
+        RunSpec(scenario="mesh:4+uniform", algorithm="pplb",
+                scenario_kwargs={"side": 8, "n_tasks": 64})
+
+    def test_unparsable_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(scenario="mesh:4+warp-drive", algorithm="pplb")
+
+
+class TestFluidEngine:
+    def test_fluid_requires_fluid_algorithm(self):
+        with pytest.raises(ConfigurationError, match="divisible-load"):
+            RunSpec(scenario="mesh-hotspot", algorithm="pplb", engine="fluid")
+
+    def test_fluid_algorithms_rejected_on_task_engines(self):
+        with pytest.raises(ConfigurationError, match="engine='fluid'"):
+            RunSpec(scenario="mesh-hotspot", algorithm="fluid-diffusion")
+
+    def test_fluid_spec_executes_and_hashes_distinctly(self):
+        from repro.runner import execute_spec
+
+        spec = RunSpec(scenario="mesh-hotspot", algorithm="fluid-diffusion",
+                       engine="fluid", max_rounds=30,
+                       scenario_kwargs={"side": 5})
+        other = RunSpec(scenario="mesh-hotspot", algorithm="fluid-sos",
+                        engine="fluid", max_rounds=30,
+                        scenario_kwargs={"side": 5})
+        assert spec.key() != other.key()
+        result = execute_spec(spec)
+        assert result.n_rounds >= 1
+        # Diffusion on a hotspot strictly reduces imbalance.
+        assert result.final_cov < result.records[0].cov
+
+
 class TestGrid:
     def test_expand_grid_order_and_size(self):
         specs = expand_grid(

@@ -16,7 +16,9 @@ from repro.tasks.generators import place_all_on, place_round_robin
 
 
 class TestLoadSizes:
-    @pytest.mark.parametrize("dist", ["uniform", "exponential", "constant", "bimodal"])
+    @pytest.mark.parametrize(
+        "dist", ["uniform", "exponential", "constant", "bimodal", "pareto"]
+    )
     def test_positive_and_count(self, dist):
         s = load_sizes(200, rng=0, distribution=dist, mean=2.0, spread=0.4)
         assert s.shape == (200,)
@@ -42,6 +44,14 @@ class TestLoadSizes:
             load_sizes(5, spread=1.0)
         with pytest.raises(TaskError):
             load_sizes(5, distribution="zipf")
+        with pytest.raises(TaskError):
+            load_sizes(5, distribution="pareto", alpha=1.0)
+
+    def test_pareto_mean_and_heavy_tail(self):
+        s = load_sizes(20000, rng=0, distribution="pareto", mean=2.0, alpha=2.5)
+        assert s.mean() == pytest.approx(2.0, rel=0.1)
+        assert s.max() > 10 * np.median(s)
+        assert s.min() > 0
 
     def test_deterministic(self):
         a = load_sizes(50, rng=7)

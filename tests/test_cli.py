@@ -142,6 +142,64 @@ class TestRecorderFlag:
         assert "1 specs: 1 executed, 0 from cache" in out
 
 
+class TestComposedScenarioFlag:
+    def test_composed_string_accepted(self, capsys):
+        rc = main(["run", "--scenario", "mesh:6x6+clustered+diurnal",
+                   "--algorithm", "diffusion", "--rounds", "20"])
+        assert rc == 0
+        assert "mesh:6x6+clustered+diurnal" in capsys.readouterr().out
+
+    def test_bad_composition_fails_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--scenario", "mesh:4+warp-drive"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--scenario", "mesh:4+stragglers:fraction=1"])
+
+    def test_grid_mixes_names_and_compositions(self, capsys, tmp_path):
+        rc = main(["run-grid", "--scenarios", "mesh-hotspot",
+                   "torus:4+uniform+bursty", "--algorithms", "diffusion",
+                   "--seeds", "1", "--rounds", "20",
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        assert "2 specs: 2 executed" in capsys.readouterr().out
+
+
+class TestScenariosCommand:
+    def test_lists_aliases_components_and_grammar(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh-hotspot" in out and "mesh+hotspot" in out
+        for kind in ("topology", "placement", "links", "heterogeneity",
+                     "dynamics"):
+            assert f"{kind} components" in out
+        assert "stragglers" in out and "diurnal" in out
+        assert "grammar" in out.lower()
+
+
+class TestFluidEngineFlag:
+    def test_run_with_fluid_engine(self, capsys):
+        rc = main(["run", "--scenario", "mesh-hotspot",
+                   "--algorithm", "fluid-diffusion", "--engine", "fluid",
+                   "--rounds", "30"])
+        assert rc == 0
+        assert "fluid engine" in capsys.readouterr().out
+
+    def test_fluid_algorithm_on_task_engine_is_a_clean_error(self, capsys):
+        rc = main(["run", "--algorithm", "fluid-diffusion", "--rounds", "10"])
+        assert rc == 1
+        assert "fluid" in capsys.readouterr().err
+
+    def test_compare_on_fluid_engine_uses_fluid_field(self, capsys, tmp_path):
+        rc = main(["compare", "--scenario", "mesh-hotspot", "--rounds", "20",
+                   "--engine", "fluid",
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fluid-diffusion" in out and "fluid-sos" in out
+
+
 class TestCompare:
     def test_compare_routes_through_runner_cache(self, capsys, tmp_path):
         argv = ["compare", "--scenario", "mesh-hotspot", "--rounds", "50",

@@ -1,0 +1,364 @@
+"""Unit tests for the composable scenario system (workloads.composition)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads import (
+    DiurnalWorkload,
+    MovingHotspotWorkload,
+    build_scenario,
+    canonical_scenario_name,
+    compose_scenarios,
+    parse_scenario,
+)
+from repro.workloads.composition import (
+    KINDS,
+    REGISTRY,
+    ScenarioSpec,
+    describe_aliases,
+    describe_components,
+    make_component,
+)
+from repro.workloads.traces import TraceReplay
+
+
+class TestGrammar:
+    def test_parse_and_canonicalize(self):
+        spec = parse_scenario("mesh:16x16+hotspot+stragglers:frac=0.1+diurnal")
+        assert spec.canonical() == "mesh:side=16+hotspot+stragglers:frac=0.1+diurnal"
+
+    def test_component_order_is_irrelevant(self):
+        a = parse_scenario("stragglers:frac=0.1+mesh:16x16+diurnal+hotspot")
+        b = parse_scenario("mesh:side=16+hotspot+stragglers:frac=0.1+diurnal")
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_roundtrips_through_parse(self):
+        for text in (
+            "mesh:9x7+clustered:n_clusters=3+fault-storm+tiered+replay:horizon=30",
+            "hypercube:4+power-law:alpha=1.5",
+            "random:n_nodes=20+two-valleys+jittered",
+            "torus:5+blob:sigma=1.25+moving-hotspot:mode=walk",
+        ):
+            canon = parse_scenario(text).canonical()
+            assert parse_scenario(canon).canonical() == canon
+
+    def test_positional_shorthand(self):
+        assert parse_scenario("mesh:12").topology.kwargs_dict() == {"side": 12}
+        assert parse_scenario("mesh:12x4").topology.kwargs_dict() == {
+            "rows": 12, "cols": 4,
+        }
+        # A square rows×cols collapses to side= so spellings converge.
+        assert parse_scenario("torus:6x6").canonical() == \
+            parse_scenario("torus:side=6").canonical()
+        assert parse_scenario("hypercube:5").topology.kwargs_dict() == {"dim": 5}
+
+    def test_placement_and_links_defaults(self):
+        spec = parse_scenario("mesh:4")
+        assert spec.placement.name == "hotspot"
+        assert spec.links.name == "unit"
+        assert spec.heterogeneity is None and spec.dynamics is None
+        assert spec.canonical() == "mesh:side=4+hotspot"
+
+    def test_registered_names_parse_to_their_alias(self):
+        spec = parse_scenario("mesh-hotspot")
+        assert spec.alias == "mesh-hotspot"
+        assert spec.topology.name == "mesh"
+        assert canonical_scenario_name("mesh-hotspot") == "mesh-hotspot"
+
+    def test_equivalent_spellings_share_one_canonical_name(self):
+        assert canonical_scenario_name("hotspot+mesh:8x8") == \
+            canonical_scenario_name("mesh:side=8+hotspot")
+
+    def test_canonical_is_unique_across_equivalent_spellings(self):
+        # rows-only squares, rows==cols pairs, side=, and the bare
+        # default all build the same machine — and must share one
+        # canonical string (= one cache entry).
+        forms = ["mesh:rows=16+hotspot", "mesh:16x16+hotspot",
+                 "mesh:rows=16,cols=16+hotspot", "mesh:side=16+hotspot"]
+        assert len({canonical_scenario_name(f) for f in forms}) == 1
+        # Explicitly spelling a parameter's default is the same spec.
+        assert canonical_scenario_name("mesh:side=8+hotspot") == \
+            canonical_scenario_name("mesh+hotspot")
+        assert canonical_scenario_name("mesh:4+blob:sigma=2.0") == \
+            canonical_scenario_name("mesh:4+blob")
+
+    def test_unknown_name_lists_scenarios(self):
+        with pytest.raises(ConfigurationError, match="registered scenarios"):
+            parse_scenario("no-such-scenario")
+
+    def test_unknown_component_in_composition(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario component"):
+            parse_scenario("mesh:4+warp-drive")
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="two topology components"):
+            parse_scenario("mesh:4+torus:4")
+
+    def test_missing_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="topology component"):
+            parse_scenario("hotspot+diurnal")
+
+    def test_malformed_args_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected k=v"):
+            parse_scenario("mesh:side=4,=3")
+        with pytest.raises(ConfigurationError, match="positional"):
+            parse_scenario("stragglers:3")
+        # A dangling or doubled 'x' is a typo, not a square request.
+        for typo in ("torus:16x", "mesh:x8", "mesh:8xx16"):
+            with pytest.raises(ConfigurationError, match="malformed positional"):
+                parse_scenario(typo)
+
+
+class TestValidation:
+    def test_unknown_param_names_accepted_keys(self):
+        with pytest.raises(ConfigurationError) as err:
+            parse_scenario("mesh:4+stragglers:fraction=0.1")
+        assert "frac" in str(err.value) and "slowdown" in str(err.value)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "mesh:side=0+hotspot",
+            "mesh:0",
+            "hypercube:dim=0",
+            "hypercube:dim=-3",
+            "random:n_nodes=0+hotspot",
+            "mesh:4+hotspot:n_tasks=-5",
+            "mesh:side=8,rows=4+hotspot",
+            "mesh:side=8,cols=4+hotspot",
+            "mesh:4+hotspot:load_factor=0.0",
+            "mesh:4+clustered:n_clusters=0",
+            "torus:2",
+        ],
+    )
+    def test_positivity_and_shape_bounds(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_scenario(text)
+
+    def test_n_tasks_zero_is_the_empty_control(self):
+        # The legacy constructors accepted an empty workload; only
+        # negatives are rejected.
+        sc = build_scenario("mesh:4+hotspot:n_tasks=0", 0)
+        assert sc.system.n_tasks == 0
+
+    def test_legacy_constructor_bounds_still_enforced(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("straggler", 0, straggler_frac=1.5)
+        with pytest.raises(ConfigurationError):
+            build_scenario("straggler", 0, straggler_slowdown=0.5)
+        with pytest.raises(ConfigurationError):
+            build_scenario("hotspot-scaled", 0, load_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            build_scenario("mesh-hotspot", 0, side=0)
+        with pytest.raises(ConfigurationError):
+            build_scenario("mesh-hotspot", 0, n_tasks=-1)
+        with pytest.raises(ConfigurationError):
+            build_scenario("hypercube-hotspot", 0, dim=0)
+        with pytest.raises(ConfigurationError):
+            build_scenario("random-hotspot", 0, n_nodes=0)
+
+    def test_n_hot_bounded_by_machine(self):
+        with pytest.raises(ConfigurationError, match="n_hot"):
+            build_scenario("mesh:3x3+uniform+bursty:n_hot=10", 0)
+
+    def test_choice_params(self):
+        with pytest.raises(ConfigurationError, match="one of"):
+            parse_scenario("mesh:4+moving-hotspot:mode=teleport")
+
+    def test_type_errors_are_clean(self):
+        with pytest.raises(ConfigurationError, match="expects int"):
+            make_component("mesh", {"side": "wide"})
+
+    def test_non_finite_values_rejected_at_parse_time(self):
+        # NaN slips through every bound comparison; it must die in
+        # validation, not later inside a worker.
+        with pytest.raises(ConfigurationError, match="finite"):
+            parse_scenario("mesh:4+stragglers:frac=nan")
+        with pytest.raises(ConfigurationError, match="finite"):
+            parse_scenario("mesh:4+churn:rate=inf")
+
+    def test_int_params_reject_fractional_floats(self):
+        # int() would truncate 4.9 -> 4 and silently build a different
+        # machine; integral floats (4.0) are fine.
+        with pytest.raises(ConfigurationError, match="expects int"):
+            parse_scenario("mesh:side=4.9+hotspot")
+        with pytest.raises(ConfigurationError, match="expects int"):
+            make_component("hotspot", {"n_tasks": 100.7})
+        assert make_component("mesh", {"side": 4.0}).kwargs_dict() == {"side": 4}
+
+
+class TestOverrides:
+    def test_overrides_route_to_owning_component(self):
+        spec = parse_scenario("mesh:4+uniform").with_overrides(
+            {"side": 9, "n_tasks": 10}
+        )
+        assert spec.topology.kwargs_dict()["side"] == 9
+        assert spec.placement.kwargs_dict()["n_tasks"] == 10
+
+    def test_ambiguous_override_rejected(self):
+        spec = parse_scenario("mesh:4+hotspot+fault-storm+stragglers")
+        with pytest.raises(ConfigurationError, match="ambiguous"):
+            spec.with_overrides({"frac": 0.2})
+        # Inline assignment is never ambiguous.
+        ok = parse_scenario("mesh:4+hotspot+fault-storm:frac=0.2+stragglers")
+        assert ok.links.kwargs_dict()["frac"] == 0.2
+
+    def test_unknown_override_rejected_with_catalog(self):
+        spec = parse_scenario("mesh:4+uniform")
+        with pytest.raises(ConfigurationError, match="accepted per component"):
+            spec.with_overrides({"n_task": 10})
+
+    def test_composed_specs_reject_legacy_spelled_keys(self):
+        # The ignore-what-you-don't-read tolerance is an alias-only
+        # shim: on a composed spec, a legacy-spelled key must raise
+        # instead of silently running the default experiment (the
+        # component's parameter is `frac`, not `straggler_frac`).
+        spec = parse_scenario("torus:8+hotspot+stragglers")
+        with pytest.raises(ConfigurationError, match="straggler_frac"):
+            spec.with_overrides({"straggler_frac": 0.25})
+        with pytest.raises(ConfigurationError, match="dim"):
+            parse_scenario("mesh:4+uniform").with_overrides({"dim": 3})
+
+
+class TestSerialization:
+    def test_to_from_dict_roundtrip(self):
+        spec = parse_scenario(
+            "torus:6+clustered:n_clusters=3+jittered+tiered:ratio=2.0+diurnal"
+        )
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.canonical() == spec.canonical()
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict({"placement": {"name": "hotspot"}})
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict({"topology": {"side": 4}})
+
+
+class TestBuild:
+    def test_component_streams_are_independent(self):
+        # Adding link jitter or speed tiers must not perturb placement.
+        plain = build_scenario("mesh:6+uniform", 9)
+        dressed = build_scenario("mesh:6+uniform+jittered+tiered", 9)
+        np.testing.assert_array_equal(
+            plain.system.node_loads, dressed.system.node_loads
+        )
+
+    def test_composed_bursty_is_uncorrelated_with_stragglers(self):
+        # The composed bursty hot-node choice draws from a dynamics
+        # sub-stream, not the heterogeneity stream — the hot nodes must
+        # not systematically be the straggler nodes (under the shared
+        # legacy stream, equal draw counts made them identical sets).
+        matches = 0
+        for seed in range(10):
+            sc = build_scenario(
+                "mesh:8+uniform+stragglers:frac=0.0625+bursty:n_hot=4", seed
+            )
+            slow = set(np.flatnonzero(sc.node_speeds < 1.0).tolist())
+            hot = set(sc.dynamic.arrival_nodes)
+            assert len(slow) == len(hot) == 4
+            if slow == hot:
+                matches += 1
+        assert matches == 0
+
+    def test_build_is_deterministic(self):
+        a = build_scenario("mesh:5+clustered+fault-storm+stragglers+diurnal", 4)
+        b = build_scenario("mesh:5+clustered+fault-storm+stragglers+diurnal", 4)
+        np.testing.assert_array_equal(a.system.node_loads, b.system.node_loads)
+        np.testing.assert_array_equal(a.links.fault_prob, b.links.fault_prob)
+        np.testing.assert_array_equal(a.node_speeds, b.node_speeds)
+
+    def test_scenario_records_its_spec_and_name(self):
+        sc = build_scenario("mesh:4+uniform", 0)
+        assert sc.name == "mesh:side=4+uniform"
+        assert sc.spec is not None
+        assert sc.spec.canonical() == sc.name
+
+
+class TestNewComponents:
+    def test_clustered_placement_is_lumpy_not_spiky(self):
+        sc = build_scenario("mesh:8+clustered:n_clusters=4", 2)
+        loads = np.sort(sc.system.node_loads)[::-1]
+        top_quarter_share = loads[:16].sum() / loads.sum()
+        # Lumpier than uniform terrain (~0.38 at this seed) but not a
+        # handful of spikes: several soft hills.
+        assert 0.5 < top_quarter_share < 0.95
+        assert (sc.system.node_loads > 0).sum() > 16
+
+    def test_power_law_sizes_are_heavy_tailed(self):
+        sc = build_scenario("mesh:8+power-law:alpha=1.5", 3)
+        sizes = sc.system.loads_array()
+        assert sizes.max() > 10 * np.median(sizes)
+        assert (sizes > 0).all()
+
+    def test_fault_storm_marks_a_fraction_of_links(self):
+        sc = build_scenario("torus:8+hotspot+fault-storm:frac=0.25,prob=0.4", 1)
+        storm = sc.links.fault_prob > 0
+        assert storm.sum() == round(0.25 * sc.topology.n_edges)
+        assert np.allclose(sc.links.fault_prob[storm], 0.4)
+
+    def test_tiered_speeds(self):
+        sc = build_scenario("mesh:4+hotspot+tiered:tiers=2,ratio=4.0", 0)
+        assert set(np.unique(sc.node_speeds)) == {0.25, 1.0}
+
+    def test_diurnal_rate_oscillates(self):
+        sc = build_scenario("mesh:4+uniform+diurnal:rate=6.0,period=10", 0)
+        assert isinstance(sc.dynamic, DiurnalWorkload)
+        rates = [sc.dynamic.rate_at(r) for r in range(10)]
+        assert max(rates) > 6.0 > min(rates)
+        assert min(rates) >= 0.0
+
+    def test_moving_hotspot_retargets_adversarially(self):
+        sc = build_scenario(
+            "torus:4+uniform+moving-hotspot:dwell=3,rate=12.0", 0
+        )
+        dyn = sc.dynamic
+        assert isinstance(dyn, MovingHotspotWorkload)
+        targets = set()
+        for _ in range(12):
+            dyn.step(sc.system)
+            targets.add(dyn.arrival_nodes[0])
+        assert len(targets) > 1  # the hotspot moved
+
+    def test_replay_freezes_identical_churn(self):
+        a = build_scenario("mesh:4+uniform+replay:horizon=30", 6)
+        b = build_scenario("mesh:4+uniform+replay:horizon=30", 6)
+        assert isinstance(a.dynamic, TraceReplay)
+        assert a.dynamic.trace.to_json() == b.dynamic.trace.to_json()
+        assert a.dynamic.trace.n_arrivals > 0
+        # Replaying against the built system applies real churn.
+        created, _ = a.dynamic.step(a.system)
+        total = sum(len(a.dynamic.step(a.system)[0]) for _ in range(29))
+        assert len(created) + total == a.dynamic.trace.n_arrivals
+
+
+class TestAlgebra:
+    def test_compose_scenarios_cross_product(self):
+        names = compose_scenarios(
+            ["mesh:4", "torus:4"],
+            ["hotspot", "uniform"],
+            dynamics=[None, "diurnal"],
+        )
+        assert len(names) == 8
+        assert names[0] == "mesh:side=4+hotspot"
+        assert names[-1] == "torus:side=4+uniform+diurnal"
+        for name in names:  # every product entry is parseable
+            parse_scenario(name)
+
+    def test_compose_scenarios_needs_topologies(self):
+        with pytest.raises(ConfigurationError):
+            compose_scenarios([])
+
+    def test_describe_covers_all_kinds_and_aliases(self):
+        desc = describe_components()
+        assert set(desc) == set(KINDS)
+        for kind in KINDS:
+            assert len(desc[kind]) == len(REGISTRY[kind])
+        aliases = describe_aliases()
+        assert {row["scenario"] for row in aliases} >= {
+            "mesh-hotspot", "diurnal", "trace-replay",
+        }
+        for row in aliases:  # listed compositions must parse
+            parse_scenario(row["composition"])

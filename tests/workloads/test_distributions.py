@@ -8,6 +8,7 @@ from repro.network import mesh
 from repro.tasks import TaskSystem
 from repro.workloads import (
     balanced,
+    clustered,
     gaussian_blob,
     linear_ramp,
     multi_hotspot,
@@ -101,4 +102,29 @@ class TestSpreadDistributions:
         a, b = fresh(mesh4), fresh(mesh4)
         uniform_random(a, 50, rng=9)
         uniform_random(b, 50, rng=9)
+        np.testing.assert_allclose(a.node_loads, b.node_loads)
+
+
+class TestClustered:
+    def test_density_peaks_at_far_apart_centers(self, mesh8):
+        s = fresh(mesh8)
+        clustered(s, 3000, rng=0, n_clusters=3, sigma_hops=1.0,
+                  distribution="constant")
+        # the three heaviest nodes should be pairwise far apart
+        top = np.argsort(s.node_loads)[-3:]
+        hd = mesh8.hop_distances
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert hd[top[i], top[j]] >= 4
+
+    def test_validation(self, mesh4):
+        with pytest.raises(TaskError):
+            clustered(fresh(mesh4), 10, rng=0, n_clusters=0)
+        with pytest.raises(TaskError):
+            clustered(fresh(mesh4), 10, rng=0, sigma_hops=0.0)
+
+    def test_deterministic(self, mesh4):
+        a, b = fresh(mesh4), fresh(mesh4)
+        clustered(a, 64, rng=3)
+        clustered(b, 64, rng=3)
         np.testing.assert_allclose(a.node_loads, b.node_loads)

@@ -1,11 +1,16 @@
-"""Unit tests for repro.workloads.dynamic.DynamicWorkload."""
+"""Unit tests for repro.workloads.dynamic (base churn + time-varying)."""
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.tasks import TaskSystem
-from repro.workloads import DynamicWorkload, balanced
+from repro.workloads import (
+    DiurnalWorkload,
+    DynamicWorkload,
+    MovingHotspotWorkload,
+    balanced,
+)
 
 
 class TestValidation:
@@ -74,3 +79,71 @@ class TestChurn:
         created, removed = wl.step(s)
         assert created == [] and removed == []
         assert s.n_tasks == 16
+
+
+class TestDiurnal:
+    def test_rate_oscillates_around_base(self):
+        wl = DiurnalWorkload(arrival_rate=4.0, amplitude=0.5, period=8, rng=0)
+        rates = [wl.rate_at(r) for r in range(8)]
+        assert max(rates) == pytest.approx(6.0, rel=1e-6)
+        assert min(rates) == pytest.approx(2.0, rel=1e-6)
+        assert wl.rate_at(0) == pytest.approx(4.0)
+
+    def test_zero_amplitude_matches_stationary_churn(self, mesh4):
+        def run(cls, **kw):
+            s = TaskSystem(mesh4)
+            wl = cls(arrival_rate=3.0, completion_prob=0.1, rng=5, **kw)
+            out = [wl.step(s) for _ in range(12)]
+            return out, s.node_loads.copy()
+
+        (ev_a, loads_a) = run(DynamicWorkload)
+        (ev_b, loads_b) = run(DiurnalWorkload, amplitude=0.0)
+        assert ev_a == ev_b
+        np.testing.assert_allclose(loads_a, loads_b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalWorkload(amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            DiurnalWorkload(period=0)
+
+
+class TestMovingHotspot:
+    def test_adversarial_targets_emptiest_node(self, mesh4):
+        s = TaskSystem(mesh4)
+        balanced(s, tasks_per_node=1, rng=0)
+        # empty node 5 so it becomes the unique minimum
+        for tid in s.tasks_at(5).tolist():
+            s.remove_task(int(tid))
+        wl = MovingHotspotWorkload(arrival_rate=6.0, completion_prob=0.0,
+                                   dwell=100, rng=1)
+        wl.step(s)
+        assert wl.arrival_nodes == [5]
+
+    def test_retargets_every_dwell_rounds(self, mesh4):
+        s = TaskSystem(mesh4)
+        wl = MovingHotspotWorkload(arrival_rate=10.0, completion_prob=0.0,
+                                   dwell=2, rng=3)
+        seen = set()
+        for _ in range(10):
+            wl.step(s)
+            seen.add(wl.arrival_nodes[0])
+        assert len(seen) > 1
+
+    def test_walk_moves_to_neighbors(self, mesh4):
+        s = TaskSystem(mesh4)
+        wl = MovingHotspotWorkload(arrival_rate=1.0, completion_prob=0.0,
+                                   dwell=1, mode="walk", rng=2)
+        wl.step(s)
+        prev = wl.arrival_nodes[0]
+        for _ in range(6):
+            wl.step(s)
+            cur = wl.arrival_nodes[0]
+            assert cur in mesh4.neighbors(prev)
+            prev = cur
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MovingHotspotWorkload(dwell=0)
+        with pytest.raises(ConfigurationError):
+            MovingHotspotWorkload(mode="teleport")

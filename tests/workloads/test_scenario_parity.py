@@ -1,0 +1,303 @@
+"""Legacy-scenario parity: the composition refactor must be invisible.
+
+Two locks:
+
+1. **Bit-for-bit built objects** — every historical scenario name must
+   build a `Scenario` identical to what the retired hand-written
+   constructor produced: same topology, link arrays, task placement and
+   sizes, node speeds, and (for dynamic scenarios) the same churn event
+   stream. The reference constructors are frozen *verbatim* below (as
+   they stood before the refactor), so parity is checked against real
+   behaviour, not a re-derivation.
+
+2. **Unchanged default cache keys** — a default `RunSpec` for each
+   legacy name must hash to the exact pre-refactor digest, so result
+   caches populated before the composition system keep replaying.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import builders
+from repro.network.links import LinkAttributes
+from repro.rng import derive, ensure_rng
+from repro.runner import RunSpec
+from repro.tasks.task import TaskSystem
+from repro.workloads import DynamicWorkload, Scenario, build_scenario
+from repro.workloads import distributions
+
+# --------------------------------------------------------------------- #
+# Frozen pre-refactor constructors (verbatim copies; do not modernise).
+# --------------------------------------------------------------------- #
+
+
+def _legacy_mesh_hotspot(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-hotspot", topo, links, system, ids)
+
+
+def _legacy_torus_hotspot(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.torus(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("torus-hotspot", topo, links, system, ids)
+
+
+def _legacy_hypercube_hotspot(seed, **kw):
+    dim = int(kw.get("dim", 6))
+    n_tasks = int(kw.get("n_tasks", 8 * (1 << dim)))
+    topo = builders.hypercube(dim)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("hypercube-hotspot", topo, links, system, ids)
+
+
+def _legacy_mesh_random(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-random", topo, links, system, ids)
+
+
+def _legacy_mesh_two_valleys(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.multi_hotspot(
+        system, n_tasks, derive(seed, 0), n_spots=2, weights=[0.7, 0.3]
+    )
+    return Scenario("mesh-two-valleys", topo, links, system, ids)
+
+
+def _legacy_mesh_faulty(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    fault = float(kw.get("fault_prob", 0.05))
+    topo = builders.mesh(side, side)
+    rng = ensure_rng(derive(seed, 1))
+    links = LinkAttributes.heterogeneous(
+        topo,
+        seed=rng,
+        bandwidth_range=(0.5, 2.0),
+        distance_range=(1.0, 1.0),
+        fault_range=(0.0, fault),
+    )
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-faulty", topo, links, system, ids)
+
+
+def _legacy_random_hotspot(seed, **kw):
+    n_nodes = int(kw.get("n_nodes", 64))
+    avg_degree = float(kw.get("avg_degree", 4.0))
+    graph_seed = int(kw.get("graph_seed", 1))
+    n_tasks = int(kw.get("n_tasks", 8 * n_nodes))
+    topo = builders.random_connected(n_nodes, avg_degree, seed=graph_seed)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("random-hotspot", topo, links, system, ids)
+
+
+def _legacy_straggler(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 8 * side * side))
+    frac = float(kw.get("straggler_frac", 0.125))
+    slowdown = float(kw.get("straggler_slowdown", 4.0))
+    topo = builders.torus(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    rng = ensure_rng(derive(seed, 2))
+    n_slow = max(1, round(frac * topo.n_nodes))
+    slow = rng.choice(topo.n_nodes, size=n_slow, replace=False)
+    speeds = np.ones(topo.n_nodes)
+    speeds[slow] = 1.0 / slowdown
+    return Scenario("straggler", topo, links, system, ids, node_speeds=speeds)
+
+
+def _legacy_bursty_arrivals(seed, **kw):
+    side = int(kw.get("side", 8))
+    n_tasks = int(kw.get("n_tasks", 2 * side * side))
+    arrival_rate = float(kw.get("arrival_rate", 8.0))
+    completion_prob = float(kw.get("completion_prob", 0.05))
+    n_hot = int(kw.get("n_hot", 4))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
+    hot_rng = ensure_rng(derive(seed, 2))
+    hot = [int(v) for v in hot_rng.choice(topo.n_nodes, size=n_hot, replace=False)]
+    dynamic = DynamicWorkload(
+        arrival_rate=arrival_rate,
+        completion_prob=completion_prob,
+        arrival_nodes=hot,
+        rng=derive(seed, 3),
+    )
+    return Scenario("bursty-arrivals", topo, links, system, ids, dynamic=dynamic)
+
+
+def _legacy_torus_32x32(seed, **kw):
+    n_tasks = int(kw.get("n_tasks", 8 * 32 * 32))
+    topo = builders.torus(32, 32)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("torus-32x32", topo, links, system, ids)
+
+
+def _legacy_mesh_4096(seed, **kw):
+    n_tasks = int(kw.get("n_tasks", 8 * 64 * 64))
+    topo = builders.mesh(64, 64)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.uniform_random(system, n_tasks, derive(seed, 0))
+    return Scenario("mesh-4096", topo, links, system, ids)
+
+
+def _legacy_hotspot_scaled(seed, **kw):
+    side = int(kw.get("side", 32))
+    factor = float(kw.get("load_factor", 16.0))
+    n_tasks = int(kw.get("n_tasks", round(factor * side * side)))
+    topo = builders.mesh(side, side)
+    links = LinkAttributes.uniform(topo)
+    system = TaskSystem(topo)
+    ids = distributions.single_hotspot(system, n_tasks, derive(seed, 0))
+    return Scenario("hotspot-scaled", topo, links, system, ids)
+
+
+LEGACY = {
+    "mesh-hotspot": _legacy_mesh_hotspot,
+    "torus-hotspot": _legacy_torus_hotspot,
+    "hypercube-hotspot": _legacy_hypercube_hotspot,
+    "mesh-random": _legacy_mesh_random,
+    "mesh-two-valleys": _legacy_mesh_two_valleys,
+    "mesh-faulty": _legacy_mesh_faulty,
+    "random-hotspot": _legacy_random_hotspot,
+    "straggler": _legacy_straggler,
+    "bursty-arrivals": _legacy_bursty_arrivals,
+    "torus-32x32": _legacy_torus_32x32,
+    "mesh-4096": _legacy_mesh_4096,
+    "hotspot-scaled": _legacy_hotspot_scaled,
+}
+
+#: pre-refactor sha256 digests of RunSpec(scenario=name, algorithm="pplb")
+#: — captured at the commit before the composition system landed.
+FROZEN_DEFAULT_KEYS = {
+    "bursty-arrivals": "823f628b67515caf9dcf347622d7d69d4f9dace8c058fd11b34371876299a08e",
+    "hotspot-scaled": "172d144f8a5ed6493a343ca7200bf4b682359329a2e19c431122d1d673868142",
+    "hypercube-hotspot": "003e29b73397f986e293b8bc71f3a87c8c5faea39036fa51ad0bb24ef105c6c8",
+    "mesh-4096": "3828d1ca17c53218b29648cb75a5e2b09e772492f58c7bd96831861db9eb0c49",
+    "mesh-faulty": "6780cd0aa6ed725ef3e38841604eae258c7fcf65c4db0ce8b31fde95abd7c708",
+    "mesh-hotspot": "dec4461d750a59ae0dcf7cc508f7480fc03306fc540bc305a4e1901bcbfc6bca",
+    "mesh-random": "1abe3895f5c877edb3b4abe85f69461ea93ec3a809e35739401585b203d792f6",
+    "mesh-two-valleys": "5ca9141275258f0bbdc5b3d5ef2f998ea5ef928c29bf2271275f4fd04ae6fb9b",
+    "random-hotspot": "91e867358904ce5de2b100baae5073b906afbb5239c853b5724c5591dd135665",
+    "straggler": "95818dc93bbc322a0ada5ddcf396fcd72adb97ff921fa9c6be3d6b9751f945f1",
+    "torus-32x32": "346c907945cd9d85b413b93c1a02f90d89956f8be91f6713c41a8211a8232ee5",
+    "torus-hotspot": "be89ee1e9d66e50f1e747c83efafa6d154b4e2e4cc19fe68bd05de26d1657def",
+}
+
+#: small overrides keeping the large fixtures cheap while exercising the
+#: legacy kwarg paths (unused keys must be ignored, as before).
+SMALL = {"side": 5, "dim": 4, "n_tasks": 40}
+
+
+def assert_scenarios_identical(a, b):
+    assert a.name == b.name
+    assert a.topology.n_nodes == b.topology.n_nodes
+    np.testing.assert_array_equal(a.topology.edges, b.topology.edges)
+    np.testing.assert_array_equal(a.topology.coords, b.topology.coords)
+    np.testing.assert_array_equal(a.links.bandwidth, b.links.bandwidth)
+    np.testing.assert_array_equal(a.links.distance, b.links.distance)
+    np.testing.assert_array_equal(a.links.fault_prob, b.links.fault_prob)
+    assert a.task_ids == b.task_ids
+    np.testing.assert_array_equal(a.system.node_loads, b.system.node_loads)
+    np.testing.assert_array_equal(a.system.loads_array(), b.system.loads_array())
+    np.testing.assert_array_equal(
+        a.system.locations_array(), b.system.locations_array()
+    )
+    if a.node_speeds is None:
+        assert b.node_speeds is None
+    else:
+        np.testing.assert_array_equal(a.node_speeds, b.node_speeds)
+    assert (a.dynamic is None) == (b.dynamic is None)
+    if a.dynamic is not None:
+        # Same churn process: stepping both against their own systems
+        # must produce the identical event stream.
+        for _ in range(10):
+            created_a, removed_a = a.dynamic.step(a.system)
+            created_b, removed_b = b.dynamic.step(b.system)
+            assert created_a == created_b
+            assert removed_a == removed_b
+        np.testing.assert_array_equal(a.system.node_loads, b.system.node_loads)
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+@pytest.mark.parametrize("seed", [0, 7])
+def test_legacy_names_build_identically_default(name, seed):
+    kwargs = {} if name not in ("torus-32x32", "mesh-4096") else {"n_tasks": 64}
+    assert_scenarios_identical(
+        LEGACY[name](seed, **kwargs), build_scenario(name, seed, **kwargs)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+def test_legacy_names_build_identically_with_shared_kwargs(name):
+    # The historical grid convention: one kwargs dict for every
+    # scenario; constructors read what applies and ignore the rest.
+    assert_scenarios_identical(
+        LEGACY[name](3, **SMALL), build_scenario(name, 3, **SMALL)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY))
+def test_legacy_specific_kwargs_still_apply(name):
+    specific = {
+        "mesh-faulty": {"fault_prob": 0.2},
+        "random-hotspot": {"n_nodes": 20, "avg_degree": 3.0, "graph_seed": 5},
+        "straggler": {"straggler_frac": 0.25, "straggler_slowdown": 8.0},
+        "bursty-arrivals": {"arrival_rate": 2.0, "completion_prob": 0.1,
+                            "n_hot": 2},
+        "hotspot-scaled": {"side": 6, "load_factor": 3.0},
+    }.get(name)
+    if specific is None:
+        pytest.skip("no scenario-specific kwargs")
+    kwargs = {**SMALL, **specific}
+    assert_scenarios_identical(
+        LEGACY[name](11, **kwargs), build_scenario(name, 11, **kwargs)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FROZEN_DEFAULT_KEYS))
+def test_default_cache_keys_unchanged(name):
+    # Pre-composition caches must keep replaying: the canonical JSON
+    # (scenario name verbatim) and therefore the digest are frozen.
+    assert RunSpec(scenario=name, algorithm="pplb").key() == FROZEN_DEFAULT_KEYS[name]
+
+
+def test_alias_equals_its_composed_spelling():
+    # The composed equivalent builds the same machine/workload; only
+    # the recorded name (and hence the cache key) differs.
+    alias = build_scenario("straggler", 5)
+    composed = build_scenario("torus:side=8+hotspot+stragglers", 5)
+    # side=8 is the torus default, so the canonical name drops it.
+    assert composed.name == "torus+hotspot+stragglers"
+    np.testing.assert_array_equal(
+        alias.system.node_loads, composed.system.node_loads
+    )
+    np.testing.assert_array_equal(alias.node_speeds, composed.node_speeds)

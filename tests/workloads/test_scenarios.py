@@ -9,11 +9,30 @@ from repro.workloads import SCENARIOS, build_scenario
 class TestRegistry:
     def test_all_registered_scenarios_build(self):
         for name in SCENARIOS:
-            sc = build_scenario(name, seed=0, side=4, dim=3, n_tasks=32)
+            size = (
+                {"dim": 3, "n_tasks": 32}
+                if name == "hypercube-hotspot"
+                else {"side": 4, "n_tasks": 32}
+            )
+            sc = build_scenario(name, seed=0, **size)
             assert sc.topology.n_nodes >= 8
             assert sc.system.n_tasks == 32
             assert sc.links.topology is sc.topology
             assert len(sc.task_ids) == 32
+
+    def test_legacy_names_tolerate_shared_grid_kwargs(self):
+        # The deprecation shim: one kwargs dict can serve a grid of
+        # legacy names — `dim` is ignored by mesh scenarios and `side`
+        # by hypercubes. Post-composition names are strict.
+        sc = build_scenario("mesh-hotspot", seed=0, side=4, dim=3, n_tasks=32)
+        assert sc.topology.n_nodes == 16
+        sc = build_scenario("hypercube-hotspot", seed=0, side=4, dim=3,
+                            n_tasks=32)
+        assert sc.topology.n_nodes == 8
+        with pytest.raises(ConfigurationError, match="accepted"):
+            build_scenario("diurnal", seed=0, dim=3)
+        with pytest.raises(ConfigurationError, match="accepted"):
+            build_scenario("diurnal", seed=0, arrival_rate=99.0)
 
     def test_unknown_name(self):
         with pytest.raises(ConfigurationError):
@@ -55,3 +74,51 @@ class TestRegistry:
         assert custom.system.n_tasks == 2 * 16
         with pytest.raises(ConfigurationError):
             build_scenario("hotspot-scaled", seed=0, side=4, load_factor=0.0)
+
+    def test_size_bounds_are_validated(self):
+        for bad in ({"side": 0}, {"side": -2}, {"n_tasks": -8}):
+            with pytest.raises(ConfigurationError):
+                build_scenario("mesh-hotspot", seed=0, **bad)
+        # n_tasks=0 stays valid: the empty-workload control.
+        assert build_scenario("mesh-hotspot", seed=0, n_tasks=0).system.n_tasks == 0
+        with pytest.raises(ConfigurationError):
+            build_scenario("hypercube-hotspot", seed=0, dim=0)
+        with pytest.raises(ConfigurationError):
+            build_scenario("random-hotspot", seed=0, n_nodes=-1)
+
+
+class TestNewRegisteredScenarios:
+    def test_diurnal_and_moving_hotspot_carry_dynamics(self):
+        from repro.workloads import DiurnalWorkload, MovingHotspotWorkload
+
+        diurnal = build_scenario("diurnal", seed=0, side=4, n_tasks=16)
+        assert isinstance(diurnal.dynamic, DiurnalWorkload)
+        moving = build_scenario("moving-hotspot", seed=0, side=4, n_tasks=16)
+        assert isinstance(moving.dynamic, MovingHotspotWorkload)
+
+    def test_trace_replay_is_frozen_churn(self):
+        from repro.workloads.traces import TraceReplay
+
+        sc = build_scenario("trace-replay", seed=1, side=4, n_tasks=16)
+        assert isinstance(sc.dynamic, TraceReplay)
+        assert sc.dynamic.trace.n_arrivals > 0
+
+    def test_fault_storm_has_flaky_links(self):
+        sc = build_scenario("fault-storm", seed=0, side=4, n_tasks=16)
+        storm = sc.links.fault_prob > 0
+        assert 0 < storm.sum() < sc.topology.n_edges
+
+    def test_power_law_and_clustered_shapes(self):
+        import numpy as np
+
+        pl = build_scenario("power-law", seed=0, side=4, n_tasks=256)
+        sizes = pl.system.loads_array()
+        assert sizes.max() > 4 * np.median(sizes)
+        cl = build_scenario("clustered", seed=0, side=8)
+        assert (cl.system.node_loads > 0).sum() > 4
+
+    def test_registered_names_match_composed_equivalents(self):
+        # A registered name is sugar for its composed spelling.
+        sc = build_scenario("diurnal", seed=0, side=4, n_tasks=16)
+        assert sc.spec.canonical() == "mesh:side=4+uniform:n_tasks=16+diurnal"
+        assert sc.name == "diurnal"
