@@ -4,15 +4,17 @@
 Re-runs the ``benchmarks/bench_perf.py`` measurement and fails (exit 1)
 if any tracked rate — scalar or vectorised rounds/sec at each curve
 point, the long-run record-throughput rates (full and summary
-recording at N=1024 over 2000 rounds), or the event engine's
-rounds/sec and events/sec — regresses more than ``MAX_REGRESSION``
+recording at N=1024 over 2000 rounds), or the scalar/batched event
+engines' events/sec in both async regimes (hotspot transient and
+steady-state serving) — regresses more than ``MAX_REGRESSION``
 against ``benchmarks/results/BENCH_engine.json``, or if the vectorised
-speedup drops below the acceptance floor at N ≥ 1024, or if summary
-recording lags full recording by more than the bench's floor (that
-last check is machine-independent and rides inside ``measure()``
-itself). A failing attempt is retried (up to ``ATTEMPTS`` total) to
-absorb runner noise: one quiet pass is proof the code can still reach
-the rate.
+speedup drops below the acceptance floor at N ≥ 1024, or if the
+events-fast steady-state speedup drops below its ≥10x floor, or if
+summary recording lags full recording by more than the bench's floor
+(the last two are machine-independent and also ride inside
+``measure()`` itself). A failing attempt is retried (up to
+``ATTEMPTS`` total) to absorb runner noise: one quiet pass is proof
+the code can still reach the rate.
 
 Run from the repository root: ``python scripts/perf_gate.py``.
 Refresh the baseline after intentional perf changes with
@@ -58,8 +60,12 @@ def tracked_rates(payload: dict) -> dict[str, float]:
     if rt is not None:  # absent only in pre-recorder baselines
         rates[f"record_full_rps@N={rt['n_nodes']}"] = rt["full_rps"]
         rates[f"record_summary_rps@N={rt['n_nodes']}"] = rt["summary_rps"]
-    rates["events_rounds_per_sec"] = payload["events"]["rounds_per_sec"]
-    rates["events_events_per_sec"] = payload["events"]["events_per_sec"]
+    for tag, section in (("events", payload["events"]),
+                         ("events_steady", payload.get("events_steady"))):
+        if section is None:
+            continue  # absent only in pre-events-fast baselines
+        rates[f"{tag}_scalar_eps"] = section["scalar"]["events_per_sec"]
+        rates[f"{tag}_fast_eps"] = section["fast"]["events_per_sec"]
     return rates
 
 
@@ -72,7 +78,7 @@ def same_machine_class(baseline: dict, fresh: dict) -> bool:
 
 def check(baseline: dict, fresh: dict) -> list[str]:
     """Failure descriptions (empty = the attempt passes the gate)."""
-    from bench_perf import SPEEDUP_FLOOR, SPEEDUP_FROM_N
+    from bench_perf import ASYNC_SPEEDUP_FLOOR, SPEEDUP_FLOOR, SPEEDUP_FROM_N
 
     failures = []
     if same_machine_class(baseline, fresh):
@@ -100,6 +106,12 @@ def check(baseline: dict, fresh: dict) -> list[str]:
                 f"speedup@N={pt['n_nodes']}: {pt['speedup']:.1f}x < "
                 f"{SPEEDUP_FLOOR}x acceptance floor"
             )
+    steady = fresh["events_steady"]["speedup"]
+    if steady < ASYNC_SPEEDUP_FLOOR:
+        failures.append(
+            f"events_steady speedup: {steady:.1f}x < "
+            f"{ASYNC_SPEEDUP_FLOOR}x acceptance floor"
+        )
     return failures
 
 

@@ -8,13 +8,14 @@
 # Exercises the full stack: the unit/property/integration suite, an
 # 8-spec (scenario × algorithm × seed) grid across 2 worker processes,
 # a second invocation that must be served entirely from the result
-# cache, a 2-spec grid on the asynchronous event engine, a 2-spec
-# large-N grid (1024-node machines) on the vectorized rounds-fast
-# engine, a 2-spec grid under the O(1)-memory summary recorder
-# (which must not share cache entries with the full-recorded runs),
-# the scenario catalogue listing, a composed-scenario (component
-# grammar) grid on the fast path, and a 2-spec divisible-load grid on
-# the fluid engine.
+# cache, a 2-spec grid on the asynchronous event engine, a 2-spec grid
+# on its batched events-fast twin (distinct cache entries from the
+# scalar event runs), a 2-spec large-N grid (1024-node machines) on
+# the vectorized rounds-fast engine, a 2-spec grid under the
+# O(1)-memory summary recorder (which must not share cache entries
+# with the full-recorded runs), the scenario catalogue listing, a
+# composed-scenario (component grammar) grid on the fast path, and a
+# 2-spec divisible-load grid on the fluid engine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,6 +45,14 @@ python -m repro.cli run-grid --scenarios straggler --algorithms pplb diffusion \
     --seeds 1 --rounds 120 --engine events --cache-dir "$CACHE_DIR/cache" \
     | tee "$CACHE_DIR/events.out"
 grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/events.out"
+
+echo "==> events-fast grid (2 specs, batched async execution model)"
+# Same scenarios/seeds as the scalar event grid above: the engines must
+# never share cache entries, so these execute rather than replay.
+python -m repro.cli run-grid --scenarios straggler --algorithms pplb diffusion \
+    --seeds 1 --rounds 120 --engine events-fast --cache-dir "$CACHE_DIR/cache" \
+    | tee "$CACHE_DIR/events_fast.out"
+grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/events_fast.out"
 
 echo "==> vectorized fast-path grid (2 specs, 1024-node machines)"
 python -m repro.cli run-grid --scenarios torus-32x32 hotspot-scaled \
@@ -80,9 +89,13 @@ echo "==> cache stats / clear round-trip"
 # Capture to files rather than piping into grep -q: grep exiting early
 # would hand the CLI a broken pipe (and mask its exit status).
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
-grep -q "entries    : 18" "$CACHE_DIR/stats.out"
+grep -q "entries    : 20" "$CACHE_DIR/stats.out"
 grep -q "mean entry" "$CACHE_DIR/stats.out"
+grep -q "events-fast: 2" "$CACHE_DIR/stats.out"
+python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" --engine events-fast \
+    > "$CACHE_DIR/stats_filtered.out"
+grep -q "entries    : 2 (events-fast)" "$CACHE_DIR/stats_filtered.out"
 python -m repro.cli cache clear --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/clear.out"
-grep -q "removed 18 cached result" "$CACHE_DIR/clear.out"
+grep -q "removed 20 cached result" "$CACHE_DIR/clear.out"
 
 echo "==> smoke OK"

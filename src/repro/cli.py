@@ -30,11 +30,14 @@ validated at parse time (unknown components or parameters fail before
 anything runs).
 
 ``run``, ``compare`` and ``run-grid`` all accept ``--engine
-{rounds,rounds-fast,events,fluid}``: ``rounds`` is the paper's
-synchronous protocol, ``rounds-fast`` the same protocol through the
-vectorised large-N fast path (:class:`repro.sim.FastSimulator` —
+{rounds,rounds-fast,events,events-fast,fluid}``: ``rounds`` is the
+paper's synchronous protocol, ``rounds-fast`` the same protocol through
+the vectorised large-N fast path (:class:`repro.sim.FastSimulator` —
 identical records, so prefer it for big meshes), ``events`` the
-discrete-event asynchronous engine (:class:`repro.sim.EventSimulator`)
+discrete-event asynchronous engine (:class:`repro.sim.EventSimulator`),
+``events-fast`` the same asynchronous protocol through batched wake
+waves and columnar event buffers
+(:class:`repro.sim.EventFastSimulator` — identical records)
 and ``fluid`` the divisible-load engine
 (:class:`repro.sim.FluidSimulator`) over the scenario's initial
 per-node loads — it requires one of the fluid algorithms
@@ -209,14 +212,31 @@ def _human_bytes(n: int) -> str:
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
+        engine = getattr(args, "engine", None)
+        if engine is not None and engine not in ENGINES:
+            # Plain argparse choices would also catch this, but the
+            # filter deliberately shares the runner's diagnostic so an
+            # unknown name fails identically everywhere (pinned by
+            # tests/test_cli.py).
+            print(
+                f"error: unknown engine {engine!r}; available: {sorted(ENGINES)}",
+                file=sys.stderr,
+            )
+            return 2
         stats = cache.stats()
         print(f"cache root : {stats['root']}")
         if not stats["exists"]:
             print("(cache directory does not exist yet — nothing cached)")
             return 0
+        by_engine: dict = stats["by_engine"]
+        if engine is not None:
+            print(f"entries    : {by_engine.get(engine, 0)} ({engine})")
+            return 0
         print(f"entries    : {stats['entries']}")
         print(f"disk usage : {_human_bytes(int(stats['total_bytes']))}")
         print(f"mean entry : {_human_bytes(int(stats['mean_bytes']))}")
+        for name in sorted(by_engine):
+            print(f"  {name:<11}: {by_engine[name]}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached result(s) from {cache.root}")
@@ -271,7 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution model: synchronous rounds, the "
                             "vectorized rounds-fast path (identical results, "
                             "built for large N), the asynchronous "
-                            "discrete-event engine, or the divisible-load "
+                            "discrete-event engine, its batched events-fast "
+                            "twin (identical records), or the divisible-load "
                             "fluid engine (fluid-* algorithms only)")
         p.add_argument("--recorder", default="full", metavar="POLICY",
                        help="recording policy: 'full' (every round), "
@@ -345,6 +366,15 @@ def build_parser() -> argparse.ArgumentParser:
         p_cache_cmd = cache_sub.add_parser(name, help=blurb)
         p_cache_cmd.add_argument("--cache-dir", default=".pplb-cache",
                                  help="result cache directory")
+        if name == "stats":
+            # Deliberately not argparse `choices`: the filter validates
+            # against the runner's engine roster at run time so the
+            # diagnostic matches the runner's own (and stays in sync
+            # as engines are added).
+            p_cache_cmd.add_argument(
+                "--engine", default=None, metavar="ENGINE",
+                help="only count entries produced by this engine "
+                     f"({', '.join(sorted(ENGINES))})")
         p_cache_cmd.set_defaults(fn=cmd_cache)
 
     p_sc = sub.add_parser(

@@ -47,6 +47,13 @@ from repro.exceptions import ConfigurationError
 
 _EPS = 1e-12
 
+#: below this many candidates :meth:`StochasticArbiter.choose` runs a
+#: scalar Python path — identical IEEE operations in identical order,
+#: so the pick (and the RNG stream) is bitwise the same as the array
+#: path, without the per-call ufunc dispatch overhead that dominates
+#: the simulators' hot loops at graph degrees of ~4-8.
+_SMALL_M = 32
+
 
 class StochasticArbiter:
     """Annealed stochastic link chooser (§5.2).
@@ -135,12 +142,56 @@ class StochasticArbiter:
         return out
 
     def choose(self, scores: np.ndarray, t: float, rng: np.random.Generator) -> int:
-        """Pick one candidate index (into *scores*) by sequential trials."""
-        order, q = self.acceptance(scores, t)
-        draws = rng.random(order.shape[0])
-        hits = np.nonzero(draws < q)[0]
-        rank = int(hits[0]) if hits.shape[0] else 0
-        return int(order[rank])
+        """Pick one candidate index (into *scores*) by sequential trials.
+
+        Small candidate sets (the common case: one entry per graph
+        neighbor) take a scalar path that performs the exact same IEEE
+        float64 operations in the exact same order as
+        :meth:`acceptance` — including one ``rng.random(m)`` block draw
+        — so the choice and the RNG stream are bitwise identical to the
+        array path (asserted in ``tests/core/test_arbiter.py``).
+        """
+        if type(scores) is list:
+            vals = scores
+            m = len(vals)
+            if m == 0:
+                raise ConfigurationError("scores must be a non-empty 1-D array, got shape (0,)")
+        else:
+            a = np.asarray(scores, dtype=np.float64)
+            if a.ndim != 1 or a.shape[0] == 0:
+                raise ConfigurationError(
+                    f"scores must be a non-empty 1-D array, got shape {a.shape}"
+                )
+            m = a.shape[0]
+            if m > _SMALL_M:
+                order, q = self.acceptance(a, t)
+                draws = rng.random(m)
+                hits = np.nonzero(draws < q)[0]
+                rank = int(hits[0]) if hits.shape[0] else 0
+                return int(order[rank])
+            vals = a.tolist()
+        if t < 0:
+            raise ConfigurationError(f"time must be non-negative, got {t}")
+        # Stable descending order == np.argsort(-a, kind="stable").
+        order_s = sorted(range(m), key=vals.__getitem__, reverse=True)
+        top = vals[order_s[0]]
+        denom = (top - vals[order_s[-1]]) + _EPS
+        one_minus_b = 1.0 - self.beta0 * math.exp(-self.anneal_c * t / self.t_max)
+        floor = self.floor
+        one_minus_floor = 1.0 - floor
+        draws_s = rng.random(m).tolist()
+        pick = order_s[0]  # all trials rejected -> steepest
+        for k in range(m):
+            closeness = 1.0 - (top - vals[order_s[k]]) / denom
+            q_k = one_minus_b * (floor + one_minus_floor * closeness)
+            if q_k < 0.0:
+                q_k = 0.0
+            elif q_k > 1.0:
+                q_k = 1.0
+            if draws_s[k] < q_k:
+                pick = order_s[k]
+                break
+        return pick
 
 
 class GreedyArbiter(StochasticArbiter):

@@ -72,6 +72,21 @@ from repro.interfaces import BalanceContext, Balancer, Migration
 from repro.tasks.resources import ResourceMap
 from repro.tasks.task_graph import TaskGraph
 
+#: below this many candidate hops the Phase-A decision body uses plain
+#: Python lists instead of numpy fancy indexing: identical float64
+#: values flow into the arbiter (``tolist`` round-trips doubles
+#: exactly), so the decision — and the RNG stream — is unchanged while
+#: the per-call ufunc dispatch overhead disappears at typical graph
+#: degrees.
+_SMALL_DEG = 32
+
+#: below this many in-flight particles the Phase-A fast path decides
+#: each particle inline instead of batch-precomputing scores: the batch
+#: CSR gather has a fixed ~15-array-op setup cost that outweighs the
+#: per-particle work for small waves (the common case in the event
+#: engine, where most waves carry a handful of particles).
+_SMALL_WAVE = 64
+
 
 class _StepState:
     """Shared working state of one balancing round.
@@ -150,6 +165,7 @@ class ParticlePlaneBalancer(Balancer):
         else:
             self.arbiter = StochasticArbiter.from_config(self.config)
         self._motion: dict[int, MotionState] = {}
+        self._inv_s_ones: Optional[np.ndarray] = None
         self._cache: Optional[NeighborCache] = None
         self._friction: Optional[FrictionModel] = None
         self.stats: dict[str, float] = {}
@@ -195,7 +211,12 @@ class ParticlePlaneBalancer(Balancer):
         if cfg.speed_aware and ctx.node_speeds is not None:
             inv_s = 1.0 / np.asarray(ctx.node_speeds, dtype=np.float64)
         else:
-            inv_s = np.ones(ctx.topology.n_nodes)
+            # Read-only in every decision body, so one shared array
+            # serves all rounds of the homogeneous case.
+            inv_s = self._inv_s_ones
+            if inv_s is None or inv_s.shape[0] != ctx.topology.n_nodes:
+                inv_s = np.ones(ctx.topology.n_nodes)
+                self._inv_s_ones = inv_s
         s = _StepState(ctx, self._cache, self._friction, inv_s)
 
         if ctx.fast and cfg.friction_jitter == 0.0:
@@ -258,6 +279,43 @@ class ParticlePlaneBalancer(Balancer):
         """
         cfg = self.config
         h = s.h
+        if pre is None and len(s.cache.nbrs_l[cur]) <= _SMALL_DEG:
+            # Fully scalar path: the same IEEE float64 operations in the
+            # same order as the array expressions below — ``(c0·µk)·e``,
+            # ``(h* − drop) − h_j`` — so every score (and therefore the
+            # arbiter's pick and the RNG stream) is bitwise identical,
+            # without any per-neighbor ufunc dispatch.
+            js_l = s.cache.nbrs_l[cur]
+            eids_l = s.cache.eids_l[cur]
+            mu_k = s.friction.mu_k(s.system, s.topo, tid, cur) * self._jitter(s.t, s.rng)
+            cmu = cfg.c0 * mu_k
+            e = s.e
+            up = s.up
+            used = s.used
+            hstar = st.hstar
+            cand: list[tuple[int, int, float]] = []
+            scores_l = []
+            for k in range(len(js_l)):
+                eid = eids_l[k]
+                d = cmu * e[eid]
+                score = (hstar - d) - h[js_l[k]]
+                if score > 0.0 and up[eid] and not used[eid]:
+                    cand.append((js_l[k], eid, float(d)))
+                    scores_l.append(float(score))
+            if not cand:
+                self._settle(tid)
+                return
+            if cfg.motion_rule == "arbiter-settle":
+                scores_l.append(float(hstar - (h[cur] - load * s.inv_s[cur])))
+                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                if pick == len(cand):
+                    self._settle(tid)
+                    return
+            else:  # "energy-only": the paper's literal rule
+                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+            j, eid, drop = cand[pick]
+            self._finish_hop(s, tid, st, cur, load, j, eid, drop)
+            return
         if pre is None:
             js = s.cache.nbrs[cur]
             eids = s.cache.eids[cur]
@@ -267,28 +325,63 @@ class ParticlePlaneBalancer(Balancer):
             feasible = s.up[eids] & ~s.used[eids] & (hop_scores > 0.0)
         else:
             js, eids, drops, hop_scores, feasible = pre
-        idxs = np.nonzero(feasible)[0]
 
-        if idxs.shape[0] == 0:
-            self._settle(tid)
-            return
-
-        if cfg.motion_rule == "arbiter-settle":
-            settle_score = st.hstar - (h[cur] - load * s.inv_s[cur])
-            scores = np.concatenate([hop_scores[idxs], [settle_score]])
-            pick = self.arbiter.choose(scores, s.t, s.rng)
-            if pick == idxs.shape[0]:
+        if hop_scores.shape[0] <= _SMALL_DEG:
+            # List path: same float64 values (tolist round-trips doubles
+            # exactly), same arbiter inputs, same RNG stream.
+            feas = feasible.tolist()
+            idx_list = [k for k in range(len(feas)) if feas[k]]
+            if not idx_list:
                 self._settle(tid)
                 return
-            k = int(idxs[pick])
-        else:  # "energy-only": the paper's literal rule
-            pick = self.arbiter.choose(hop_scores[idxs], s.t, s.rng)
-            k = int(idxs[pick])
+            hs = hop_scores.tolist()
+            if cfg.motion_rule == "arbiter-settle":
+                settle_score = float(st.hstar - (h[cur] - load * s.inv_s[cur]))
+                scores_l = [hs[k] for k in idx_list]
+                scores_l.append(settle_score)
+                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                if pick == len(idx_list):
+                    self._settle(tid)
+                    return
+                k = idx_list[pick]
+            else:  # "energy-only": the paper's literal rule
+                pick = self.arbiter.choose([hs[k] for k in idx_list], s.t, s.rng)
+                k = idx_list[pick]
+        else:
+            idxs = np.nonzero(feasible)[0]
+            if idxs.shape[0] == 0:
+                self._settle(tid)
+                return
+            if cfg.motion_rule == "arbiter-settle":
+                settle_score = st.hstar - (h[cur] - load * s.inv_s[cur])
+                scores = np.concatenate([hop_scores[idxs], [settle_score]])
+                pick = self.arbiter.choose(scores, s.t, s.rng)
+                if pick == idxs.shape[0]:
+                    self._settle(tid)
+                    return
+                k = int(idxs[pick])
+            else:  # "energy-only": the paper's literal rule
+                pick = self.arbiter.choose(hop_scores[idxs], s.t, s.rng)
+                k = int(idxs[pick])
 
-        j = int(js[k])
-        eid = int(eids[k])
-        drop = float(drops[k])
-        heat = hop_heat_energy(cfg.g, load, drop)
+        self._finish_hop(
+            s, tid, st, cur, load, int(js[k]), int(eids[k]), float(drops[k])
+        )
+
+    def _finish_hop(
+        self,
+        s: _StepState,
+        tid: int,
+        st: MotionState,
+        cur: int,
+        load: float,
+        j: int,
+        eid: int,
+        drop: float,
+    ) -> None:
+        """Apply a chosen Phase-A hop: record, reserve, update surface."""
+        h = s.h
+        heat = hop_heat_energy(self.config.g, load, drop)
         st.record_hop(drop, heat, cur)
         s.migrations.append(Migration(tid, cur, j, heat))
         s.used[eid] = True
@@ -311,36 +404,76 @@ class ParticlePlaneBalancer(Balancer):
             if cfg.max_departures_per_node is not None
             else math.inf
         )
+        js_l = s.cache.nbrs_l[i]
+        eids_l = s.cache.eids_l[i]
+        small = len(js_l) <= _SMALL_DEG
         departures = 0
         for tid in system.largest_tasks_at(i, cfg.candidates_per_node):
             tid = int(tid)
             if tid in self._motion:
                 continue
             load = system.load_of(tid)
-            js = s.cache.nbrs[i]
-            eids = s.cache.eids[i]
-            avail = s.up[eids] & ~s.used[eids]
-            if not avail.any():
-                break  # no free links left at this node
-            mu_s, mu_k = s.friction.both(system, s.topo, tid, i)
-            jit = self._jitter(s.t, s.rng)
-            mu_s *= jit
-            mu_k *= jit
-            # (h_i − h_j − 2l)/e generalised to effective heights:
-            # moving l lowers h_i by l/s_i and raises h_j by l/s_j.
-            corrected = (h[i] - h[js] - load * (inv_s[i] + inv_s[js])) / e[eids]
-            feasible = avail & (corrected > mu_s)
-            idxs = np.nonzero(feasible)[0]
-            if idxs.shape[0] == 0:
-                continue
-            if cfg.arbiter_score == "corrected":
-                scores = corrected[idxs]
+            if small:
+                # Scalar path — the same IEEE operations in the same
+                # order as the array expressions in the else-branch, so
+                # slopes, arbiter inputs and the RNG stream are bitwise
+                # identical (see the Phase-A body).
+                avail_l = [s.up[eid] and not s.used[eid] for eid in eids_l]
+                if not any(avail_l):
+                    break  # no free links left at this node
+                mu_s, mu_k = s.friction.both(system, s.topo, tid, i)
+                jit = self._jitter(s.t, s.rng)
+                mu_s *= jit
+                mu_k *= jit
+                hi = h[i]
+                isi = inv_s[i]
+                uncorrected = cfg.arbiter_score != "corrected"
+                cand: list[tuple[int, int]] = []
+                scores_l = []
+                for k in range(len(js_l)):
+                    if not avail_l[k]:
+                        continue
+                    jj = js_l[k]
+                    eid = eids_l[k]
+                    # (h_i − h_j − 2l)/e generalised to effective
+                    # heights: moving l lowers h_i by l/s_i and raises
+                    # h_j by l/s_j.
+                    t_k = ((hi - h[jj]) - load * (isi + inv_s[jj])) / e[eid]
+                    if t_k > mu_s:
+                        cand.append((jj, eid))
+                        if uncorrected:
+                            scores_l.append(float((hi - h[jj]) / e[eid]))
+                        else:
+                            scores_l.append(float(t_k))
+                if not cand:
+                    continue
+                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                j, eid = cand[pick]
             else:
-                scores = (h[i] - h[js[idxs]]) / e[eids[idxs]]
-            pick = self.arbiter.choose(scores, s.t, s.rng)
-            k = int(idxs[pick])
-            j = int(js[k])
-            eid = int(eids[k])
+                js = s.cache.nbrs[i]
+                eids = s.cache.eids[i]
+                avail = s.up[eids] & ~s.used[eids]
+                if not avail.any():
+                    break  # no free links left at this node
+                mu_s, mu_k = s.friction.both(system, s.topo, tid, i)
+                jit = self._jitter(s.t, s.rng)
+                mu_s *= jit
+                mu_k *= jit
+                # (h_i − h_j − 2l)/e generalised to effective heights:
+                # moving l lowers h_i by l/s_i and raises h_j by l/s_j.
+                corrected = (h[i] - h[js] - load * (inv_s[i] + inv_s[js])) / e[eids]
+                feasible = avail & (corrected > mu_s)
+                idxs = np.nonzero(feasible)[0]
+                if idxs.shape[0] == 0:
+                    continue
+                if cfg.arbiter_score == "corrected":
+                    scores = corrected[idxs]
+                else:
+                    scores = (h[i] - h[js[idxs]]) / e[eids[idxs]]
+                pick = self.arbiter.choose(scores, s.t, s.rng)
+                k = int(idxs[pick])
+                j = int(js[k])
+                eid = int(eids[k])
             drop = hop_height_drop(cfg.c0, mu_k, float(e[eid]))
             heat = hop_heat_energy(cfg.g, load, drop)
             st = MotionState(
@@ -394,7 +527,11 @@ class ParticlePlaneBalancer(Balancer):
         if not active:
             return
         cache = s.cache
-        if s.topo.n_edges == 0:
+        if s.topo.n_edges == 0 or len(active) <= _SMALL_WAVE:
+            # Tiny batches: the inline body is bitwise-equal to the
+            # batch precomputation (same operands, same order — that is
+            # what lets the batch feed `pre` at all), so skipping the
+            # fixed-cost CSR gather changes nothing but speed.
             for tid, st in active:
                 self._phase_a_decide(
                     s, tid, st, system.location_of(tid), system.load_of(tid)
@@ -496,24 +633,33 @@ class ParticlePlaneBalancer(Balancer):
         were empty at the sort but received load mid-phase are handled
         by walking the zero-height tail in order, as the scalar loop
         does.
+
+        When the screen admits *no* node at all the phase exits before
+        even sorting: with zero decisions the surface cannot change, so
+        the re-queue heap and the zero-height tail are provably empty
+        too (a screened node needs ``h_i > 0``, hence the tail's first
+        node would break immediately). This makes a fully balanced wave
+        — the steady-state common case in the event engine — one array
+        expression, which is where the ``events-fast`` throughput floor
+        comes from.
         """
         topo = s.topo
         cache = s.cache
         h = s.h
         n = topo.n_nodes
+        if topo.n_edges == 0:
+            return  # no links: no initiation anywhere, no surface change
+        floor = s.system.candidate_floor(self.config.candidates_per_node)
+        opt = corrected_slopes_flat(h, floor, s.inv_s, s.e, cache)
+        ok = s.up[cache.flat_eids] & ~s.used[cache.flat_eids]
+        ok &= opt > self.config.mu_s_base
+        if not ok.any():
+            return  # every wake this wave is a no-effect, no-RNG visit
         node_order = np.argsort(-h, kind="stable")
         n_pos = int(np.count_nonzero(h > 0.0))
-
-        if n_pos and topo.n_edges:
-            floor = s.system.candidate_floor(self.config.candidates_per_node)
-            opt = corrected_slopes_flat(h, floor, s.inv_s, s.e, cache)
-            ok = s.up[cache.flat_eids] & ~s.used[cache.flat_eids]
-            ok &= opt > self.config.mu_s_base
-            screened = np.zeros(n, dtype=bool)
-            screened[cache.flat_rows[ok]] = True
-            static_rs = np.nonzero(screened[node_order[:n_pos]])[0]
-        else:
-            static_rs = np.empty(0, dtype=np.int64)
+        screened = np.zeros(n, dtype=bool)
+        screened[cache.flat_rows[ok]] = True
+        static_rs = np.nonzero(screened[node_order[:n_pos]])[0]
 
         pos_of = np.empty(n, dtype=np.int64)
         pos_of[node_order] = np.arange(n)

@@ -99,6 +99,12 @@ class NeighborCache:
         self.eids: list[np.ndarray] = [
             csr.incident_edges(i) for i in range(topology.n_nodes)
         ]
+        # Plain-list mirrors of the per-node rows: the balancers' scalar
+        # decision bodies iterate neighbors one at a time, where Python
+        # list indexing beats per-element ndarray access by ~3x. Built
+        # once per topology; contents never change.
+        self.nbrs_l: list[list[int]] = [a.tolist() for a in self.nbrs]
+        self.eids_l: list[list[int]] = [a.tolist() for a in self.eids]
 
     def degree(self, node: int) -> int:
         """Number of incident links of *node*."""

@@ -98,13 +98,16 @@ class ResultCache:
         """On-disk usage summary (``pplb cache stats``).
 
         Returns ``root``, whether it exists, entry count, total payload
-        bytes and the mean entry size — everything needed to decide
-        whether the cache is worth keeping or due a :meth:`clear`, and
-        the number that makes a wire-format change (e.g. the columnar
-        round log) visible on disk.
+        bytes, the mean entry size and a per-engine entry breakdown
+        (``by_engine``, read from each entry's stored spec; entries
+        whose spec cannot be read count under ``"(unreadable)"``) —
+        everything needed to decide whether the cache is worth keeping
+        or due a :meth:`clear`, and the number that makes a wire-format
+        change (e.g. the columnar round log) visible on disk.
         """
         entries = 0
         total_bytes = 0
+        by_engine: dict[str, int] = {}
         if self.root.is_dir():
             for path in self.root.glob("*/*.json"):
                 try:
@@ -112,12 +115,20 @@ class ResultCache:
                 except OSError:
                     continue  # entry vanished mid-scan
                 entries += 1
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        spec = json.load(fh).get("spec") or {}
+                    engine = str(spec.get("engine", "rounds"))
+                except (OSError, json.JSONDecodeError, AttributeError):
+                    engine = "(unreadable)"
+                by_engine[engine] = by_engine.get(engine, 0) + 1
         return {
             "root": str(self.root),
             "exists": self.root.is_dir(),
             "entries": entries,
             "total_bytes": total_bytes,
             "mean_bytes": total_bytes / entries if entries else 0.0,
+            "by_engine": by_engine,
             "hits": self.hits,
             "misses": self.misses,
         }

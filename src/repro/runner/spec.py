@@ -33,7 +33,7 @@ from repro.exceptions import ConfigurationError
 from repro.rng import seed_for
 
 #: execution models a spec may request (see :mod:`repro.runner.worker`).
-ENGINES = frozenset({"rounds", "rounds-fast", "events", "fluid"})
+ENGINES = frozenset({"rounds", "rounds-fast", "events", "events-fast", "fluid"})
 
 
 @dataclass
@@ -74,7 +74,10 @@ class RunSpec:
         :class:`~repro.sim.FastSimulator`'s vectorised large-N path —
         identical records, so large grids should prefer it),
         ``"events"`` (the asynchronous
-        :class:`~repro.sim.EventSimulator`) or ``"fluid"`` (the
+        :class:`~repro.sim.EventSimulator`), ``"events-fast"`` (the
+        same asynchronous protocol through
+        :class:`~repro.sim.EventFastSimulator`'s batched wake waves
+        and columnar event buffers — identical records) or ``"fluid"`` (the
         divisible-load :class:`~repro.sim.FluidSimulator`; requires a
         fluid algorithm). The fluid engine is a *projection*: it
         simulates the scenario's initial per-node load surface in the

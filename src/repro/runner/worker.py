@@ -12,7 +12,9 @@ is what licenses the content-addressed cache.
 synchronous :class:`~repro.sim.Simulator`, ``"rounds-fast"`` its
 vectorised twin :class:`~repro.sim.FastSimulator` (identical records,
 array fast path for large N), ``"events"`` the asynchronous
-:class:`~repro.sim.EventSimulator`. The task engines receive whatever
+:class:`~repro.sim.EventSimulator` and ``"events-fast"`` its batched
+twin :class:`~repro.sim.EventFastSimulator` (identical records,
+columnar event buffers). The task engines receive whatever
 extras the scenario carries (per-node speeds, a churn process), so a
 scenario means the same workload under any of them. ``"fluid"`` builds
 the divisible-load :class:`~repro.sim.FluidSimulator` over the
@@ -28,9 +30,11 @@ the bytes that would be written to the cache.
 
 from __future__ import annotations
 
+from repro.exceptions import ConfigurationError
 from repro.runner.registry import make_balancer
 from repro.runner.spec import RunSpec
 from repro.sim import (
+    EventFastSimulator,
     EventSimulator,
     FastSimulator,
     FluidSimulator,
@@ -45,6 +49,7 @@ _ENGINE_CLASSES = {
     "rounds": Simulator,
     "rounds-fast": FastSimulator,
     "events": EventSimulator,
+    "events-fast": EventFastSimulator,
 }
 
 
@@ -63,7 +68,15 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
             **spec.sim_kwargs,
         )
         return sim.run(max_rounds=spec.max_rounds)
-    engine_cls = _ENGINE_CLASSES[spec.engine]
+    engine_cls = _ENGINE_CLASSES.get(spec.engine)
+    if engine_cls is None:
+        # RunSpec validates eagerly, but specs rebuilt from hand-edited
+        # JSON (or a stale cache manifest) can still carry names this
+        # build does not know — fail with the roster, not a KeyError.
+        raise ConfigurationError(
+            f"unknown engine {spec.engine!r}; available: "
+            f"{sorted([*_ENGINE_CLASSES, 'fluid'])}"
+        )
     # Scenario-carried extras are defaults; explicit sim_kwargs win (a
     # spec may legitimately override e.g. node_speeds or dynamic).
     sim_kwargs: dict = {

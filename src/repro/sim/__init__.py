@@ -16,6 +16,10 @@ start; balancers observe the state and order one-hop migrations.
   stragglers), latency-delayed transfers, results sampled at epoch
   boundaries. Degenerates exactly to :class:`Simulator` under unit
   clocks / zero latency / uniform cadence.
+* :class:`EventFastSimulator` — the same asynchronous protocol with the
+  vectorised fast path enabled and columnar event buffers
+  (``engine="events-fast"``); differentially tested to reproduce
+  :class:`EventSimulator` bit for bit on every clock model.
 * :class:`FluidSimulator` — divisible-load simulation for the diffusion-
   family theory checks.
 * :mod:`kernel <repro.sim.kernel>` — the shared
@@ -31,7 +35,8 @@ start; balancers observe the state and order one-hop migrations.
 """
 
 from repro.sim.engine import FastSimulator, FluidSimulator, Simulator
-from repro.sim.events import EventSimulator
+from repro.sim.event_buffers import ArrivalBuffer, WakeSchedule
+from repro.sim.events import EventFastSimulator, EventSimulator
 from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop
 from repro.sim.metrics import (
     coefficient_of_variation,
@@ -53,7 +58,10 @@ __all__ = [
     "Simulator",
     "FastSimulator",
     "EventSimulator",
+    "EventFastSimulator",
     "FluidSimulator",
+    "WakeSchedule",
+    "ArrivalBuffer",
     "SimulationLoop",
     "RoundDriver",
     "RoundStats",

@@ -50,6 +50,20 @@ degenerates to the synchronous protocol and :meth:`EventSimulator.run`
 reproduces :meth:`Simulator.run` exactly (same seed ⇒ identical
 per-round records). ``tests/sim/test_event_equivalence.py`` holds this
 as a property, not a hope.
+
+:class:`EventFastSimulator` (the ``events-fast`` engine) is the PR 3
+vectorisation playbook applied to this engine: the same continuous-time
+protocol with the per-event Python object churn removed. Wake
+scheduling and in-flight transfers live in columnar NumPy buffers
+(:mod:`repro.sim.event_buffers`) instead of a tuple heap, and every
+balancing wave runs with ``BalanceContext.fast`` set, so balancers with
+a batched step (PPLB) screen no-effect work through whole-graph CSR
+array expressions before entering their scalar decision bodies.
+Skipped work is exactly no-effect, no-RNG work, so ``events-fast``
+reproduces the scalar event engine bit for bit — records, RNG state,
+final loads — across every clock model (jitter, stragglers, cadence,
+latency); ``tests/sim/test_events_fast_equivalence.py`` holds the full
+differential suite.
 """
 
 from __future__ import annotations
@@ -66,6 +80,7 @@ from repro.network.links import LinkAttributes, link_costs
 from repro.network.topology import Topology
 from repro.rng import RngLike, derive, ensure_rng
 from repro.sim.engine import ConvergenceCriteria
+from repro.sim.event_buffers import ArrivalBuffer, WakeSchedule
 from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop, TaskStateMixin
 from repro.sim.recording import RecorderSpec
 from repro.sim.results import SimulationResult
@@ -488,3 +503,169 @@ class EventSimulator(TaskStateMixin, RoundDriver):
         in the synchronous engine.
         """
         return self._loop.run(max_rounds)
+
+
+class EventFastSimulator(EventSimulator):
+    """The ``events-fast`` engine: :class:`EventSimulator`, vectorised.
+
+    Two changes, both pure evaluation-order optimisations:
+
+    * Every :class:`~repro.interfaces.BalanceContext` carries
+      ``fast=True``, so balancers with a batched step (PPLB) screen
+      no-effect wakes — the ``candidate_floor`` × ``mu_s_base``
+      monotone bound plus the batched Phase-A feasibilities — before
+      entering their scalar decision bodies. The screen is sound (it
+      only skips work the scalar sweep would have done with no effect
+      and no RNG use), and a balancer whose configuration it cannot
+      screen soundly (friction jitter draws RNG per *evaluated*
+      candidate) detects that itself and falls back to the scalar
+      decision path, keeping equivalence rather than speed.
+    * The per-event tuple heap is replaced by the columnar stores of
+      :mod:`repro.sim.event_buffers`: a :class:`WakeSchedule` (one
+      next-wake slot per node; a same-instant wave is one vectorised
+      compare-and-gather) and an :class:`ArrivalBuffer` (in-flight
+      transfers as parallel columns). Both consume events in the
+      heap's exact ``(time, priority, insertion)`` order, and jitter
+      draws still happen one per rescheduled wake in wave order, so
+      the clock RNG stream is untouched.
+
+    The engine therefore reproduces :class:`EventSimulator` bit for bit
+    on every configuration — records, RNG state, final loads, event
+    counts (``tests/sim/test_events_fast_equivalence.py`` is the
+    differential anchor) — while running the large-N async studies an
+    order of magnitude faster (the ``events_fast`` block of
+    ``benchmarks/results/BENCH_engine.json``).
+    """
+
+    def _context(
+        self, epoch_index: int, up_mask: np.ndarray, awake: Optional[np.ndarray]
+    ) -> BalanceContext:
+        ctx = super()._context(epoch_index, up_mask, awake)
+        ctx.fast = True
+        return ctx
+
+    def _push(self, when: float, priority: int, payload) -> None:
+        """Route events into the columnar stores (no heap exists here).
+
+        The only events pushed from shared code paths are the
+        latency-delayed arrivals scheduled by :meth:`_apply`; wakes and
+        epoch markers are handled inline by :meth:`play_round`.
+        """
+        if priority != _ARRIVAL:  # pragma: no cover - engine invariant
+            raise SimulationError(
+                f"events-fast scheduled a non-arrival event (priority {priority})"
+            )
+        tid, dest = payload
+        self._arrivals.push(when, tid, dest)
+
+    # ------------------------- kernel driver hooks -------------------- #
+
+    def prepare(self, reset: bool) -> int:
+        """Full reset, landing any leftover in-flight transfers first
+        (the columnar analogue of the scalar engine's heap drain)."""
+        self.balancer.reset(self._context(0, self._all_up, None))
+        self.events_processed = 0
+        self.wakes_per_node[:] = 0
+        arrivals = getattr(self, "_arrivals", None)
+        if arrivals is not None:
+            for tid, dest in arrivals.drain_in_order():
+                if self.system.is_alive(tid):
+                    self.system.deliver(tid, dest)
+        self._arrivals = ArrivalBuffer()
+        self._wakes = WakeSchedule(self.topology.n_nodes)
+        self._epoch_index = 0
+        self._ep_applied = 0
+        self._ep_work = 0.0
+        self._ep_heat = 0.0
+        self._ep_blocked = 0
+        self._ep_asleep = 0
+        self._ep_link_used = np.zeros(self.topology.n_edges, dtype=np.int64)
+        self._up_mask = self._all_up
+        return 0
+
+    def play_round(self, round_index: int) -> RoundStats:
+        """Drain the columnar event stores through epoch *round_index*.
+
+        Identical schedule to the scalar :meth:`EventSimulator.play_round`:
+        each iteration consumes the lexicographically smallest
+        ``(time, priority)`` event among the pending wakes, arrivals and
+        this epoch's begin/churn/end markers. Priorities are distinct
+        per candidate class, so the minimum is unambiguous and equals
+        the heap's pop order; insertion ranks inside the stores
+        reproduce the heap's sequence-number tie-break.
+        """
+        when = round_index * self.epoch
+        if round_index == 0:
+            self._wakes.schedule_all(0.0)
+        wakes = self._wakes
+        arrivals = self._arrivals
+        system = self.system
+        begin_pending = True
+        churn_pending = self.dynamic is not None
+
+        while True:
+            t, priority = when, _EPOCH_END
+            if churn_pending:
+                t, priority = when, _CHURN
+            ta = arrivals.peek_time()
+            if (ta, _ARRIVAL) < (t, priority):
+                t, priority = ta, _ARRIVAL
+            if begin_pending and (when, _EPOCH_BEGIN) < (t, priority):
+                t, priority = when, _EPOCH_BEGIN
+            tw = wakes.peek_time()
+            if (tw, _WAKE) < (t, priority):
+                t, priority = tw, _WAKE
+
+            self.now = t
+
+            if priority == _WAKE:
+                wave = wakes.pop_wave(t)
+                nodes = [int(node) for node in wave]
+                self.events_processed += len(nodes)
+                self._wave(t, nodes, self._up_mask)
+                if self._clock_rng is None:
+                    wakes.schedule(wave, t + self._periods[wave])
+                else:
+                    # One jitter draw per rescheduled wake, in wave
+                    # order — the scalar re-push loop's RNG sequence.
+                    jittered = np.empty(len(nodes), dtype=np.float64)
+                    for k, node in enumerate(nodes):
+                        jittered[k] = t + self._next_period(node)
+                    wakes.schedule(wave, jittered)
+
+            elif priority == _ARRIVAL:
+                self.events_processed += 1
+                tid, dest = arrivals.pop_earliest()
+                if system.is_alive(tid):  # may have completed on the wire
+                    system.deliver(tid, dest)
+
+            elif priority == _EPOCH_BEGIN:
+                self.events_processed += 1
+                begin_pending = False
+                self._epoch_index = round_index
+                if self.fault_model is not None:
+                    self.fault_model.advance(round_index)
+                    self._up_mask = self.fault_model.up_mask()
+
+            elif priority == _CHURN:
+                self.events_processed += 1
+                churn_pending = False
+                self._churn()
+
+            else:  # _EPOCH_END — the kernel's observation point
+                self.events_processed += 1
+                stats = RoundStats(
+                    applied=self._ep_applied,
+                    work=self._ep_work,
+                    heat=self._ep_heat,
+                    blocked=self._ep_blocked,
+                    asleep=self._ep_asleep,
+                    n_tasks=system.n_tasks,
+                )
+                self._ep_applied = 0
+                self._ep_work = 0.0
+                self._ep_heat = 0.0
+                self._ep_blocked = 0
+                self._ep_asleep = 0
+                self._ep_link_used[:] = 0
+                return stats

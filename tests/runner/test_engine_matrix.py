@@ -3,14 +3,14 @@
 Each cell builds the scenario, runs 5 rounds under the ``summary``
 recorder and checks the result shape — so every component (placements,
 links, heterogeneity, dynamics) is exercised through the full
-spec → worker → engine → recorder stack on all four execution models.
+spec → worker → engine → recorder stack on all five execution models.
 Sizes are overridden down through the legacy shared-kwargs path to keep
 the matrix cheap.
 """
 
 import pytest
 
-from repro.runner import RunSpec, execute_spec
+from repro.runner import ResultCache, RunSpec, execute_spec, run_grid
 from repro.workloads import SCENARIOS
 
 def small_kwargs(scenario: str) -> dict:
@@ -25,7 +25,7 @@ def small_kwargs(scenario: str) -> dict:
         return {"dim": 3, "n_tasks": 32}
     return {"side": 4, "n_tasks": 32}
 
-TASK_ENGINES = ("rounds", "rounds-fast", "events")
+TASK_ENGINES = ("rounds", "rounds-fast", "events", "events-fast")
 
 #: the genuinely new compositions the refactor ships (acceptance:
 #: each must run under all four engines).
@@ -101,3 +101,44 @@ def test_fully_dressed_composed_string_runs_everywhere(engine):
                    max_rounds=5, engine=engine, recorder="summary")
     result = execute_spec(spec)
     assert 1 <= result.n_rounds <= 5
+
+
+class TestEventsFastCaching:
+    """The fifth engine through the cached runner stack."""
+
+    BASE = dict(algorithm="pplb", seed=5, max_rounds=15,
+                scenario_kwargs={"side": 5, "n_tasks": 60})
+
+    def test_cache_round_trip(self, tmp_path):
+        # Run → populate → replay: the second pass must be a pure cache
+        # hit whose payload equals the freshly executed one.
+        cache = ResultCache(tmp_path)
+        specs = [RunSpec(scenario="torus-hotspot", engine="events-fast",
+                         **self.BASE)]
+        first = run_grid(specs, cache=cache)
+        assert not first[0].cached
+        second = run_grid(specs, cache=cache)
+        assert second[0].cached
+        a = first[0].result.to_dict()
+        b = second[0].result.to_dict()
+        a.pop("wall_time_s")
+        b.pop("wall_time_s")
+        assert a == b
+
+    def test_engines_never_share_cache_entries(self):
+        keys = {
+            RunSpec(scenario="torus-hotspot", engine=e, **self.BASE).key()
+            for e in TASK_ENGINES
+        }
+        assert len(keys) == len(TASK_ENGINES)
+
+    def test_old_events_cache_keys_are_untouched(self):
+        # Adding the fifth engine must not re-key existing caches: the
+        # canonical encoding (and the library version) of an "events"
+        # spec is exactly what it was before events-fast existed.
+        spec = RunSpec("torus-hotspot", "pplb", seed=1, max_rounds=5,
+                       scenario_kwargs={"side": 4, "n_tasks": 32},
+                       engine="events")
+        assert spec.key() == (
+            "ede32026076c6f25adf75c58115adbab8463d52df711533a06d1fefd6f74f792"
+        )

@@ -38,6 +38,7 @@ class TestRunSpec:
             {"sim_kwargs": {"link_capacity": 2}},
             {"engine": "events"},
             {"engine": "rounds-fast"},
+            {"engine": "events-fast"},
             {"recorder": "summary"},
             {"recorder": "thin:5"},
         ],
@@ -101,6 +102,23 @@ class TestRunSpec:
         fast = RunSpec(**base, engine="rounds-fast")
         assert rounds.key() != fast.key()
         a = execute_spec(rounds).to_dict()
+        b = execute_spec(fast).to_dict()
+        a.pop("wall_time_s")
+        b.pop("wall_time_s")
+        assert a == b
+
+    def test_events_fast_engine_dispatches_and_matches_events(self):
+        # Same anchor for the async pair: "events-fast" reproduces
+        # "events" exactly through the spec layer, with distinct keys.
+        from repro.runner import execute_spec
+
+        base = dict(scenario="torus-hotspot", algorithm="pplb", seed=4,
+                    max_rounds=40, scenario_kwargs={"side": 5, "n_tasks": 100},
+                    sim_kwargs={"wake_jitter": 0.25})
+        events = RunSpec(**base, engine="events")
+        fast = RunSpec(**base, engine="events-fast")
+        assert events.key() != fast.key()
+        a = execute_spec(events).to_dict()
         b = execute_spec(fast).to_dict()
         a.pop("wall_time_s")
         b.pop("wall_time_s")

@@ -1,0 +1,162 @@
+"""The events ≡ events-fast bit-exactness anchor (PR 6's key property).
+
+:class:`~repro.sim.EventFastSimulator` replays the scalar event
+engine's schedule through batched wake waves, the no-effect screen and
+columnar event buffers. None of that is allowed to show up in the
+results: same seed ⇒ identical per-round records (every float),
+identical final load vectors, identical ``events_processed`` *and*
+identical terminal RNG state — the strongest available witness that the
+fast path skipped only work that draws no randomness and changes no
+state. Unlike the sync ≡ async anchor, this property must hold on
+*every* clock model (jitter, latency, stragglers, churn), because
+events-fast is a reimplementation of the same engine, not a degenerate
+configuration of it.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import ParticlePlaneBalancer
+from repro.runner.registry import make_balancer
+from repro.sim import EventFastSimulator, EventSimulator, Simulator
+from repro.workloads import build_scenario
+
+#: ≥6 scenarios covering churn (``bursty-arrivals``), heterogeneous
+#: clocks (``straggler``), link failure (``fault-storm``) and plain
+#: static surfaces, × the 4 algorithm families (stateful PPLB,
+#: memoryless diffusion, stochastic stealing, gradient fields).
+SCENARIOS = [
+    "mesh-hotspot",
+    "torus-hotspot",
+    "mesh-two-valleys",
+    "bursty-arrivals",
+    "straggler",
+    "fault-storm",
+]
+ALGORITHMS = ["pplb", "diffusion", "work-stealing", "gradient-model"]
+SIZE = {"side": 6, "n_tasks": 180}
+
+#: asynchronous clock/wire models; each scenario × algorithm cell runs
+#: one of these (rotating) so the grid covers unit clocks, jittered
+#: clocks, latency-delayed transfers and their combination without
+#: quadrupling the suite.
+CLOCK_VARIANTS = [
+    {},
+    {"wake_jitter": 0.3},
+    {"transfer_latency": 0.4},
+    {"wake_jitter": 0.2, "transfer_latency": 0.4},
+]
+
+
+def _run(engine_cls, scenario_name, algorithm, seed, balancer=None, **sim_kwargs):
+    scenario = build_scenario(scenario_name, seed=seed, **SIZE)
+    sim = engine_cls(
+        scenario.topology,
+        scenario.system,
+        balancer if balancer is not None else make_balancer(algorithm),
+        links=scenario.links,
+        dynamic=scenario.dynamic,
+        node_speeds=scenario.node_speeds,
+        seed=seed,
+        **sim_kwargs,
+    )
+    result = sim.run(max_rounds=50)
+    return result, np.array(scenario.system.node_loads), sim
+
+
+def _assert_bit_identical(scenario, algorithm, seed=7, **sim_kwargs):
+    s_res, s_loads, s_sim = _run(
+        EventSimulator, scenario, algorithm, seed, **sim_kwargs
+    )
+    f_res, f_loads, f_sim = _run(
+        EventFastSimulator, scenario, algorithm, seed, **sim_kwargs
+    )
+    # Identical per-round records — every field, every float.
+    assert [asdict(r) for r in s_res.records] == [asdict(r) for r in f_res.records]
+    assert s_res.converged_round == f_res.converged_round
+    assert s_res.final_summary == f_res.final_summary
+    # Identical final placement.
+    assert (s_loads == f_loads).all()
+    # Identical event count and terminal RNG state: the fast path
+    # consumed exactly the same randomness in exactly the same order.
+    assert s_sim.events_processed == f_sim.events_processed
+    assert s_sim.rng.bit_generator.state == f_sim.rng.bit_generator.state
+
+
+class TestEventsFastEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_bit_identical_across_scenarios_and_algorithms(self, scenario, algorithm):
+        # Rotate the clock variant so the full grid covers every
+        # asynchrony model while each cell stays one paired run.
+        variant = CLOCK_VARIANTS[
+            (SCENARIOS.index(scenario) + ALGORITHMS.index(algorithm))
+            % len(CLOCK_VARIANTS)
+        ]
+        _assert_bit_identical(scenario, algorithm, **variant)
+
+    @pytest.mark.parametrize(
+        "variant", CLOCK_VARIANTS, ids=["unit", "jitter", "latency", "jitter+latency"]
+    )
+    def test_every_clock_model_on_the_anchor_scenario(self, variant):
+        _assert_bit_identical("torus-hotspot", "pplb", **variant)
+
+    def test_equivalence_holds_across_seeds(self):
+        for seed in (0, 1, 2):
+            _assert_bit_identical(
+                "mesh-hotspot", "pplb", seed=seed, wake_jitter=0.25
+            )
+
+    def test_matches_sync_engine_under_unit_clocks(self):
+        # Transitivity anchor: events-fast ≡ events ≡ rounds in the
+        # degenerate configuration, so the fast engine inherits the
+        # sync ≡ async certificate too.
+        sync_res, sync_loads, _ = _run(Simulator, "mesh-hotspot", "pplb", seed=11)
+        fast_res, fast_loads, _ = _run(
+            EventFastSimulator, "mesh-hotspot", "pplb", seed=11
+        )
+        assert [asdict(r) for r in sync_res.records] == [
+            asdict(r) for r in fast_res.records
+        ]
+        assert (sync_loads == fast_loads).all()
+
+
+class TestScalarFallback:
+    """Friction jitter draws RNG per *evaluated* candidate — work the
+    batch screen elides — so jittered-friction configs must fall back
+    to the scalar decision loops (and stay bit-exact through them)."""
+
+    def test_jittered_friction_stays_bit_exact(self):
+        balancer_kwargs = {"friction_jitter": 0.05}
+        s_res, s_loads, s_sim = _run(
+            EventSimulator, "torus-hotspot", "pplb", 7,
+            balancer=make_balancer("pplb", **balancer_kwargs),
+        )
+        f_res, f_loads, f_sim = _run(
+            EventFastSimulator, "torus-hotspot", "pplb", 7,
+            balancer=make_balancer("pplb", **balancer_kwargs),
+        )
+        assert [asdict(r) for r in s_res.records] == [
+            asdict(r) for r in f_res.records
+        ]
+        assert (s_loads == f_loads).all()
+        assert s_sim.rng.bit_generator.state == f_sim.rng.bit_generator.state
+
+    def test_fallback_is_actually_taken(self, monkeypatch):
+        # Prove the gate routes around the batch phases rather than the
+        # batch phases happening to agree: poison them and check the
+        # jittered run never touches them while the unjittered run does.
+        def _boom(self, s):
+            raise AssertionError("batch phase used despite friction jitter")
+
+        monkeypatch.setattr(ParticlePlaneBalancer, "_phase_a_fast", _boom)
+        monkeypatch.setattr(ParticlePlaneBalancer, "_phase_b_fast", _boom)
+        result, _, _ = _run(
+            EventFastSimulator, "torus-hotspot", "pplb", 7,
+            balancer=make_balancer("pplb", friction_jitter=0.05),
+        )
+        assert result.records  # ran to completion on the scalar path
+        with pytest.raises(AssertionError, match="batch phase"):
+            _run(EventFastSimulator, "torus-hotspot", "pplb", 7)

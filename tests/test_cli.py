@@ -111,6 +111,52 @@ class TestEngineFlag:
         out = capsys.readouterr().out
         assert "1 specs: 1 executed, 0 from cache" in out
 
+    def test_run_with_events_fast_engine(self, capsys):
+        rc = main(["run", "--scenario", "torus-hotspot", "--algorithm", "pplb",
+                   "--rounds", "40", "--seed", "1", "--engine", "events-fast"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events-fast engine" in out
+
+
+class TestCacheStats:
+    GRID = ["run-grid", "--scenarios", "mesh-hotspot", "--algorithms",
+            "diffusion", "--seeds", "1", "--rounds", "30"]
+
+    def test_stats_break_entries_down_by_engine(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.GRID + ["--engine", "events-fast",
+                                 "--cache-dir", cache_dir]) == 0
+        assert main(self.GRID + ["--engine", "rounds",
+                                 "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 2" in out
+        assert "events-fast: 1" in out
+        assert "rounds     : 1" in out
+
+    def test_stats_engine_filter(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.GRID + ["--engine", "events-fast",
+                                 "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--engine", "events-fast"]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1 (events-fast)" in out
+
+    def test_stats_unknown_engine_is_a_clean_error(self, capsys, tmp_path):
+        # Pinned diagnostic: an unknown engine name must fail with the
+        # runner's roster message, never a KeyError/traceback.
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path / "cache"),
+                   "--engine", "warp"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert ("error: unknown engine 'warp'; available: "
+                "['events', 'events-fast', 'fluid', 'rounds', 'rounds-fast']"
+                ) in err
+
 
 class TestRecorderFlag:
     def test_recorder_defaults_to_full(self):
