@@ -4,15 +4,18 @@
 Re-runs the ``benchmarks/bench_perf.py`` measurement and fails (exit 1)
 if any tracked rate — scalar or vectorised rounds/sec at each curve
 point, the long-run record-throughput rates (full and summary
-recording at N=1024 over 2000 rounds), or the scalar/batched event
-engines' events/sec in both async regimes (hotspot transient and
-steady-state serving) — regresses more than ``MAX_REGRESSION``
-against ``benchmarks/results/BENCH_engine.json``, or if the vectorised
+recording at N=1024 over 2000 rounds), the null/counters-probe rates
+at N=1024, or the scalar/batched event engines' events/sec in both
+async regimes (hotspot transient and steady-state serving) — regresses
+more than ``MAX_REGRESSION`` against
+``benchmarks/results/BENCH_engine.json``, or if the vectorised
 speedup drops below the acceptance floor at N ≥ 1024, or if the
 events-fast steady-state speedup drops below its ≥10x floor, or if
-summary recording lags full recording by more than the bench's floor
-(the last two are machine-independent and also ride inside
-``measure()`` itself). A failing attempt is retried (up to
+summary recording lags full recording by more than the bench's floor,
+or if the counters probe costs more than its ≤5% overhead ceiling
+(machine-independent checks; the recording and async floors also ride
+inside ``measure()`` itself, while the probe ceiling is enforced here
+per attempt so one noisy measurement earns a retry, not a crash). A failing attempt is retried (up to
 ``ATTEMPTS`` total) to absorb runner noise: one quiet pass is proof
 the code can still reach the rate.
 
@@ -60,6 +63,10 @@ def tracked_rates(payload: dict) -> dict[str, float]:
     if rt is not None:  # absent only in pre-recorder baselines
         rates[f"record_full_rps@N={rt['n_nodes']}"] = rt["full_rps"]
         rates[f"record_summary_rps@N={rt['n_nodes']}"] = rt["summary_rps"]
+    po = payload.get("probe_overhead")
+    if po is not None:  # absent only in pre-telemetry baselines
+        rates[f"probe_null_rps@N={po['n_nodes']}"] = po["null_rps"]
+        rates[f"probe_counters_rps@N={po['n_nodes']}"] = po["counters_rps"]
     for tag, section in (("events", payload["events"]),
                          ("events_steady", payload.get("events_steady"))):
         if section is None:
@@ -78,7 +85,12 @@ def same_machine_class(baseline: dict, fresh: dict) -> bool:
 
 def check(baseline: dict, fresh: dict) -> list[str]:
     """Failure descriptions (empty = the attempt passes the gate)."""
-    from bench_perf import ASYNC_SPEEDUP_FLOOR, SPEEDUP_FLOOR, SPEEDUP_FROM_N
+    from bench_perf import (
+        ASYNC_SPEEDUP_FLOOR,
+        PROBE_OVERHEAD_CEILING,
+        SPEEDUP_FLOOR,
+        SPEEDUP_FROM_N,
+    )
 
     failures = []
     if same_machine_class(baseline, fresh):
@@ -111,6 +123,12 @@ def check(baseline: dict, fresh: dict) -> list[str]:
         failures.append(
             f"events_steady speedup: {steady:.1f}x < "
             f"{ASYNC_SPEEDUP_FLOOR}x acceptance floor"
+        )
+    overhead = fresh["probe_overhead"]["overhead"]
+    if overhead > PROBE_OVERHEAD_CEILING:
+        failures.append(
+            f"counters-probe overhead: {overhead:.3f}x > "
+            f"{PROBE_OVERHEAD_CEILING}x ceiling"
         )
     return failures
 

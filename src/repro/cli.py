@@ -13,6 +13,9 @@ Installed as ``pplb`` (see pyproject). Subcommands:
 * ``pplb scenarios`` — the scenario catalogue: every registered name
   with its composed equivalent, plus the component registries and the
   composition grammar.
+* ``pplb profile SCENARIO`` — run one scenario under the trace probe
+  and print a per-phase wall-time breakdown; the Chrome trace-event
+  JSON lands on disk for chrome://tracing / Perfetto.
 * ``pplb cache stats|clear`` — inspect or empty the on-disk result cache.
 * ``pplb table1`` — regenerate the paper's Table 1 from the parameter
   registry.
@@ -45,7 +48,18 @@ per-node loads — it requires one of the fluid algorithms
 They also accept ``--recorder {full,thin:<k>,summary}`` — the recording
 policy (see :mod:`repro.sim.recording`): ``full`` keeps every round,
 ``thin:<k>`` every k-th round plus the last with exact totals,
-``summary`` streams O(1) running aggregates for very long runs.
+``summary`` streams O(1) running aggregates for very long runs — and
+``--probe {null,counters,trace[:PATH]}`` — the telemetry probe (see
+:mod:`repro.sim.telemetry`): ``null`` is off (the default, zero
+overhead), ``counters`` aggregates per-phase wall times and structured
+decision counters onto the result, ``trace`` additionally writes a
+Chrome trace-event JSON per run. Probes observe, never steer: results
+are bit-identical under every probe.
+
+Global flags (before the subcommand): ``-v``/``-vv`` raise log
+verbosity to INFO/DEBUG, ``--log-level LEVEL`` sets it exactly.
+Warnings — e.g. the fast engines falling back to the scalar decision
+path under ``friction_jitter != 0`` — are always on.
 
 Algorithm names come from :mod:`repro.runner.registry`, the registry
 shared with the runner, so ``--algorithm`` choices and runner specs can
@@ -55,6 +69,7 @@ never disagree.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
@@ -66,12 +81,14 @@ from repro.runner import (
     FACTORIES,
     FLUID_FACTORIES,
     ResultCache,
+    RunnerMetrics,
     RunSpec,
     execute_spec,
     expand_grid,
     grid_seeds,
     run_grid,
 )
+from repro.sim.telemetry import DEFAULT_TRACE_PATH, probe_tag
 
 #: the CLI's historical name for the balancer registry (every factory
 #: works as a zero-argument constructor with registry defaults).
@@ -91,11 +108,88 @@ def _scenario_arg(value: str) -> str:
     return value
 
 
+def _probe_arg(value: str) -> str:
+    """Argparse type for ``--probe``: canonicalises via the telemetry
+    registry so unknown probe names fail at parse time."""
+    try:
+        return probe_tag(value)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def configure_logging(log_level: str | None = None, verbosity: int = 0) -> None:
+    """Shared logging setup for every ``pplb`` entry point.
+
+    ``log_level`` (an explicit name like ``"debug"``) wins over
+    ``verbosity`` (the counted ``-v`` flags: 0 → WARNING, 1 → INFO,
+    2+ → DEBUG). The floor is WARNING so diagnostics like the fast
+    engines' scalar-fallback warning are visible by default.
+    """
+    if log_level is not None:
+        level = getattr(logging, log_level.upper())
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, format="%(levelname)s %(name)s: %(message)s", force=True
+    )
+
+
+def _phase_rows(telemetry: dict) -> list[dict[str, object]]:
+    """Per-phase breakdown rows (calls, total ms, mean µs, share %)."""
+    phases: dict = telemetry.get("phases") or {}
+    grand_total = sum(p["total_s"] for p in phases.values()) or 1.0
+    rows = []
+    for name, p in sorted(
+        phases.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+    ):
+        calls = int(p["calls"])
+        total_s = float(p["total_s"])
+        rows.append({
+            "phase": name,
+            "calls": calls,
+            "total_ms": round(total_s * 1e3, 3),
+            "mean_us": round(total_s / calls * 1e6, 2) if calls else 0.0,
+            "share_%": round(100.0 * total_s / grand_total, 1),
+        })
+    return rows
+
+
+def _print_telemetry(telemetry: dict | None) -> None:
+    """Render a result's telemetry block (phases, counters, trace)."""
+    if not telemetry:
+        return
+    rows = _phase_rows(telemetry)
+    if rows:
+        print()
+        print(format_table(
+            rows,
+            columns=["phase", "calls", "total_ms", "mean_us", "share_%"],
+            title=f"per-phase wall time ({telemetry.get('probe', '?')} probe)",
+        ))
+    counters: dict = telemetry.get("counters") or {}
+    if counters:
+        print()
+        print(format_table(
+            [{"counter": k, "count": counters[k]} for k in sorted(counters)],
+            columns=["counter", "count"],
+            title="telemetry counters",
+        ))
+    trace_path = telemetry.get("trace_path")
+    if trace_path:
+        print(f"\ntrace written to {trace_path} "
+              "(load in chrome://tracing or https://ui.perfetto.dev)")
+
+
 def _run_one(scenario_name: str, algorithm: str, seed: int, rounds: int,
-             engine: str = "rounds", recorder: str = "full"):
+             engine: str = "rounds", recorder: str = "full",
+             probe: str = "null"):
     spec = RunSpec(
         scenario=scenario_name, algorithm=algorithm, seed=seed,
-        max_rounds=rounds, engine=engine, recorder=recorder,
+        max_rounds=rounds, engine=engine, recorder=recorder, probe=probe,
     )
     return execute_spec(spec)
 
@@ -106,7 +200,8 @@ def _cache_from(args: argparse.Namespace) -> ResultCache | None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     result = _run_one(args.scenario, args.algorithm, args.seed, args.rounds,
-                      engine=args.engine, recorder=args.recorder)
+                      engine=args.engine, recorder=args.recorder,
+                      probe=args.probe)
     print(format_table(
         [result.summary_row()],
         title=f"{args.algorithm} on {args.scenario} "
@@ -121,6 +216,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         # The summary recorder keeps no per-round history — totals
         # only. (Use --recorder full or thin:<k> for a curve.)
         print("(no per-round history recorded — summary recorder)")
+    _print_telemetry(result.telemetry)
     return 0
 
 
@@ -131,7 +227,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     specs = [
         RunSpec(scenario=args.scenario, algorithm=name, seed=args.seed,
                 max_rounds=args.rounds, engine=args.engine,
-                recorder=args.recorder)
+                recorder=args.recorder, probe=args.probe)
         for name in names
         if name != "none"
     ]
@@ -167,8 +263,10 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         max_rounds=args.rounds,
         engine=args.engine,
         recorder=args.recorder,
+        probe=args.probe,
     )
     cache = _cache_from(args)
+    metrics = RunnerMetrics()
 
     def progress(outcome, done, total):
         res = outcome.result
@@ -180,7 +278,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         )
 
     started = time.perf_counter()
-    outcomes = run_grid(specs, workers=args.workers, cache=cache, progress=progress)
+    outcomes = run_grid(specs, workers=args.workers, cache=cache,
+                        progress=progress, metrics=metrics)
     elapsed = time.perf_counter() - started
 
     rows = [o.row() for o in outcomes]
@@ -197,6 +296,32 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         + ("" if cache is None else f" ({cache.root})")
         + f"; wall {elapsed:.2f}s"
     )
+    if metrics.cache_misses:
+        print(
+            f"runner: {metrics.workers} worker(s), "
+            f"task time {metrics.task_s:.2f}s, "
+            f"utilization {metrics.utilization():.0%}, "
+            f"mean queue wait {metrics.mean_queue_wait_s():.2f}s"
+        )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        scenario=args.scenario, algorithm=args.algorithm, seed=args.seed,
+        max_rounds=args.rounds, engine=args.engine,
+        probe=f"trace:{args.trace_out}",
+    )
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    elapsed = time.perf_counter() - started
+    print(format_table(
+        [result.summary_row()],
+        title=f"profile — {args.algorithm} on {args.scenario} "
+              f"(seed {args.seed}, {args.engine} engine, "
+              f"{elapsed * 1e3:.1f} ms wall)",
+    ))
+    _print_telemetry(result.telemetry)
     return 0
 
 
@@ -284,6 +409,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pplb",
         description="Particle & Plane load balancing (IPPS 2006 reproduction)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise log verbosity (-v = INFO, -vv = DEBUG); "
+             "warnings are always shown",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="set the exact log level (overrides -v)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_engine(p: argparse.ArgumentParser) -> None:
@@ -299,6 +434,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "'thin:<k>' (every k-th round + last, exact "
                             "totals), or 'summary' (O(1) running aggregates "
                             "for very long runs)")
+        p.add_argument("--probe", type=_probe_arg, default="null",
+                       metavar="PROBE",
+                       help="telemetry probe: 'null' (off, the default — "
+                            "zero overhead), 'counters' (per-phase wall "
+                            "times + structured counters on the result), or "
+                            "'trace[:PATH]' (Chrome trace-event JSON, "
+                            "default path pplb-trace.json); results are "
+                            "bit-identical under every probe")
 
     def add_cache_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-dir", default=".pplb-cache",
@@ -357,6 +500,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p_grid)
     p_grid.set_defaults(fn=cmd_run_grid)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one scenario under the trace probe and print the "
+             "per-phase wall-time breakdown (Chrome trace JSON on disk)",
+    )
+    p_prof.add_argument("scenario", type=_scenario_arg, metavar="SCENARIO",
+                        help="registered name or composed string, e.g. "
+                             "'mesh:16x16+hotspot'")
+    p_prof.add_argument("--algorithm", choices=all_algorithms, default="pplb")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--rounds", type=int, default=500)
+    p_prof.add_argument("--engine", choices=sorted(ENGINES), default="rounds",
+                        help="execution model to profile")
+    p_prof.add_argument("--trace-out", default=DEFAULT_TRACE_PATH,
+                        metavar="PATH",
+                        help="where to write the Chrome trace-event JSON "
+                             "(chrome://tracing / https://ui.perfetto.dev)")
+    p_prof.set_defaults(fn=cmd_profile)
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
     )
@@ -399,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(log_level=args.log_level, verbosity=args.verbose)
     try:
         return args.fn(args)
     except ReproError as exc:

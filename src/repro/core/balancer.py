@@ -58,6 +58,7 @@ trajectory bit for bit (property-tested in
 from __future__ import annotations
 
 import heapq
+import logging
 import math
 from typing import Callable, Optional
 
@@ -87,6 +88,8 @@ _SMALL_DEG = 32
 #: engine, where most waves carry a handful of particles).
 _SMALL_WAVE = 64
 
+logger = logging.getLogger(__name__)
+
 
 class _StepState:
     """Shared working state of one balancing round.
@@ -100,7 +103,7 @@ class _StepState:
 
     __slots__ = (
         "system", "topo", "cache", "friction", "e", "up", "rng",
-        "t", "h", "inv_s", "used", "migrations", "on_change",
+        "t", "h", "inv_s", "used", "migrations", "on_change", "probe",
     )
 
     def __init__(self, ctx: BalanceContext, cache, friction, inv_s: np.ndarray):
@@ -121,6 +124,11 @@ class _StepState:
         self.used = np.zeros(ctx.topology.n_edges, dtype=bool)
         self.migrations: list[Migration] = []
         self.on_change: Optional[Callable[[int, int], None]] = None
+        # The engine's telemetry sink, or None when disabled — decision
+        # bodies gate every counter emission on `s.probe is not None`,
+        # so the default (null-probe) hot path pays one None check.
+        probe = ctx.probe
+        self.probe = probe if probe is not None and probe.enabled else None
 
 
 class ParticlePlaneBalancer(Balancer):
@@ -164,6 +172,10 @@ class ParticlePlaneBalancer(Balancer):
             self.arbiter: StochasticArbiter = GreedyArbiter()
         else:
             self.arbiter = StochasticArbiter.from_config(self.config)
+        # Telemetry bookkeeping: greedy arbiters draw no RNG per choice,
+        # and the scalar-fallback warning fires once per instance.
+        self._greedy_arbiter = isinstance(self.arbiter, GreedyArbiter)
+        self._warned_fallback = False
         self._motion: dict[int, MotionState] = {}
         self._inv_s_ones: Optional[np.ndarray] = None
         self._cache: Optional[NeighborCache] = None
@@ -218,13 +230,33 @@ class ParticlePlaneBalancer(Balancer):
                 inv_s = np.ones(ctx.topology.n_nodes)
                 self._inv_s_ones = inv_s
         s = _StepState(ctx, self._cache, self._friction, inv_s)
+        probe = s.probe
+        if probe is not None:
+            initiated0 = self.stats["initiated"]
+            settled0 = self.stats["settled"]
+            hops0 = self.stats["hops"]
 
         if ctx.fast and cfg.friction_jitter == 0.0:
             self._phase_a_fast(s)
             self._phase_b_fast(s)
         else:
+            if ctx.fast and not self._warned_fallback:
+                self._warned_fallback = True
+                logger.warning(
+                    "friction_jitter=%g draws RNG per evaluated candidate, "
+                    "which the vectorised screen cannot elide — falling "
+                    "back to the scalar decision path (correct, but the "
+                    "fast engine's speedup is lost)",
+                    cfg.friction_jitter,
+                )
             self._phase_a_scalar(s)
             self._phase_b_scalar(s)
+        if probe is not None:
+            probe.incr(
+                "balancer.initiated", int(self.stats["initiated"] - initiated0)
+            )
+            probe.incr("balancer.settled", int(self.stats["settled"] - settled0))
+            probe.incr("balancer.hops", int(self.stats["hops"] - hops0))
         return s.migrations
 
     # ------------------------- scalar phases -------------------------- #
@@ -261,6 +293,19 @@ class ParticlePlaneBalancer(Balancer):
     # fast path — the single place the paper's §5.1 rules live, so the
     # two paths cannot drift.
 
+    def _choose(self, s: _StepState, scores) -> int:
+        """Arbiter choice with telemetry: same pick, same RNG stream.
+
+        Counts the choice (and, for stochastic arbiters, the RNG values
+        it consumes — one per score) before delegating; the probe never
+        sees the scores, so it cannot influence the decision.
+        """
+        if s.probe is not None:
+            s.probe.incr("balancer.arbiter_choices")
+            if not self._greedy_arbiter:
+                s.probe.incr("balancer.rng_draws", len(scores))
+        return self.arbiter.choose(scores, s.t, s.rng)
+
     def _phase_a_decide(
         self,
         s: _StepState,
@@ -277,6 +322,8 @@ class ParticlePlaneBalancer(Balancer):
         inline computation (same operands, same operation order), so the
         arbiter — and therefore the RNG stream — sees identical inputs.
         """
+        if s.probe is not None:
+            s.probe.incr("balancer.phase_a_decisions")
         cfg = self.config
         h = s.h
         if pre is None and len(s.cache.nbrs_l[cur]) <= _SMALL_DEG:
@@ -287,7 +334,7 @@ class ParticlePlaneBalancer(Balancer):
             # without any per-neighbor ufunc dispatch.
             js_l = s.cache.nbrs_l[cur]
             eids_l = s.cache.eids_l[cur]
-            mu_k = s.friction.mu_k(s.system, s.topo, tid, cur) * self._jitter(s.t, s.rng)
+            mu_k = s.friction.mu_k(s.system, s.topo, tid, cur) * self._jitter(s.t, s.rng, s.probe)
             cmu = cfg.c0 * mu_k
             e = s.e
             up = s.up
@@ -307,19 +354,19 @@ class ParticlePlaneBalancer(Balancer):
                 return
             if cfg.motion_rule == "arbiter-settle":
                 scores_l.append(float(hstar - (h[cur] - load * s.inv_s[cur])))
-                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                pick = self._choose(s, scores_l)
                 if pick == len(cand):
                     self._settle(tid)
                     return
             else:  # "energy-only": the paper's literal rule
-                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                pick = self._choose(s, scores_l)
             j, eid, drop = cand[pick]
             self._finish_hop(s, tid, st, cur, load, j, eid, drop)
             return
         if pre is None:
             js = s.cache.nbrs[cur]
             eids = s.cache.eids[cur]
-            mu_k = s.friction.mu_k(s.system, s.topo, tid, cur) * self._jitter(s.t, s.rng)
+            mu_k = s.friction.mu_k(s.system, s.topo, tid, cur) * self._jitter(s.t, s.rng, s.probe)
             drops = cfg.c0 * mu_k * s.e[eids]
             hop_scores = st.hstar - drops - h[js]
             feasible = s.up[eids] & ~s.used[eids] & (hop_scores > 0.0)
@@ -339,13 +386,13 @@ class ParticlePlaneBalancer(Balancer):
                 settle_score = float(st.hstar - (h[cur] - load * s.inv_s[cur]))
                 scores_l = [hs[k] for k in idx_list]
                 scores_l.append(settle_score)
-                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                pick = self._choose(s, scores_l)
                 if pick == len(idx_list):
                     self._settle(tid)
                     return
                 k = idx_list[pick]
             else:  # "energy-only": the paper's literal rule
-                pick = self.arbiter.choose([hs[k] for k in idx_list], s.t, s.rng)
+                pick = self._choose(s, [hs[k] for k in idx_list])
                 k = idx_list[pick]
         else:
             idxs = np.nonzero(feasible)[0]
@@ -355,13 +402,13 @@ class ParticlePlaneBalancer(Balancer):
             if cfg.motion_rule == "arbiter-settle":
                 settle_score = st.hstar - (h[cur] - load * s.inv_s[cur])
                 scores = np.concatenate([hop_scores[idxs], [settle_score]])
-                pick = self.arbiter.choose(scores, s.t, s.rng)
+                pick = self._choose(s, scores)
                 if pick == idxs.shape[0]:
                     self._settle(tid)
                     return
                 k = int(idxs[pick])
             else:  # "energy-only": the paper's literal rule
-                pick = self.arbiter.choose(hop_scores[idxs], s.t, s.rng)
+                pick = self._choose(s, hop_scores[idxs])
                 k = int(idxs[pick])
 
         self._finish_hop(
@@ -394,6 +441,8 @@ class ParticlePlaneBalancer(Balancer):
 
     def _phase_b_node(self, s: _StepState, i: int) -> None:
         """One node's §5.1 initiation scan over its candidate tasks."""
+        if s.probe is not None:
+            s.probe.incr("balancer.phase_b_nodes")
         cfg = self.config
         system = s.system
         h = s.h
@@ -422,7 +471,7 @@ class ParticlePlaneBalancer(Balancer):
                 if not any(avail_l):
                     break  # no free links left at this node
                 mu_s, mu_k = s.friction.both(system, s.topo, tid, i)
-                jit = self._jitter(s.t, s.rng)
+                jit = self._jitter(s.t, s.rng, s.probe)
                 mu_s *= jit
                 mu_k *= jit
                 hi = h[i]
@@ -447,7 +496,7 @@ class ParticlePlaneBalancer(Balancer):
                             scores_l.append(float(t_k))
                 if not cand:
                     continue
-                pick = self.arbiter.choose(scores_l, s.t, s.rng)
+                pick = self._choose(s, scores_l)
                 j, eid = cand[pick]
             else:
                 js = s.cache.nbrs[i]
@@ -456,7 +505,7 @@ class ParticlePlaneBalancer(Balancer):
                 if not avail.any():
                     break  # no free links left at this node
                 mu_s, mu_k = s.friction.both(system, s.topo, tid, i)
-                jit = self._jitter(s.t, s.rng)
+                jit = self._jitter(s.t, s.rng, s.probe)
                 mu_s *= jit
                 mu_k *= jit
                 # (h_i − h_j − 2l)/e generalised to effective heights:
@@ -470,7 +519,7 @@ class ParticlePlaneBalancer(Balancer):
                     scores = corrected[idxs]
                 else:
                     scores = (h[i] - h[js[idxs]]) / e[eids[idxs]]
-                pick = self.arbiter.choose(scores, s.t, s.rng)
+                pick = self._choose(s, scores)
                 k = int(idxs[pick])
                 j = int(js[k])
                 eid = int(eids[k])
@@ -647,19 +696,31 @@ class ParticlePlaneBalancer(Balancer):
         cache = s.cache
         h = s.h
         n = topo.n_nodes
+        probe = s.probe
         if topo.n_edges == 0:
             return  # no links: no initiation anywhere, no surface change
+        if probe is not None:
+            probe.incr("screen.waves")
         floor = s.system.candidate_floor(self.config.candidates_per_node)
         opt = corrected_slopes_flat(h, floor, s.inv_s, s.e, cache)
         ok = s.up[cache.flat_eids] & ~s.used[cache.flat_eids]
         ok &= opt > self.config.mu_s_base
         if not ok.any():
+            if probe is not None:
+                probe.incr("screen.waves_skipped")
             return  # every wake this wave is a no-effect, no-RNG visit
         node_order = np.argsort(-h, kind="stable")
         n_pos = int(np.count_nonzero(h > 0.0))
         screened = np.zeros(n, dtype=bool)
         screened[cache.flat_rows[ok]] = True
         static_rs = np.nonzero(screened[node_order[:n_pos]])[0]
+        if probe is not None:
+            # The screen-effectiveness signal: how many loaded nodes the
+            # scalar sweep would have visited that the screen elided.
+            probe.incr("screen.nodes_admitted", int(static_rs.shape[0]))
+            probe.incr(
+                "screen.nodes_screened_out", n_pos - int(static_rs.shape[0])
+            )
 
         pos_of = np.empty(n, dtype=np.int64)
         pos_of[node_order] = np.arange(n)
@@ -707,16 +768,20 @@ class ParticlePlaneBalancer(Balancer):
 
     # ------------------------------------------------------------------ #
 
-    def _jitter(self, t: int, rng: np.random.Generator) -> float:
+    def _jitter(self, t: int, rng: np.random.Generator, probe=None) -> float:
         """§5.2 friction fuzziness: ``1 + jitter(t)·U(−1,1)``, floor 0.
 
         One factor per friction evaluation; µs and µk share it within a
         decision (preserving µk ∝ µs), and the level anneals on the same
-        ``exp(−c·t/t_max)`` clock as the arbiter.
+        ``exp(−c·t/t_max)`` clock as the arbiter. A non-None *probe*
+        counts the uniform draw (jitter is the one friction input that
+        consumes RNG — the reason jittered configs stay scalar).
         """
         j0 = self.config.friction_jitter
         if j0 == 0.0:
             return 1.0
+        if probe is not None:
+            probe.incr("balancer.rng_draws")
         level = j0 * math.exp(-self.config.anneal_c * t / self.config.t_max)
         return max(1.0 + level * (2.0 * float(rng.random()) - 1.0), 0.0)
 

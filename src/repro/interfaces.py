@@ -28,6 +28,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.network.links import LinkAttributes
     from repro.network.topology import Topology
+    from repro.sim.telemetry import Probe
     from repro.tasks.resources import ResourceMap
     from repro.tasks.task import TaskSystem
     from repro.tasks.task_graph import TaskGraph
@@ -101,6 +102,12 @@ class BalanceContext:
         produce *exactly* the decisions (and RNG consumption) of the
         scalar path, so the flag can never change a trajectory.
         Balancers without a batched step ignore it.
+    probe:
+        The engine's telemetry sink (:class:`~repro.sim.telemetry.
+        Probe`) or None. Balancers may emit structured counters into it
+        — decisions evaluated, screen hits, RNG draws — but must gate
+        every emission on ``probe.enabled`` (and must never let the
+        probe change a decision or the RNG stream).
     """
 
     topology: "Topology"
@@ -115,6 +122,7 @@ class BalanceContext:
     node_speeds: Optional[np.ndarray] = None
     awake: Optional[np.ndarray] = None
     fast: bool = False
+    probe: Optional["Probe"] = None
 
 
 class Balancer(abc.ABC):

@@ -11,13 +11,17 @@ computed results from an on-disk cache:
 * :mod:`worker <repro.runner.worker>` — spec execution (the pure
   function spec → result that runs inside workers).
 * :mod:`pool <repro.runner.pool>` — ordered parallel map over
-  processes (also used by :func:`repro.analysis.sweep.run_sweep`).
+  processes (also used by :func:`repro.analysis.sweep.run_sweep`);
+  :func:`map_tasks_timed` adds an in-worker per-task clock.
 * :mod:`cache <repro.runner.cache>` — content-addressed JSON result
   store; re-running a computed grid is free.
 * :mod:`runner <repro.runner.runner>` — :func:`run_grid`, the
-  orchestrator tying the above together.
+  orchestrator tying the above together; pass a
+  :class:`RunnerMetrics` to measure the execution pass itself
+  (cache split, per-spec task time, worker utilization, queue wait).
 * :mod:`merge <repro.runner.merge>` — adapters into the existing
-  analysis structures (``SweepResult``, table rows).
+  analysis structures (``SweepResult``, table rows, runner-metric
+  rows).
 
 Typical use (also exposed as ``pplb run-grid``)::
 
@@ -35,13 +39,14 @@ cached executions return results identical to it.
 from repro.runner.cache import ResultCache
 from repro.runner.merge import (
     default_metrics,
+    metrics_to_rows,
     outcomes_to_rows,
     outcomes_to_sweep,
     spec_value,
 )
-from repro.runner.pool import map_tasks, resolve_workers
+from repro.runner.pool import map_tasks, map_tasks_timed, resolve_workers
 from repro.runner.registry import FACTORIES, FLUID_FACTORIES, make_balancer
-from repro.runner.runner import RunOutcome, run_grid
+from repro.runner.runner import RunnerMetrics, RunOutcome, run_grid
 from repro.runner.spec import (
     ENGINES,
     RunSpec,
@@ -65,9 +70,12 @@ __all__ = [
     "grid_seeds",
     "make_balancer",
     "map_tasks",
+    "map_tasks_timed",
+    "metrics_to_rows",
     "outcomes_to_rows",
     "outcomes_to_sweep",
     "resolve_workers",
     "run_grid",
+    "RunnerMetrics",
     "spec_value",
 ]

@@ -15,9 +15,12 @@ entries are treated as misses rather than errors.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 import tempfile
+
+logger = logging.getLogger(__name__)
 
 CACHE_FORMAT_VERSION = 1
 
@@ -52,7 +55,9 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a binary stray file raises.
             self.misses += 1
             return None
         if (
@@ -119,7 +124,10 @@ class ResultCache:
                     with open(path, "r", encoding="utf-8") as fh:
                         spec = json.load(fh).get("spec") or {}
                     engine = str(spec.get("engine", "rounds"))
-                except (OSError, json.JSONDecodeError, AttributeError):
+                except (OSError, ValueError, AttributeError) as exc:
+                    # Stray non-JSON (or binary: UnicodeDecodeError is a
+                    # ValueError) files must not crash the stats scan.
+                    logger.warning("skipping unreadable cache entry %s: %s", path, exc)
                     engine = "(unreadable)"
                 by_engine[engine] = by_engine.get(engine, 0) + 1
         return {

@@ -16,7 +16,7 @@ from typing import Callable, Mapping, Sequence
 from repro.analysis.stats import mean_ci
 from repro.analysis.sweep import SweepResult
 from repro.exceptions import ConfigurationError
-from repro.runner.runner import RunOutcome
+from repro.runner.runner import RunnerMetrics, RunOutcome
 from repro.runner.spec import RunSpec
 from repro.sim import SimulationResult
 
@@ -100,3 +100,14 @@ def outcomes_to_sweep(
 def outcomes_to_rows(outcomes: Sequence[RunOutcome]) -> list[dict[str, object]]:
     """Per-run summary rows (one per outcome) for ``format_table``."""
     return [outcome.row() for outcome in outcomes]
+
+
+def metrics_to_rows(metrics: RunnerMetrics) -> list[dict[str, object]]:
+    """Per-spec runner-metric rows for ``format_table``.
+
+    One row per spec (in spec order) with the spec label, whether it
+    was replayed from the cache, and the in-worker seconds it cost
+    (0 for hits) — the per-spec view behind
+    :meth:`RunnerMetrics.summary`.
+    """
+    return [dict(row) for row in metrics.spec_rows]

@@ -15,11 +15,32 @@ imported inside worker processes and by :mod:`repro.analysis.sweep`.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _TimedCall:
+    """Picklable task wrapper returning ``(result, in-task seconds)``.
+
+    A class (not a closure) so the pool can pickle it by reference as
+    long as the wrapped ``fn`` itself is picklable; the clock runs
+    inside the worker process, so the measurement is pure task time —
+    queueing and transport are excluded.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, item: T) -> tuple[R, float]:
+        t0 = time.perf_counter()
+        result = self.fn(item)
+        return result, time.perf_counter() - t0
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -90,3 +111,34 @@ def map_tasks(
             pool.shutdown(cancel_futures=True)
             raise
     return [results[i] for i in range(len(items))]
+
+
+def map_tasks_timed(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int = 1,
+    on_result: Callable[[int, R, float], None] | None = None,
+) -> tuple[list[R], list[float]]:
+    """:func:`map_tasks` plus a per-task in-worker wall clock.
+
+    Same ordering/exception semantics as :func:`map_tasks`; each task is
+    additionally timed *inside* the executing process (serial: around
+    the direct call), so the second return value is what the work itself
+    cost, independent of pool queueing. ``on_result`` (if given) fires
+    as ``(index, result, task_seconds)``.
+
+    Returns
+    -------
+    (results, task_seconds):
+        Both in input order, ``len(items)`` each.
+    """
+    items = list(items)
+    seconds: list[float] = [0.0] * len(items)
+
+    def unpack(i: int, pair: tuple[R, float]) -> None:
+        seconds[i] = pair[1]
+        if on_result is not None:
+            on_result(i, pair[0], pair[1])
+
+    pairs = map_tasks(_TimedCall(fn), items, workers=workers, on_result=unpack)
+    return [pair[0] for pair in pairs], seconds

@@ -16,18 +16,85 @@ the measured ``wall_time_s`` inside a freshly-run result.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from os import PathLike
 from typing import Callable, Optional, Sequence
 
 from repro.runner.cache import ResultCache
-from repro.runner.pool import map_tasks
+from repro.runner.pool import map_tasks_timed, resolve_workers
 from repro.runner.spec import RunSpec
 from repro.runner.worker import execute_payload
 from repro.sim import SimulationResult
 
 #: progress callback signature: (outcome, completed count, total count)
 ProgressFn = Callable[["RunOutcome", int, int], None]
+
+
+@dataclass
+class RunnerMetrics:
+    """Execution-side telemetry for one :func:`run_grid` call.
+
+    Filled in place when passed as ``run_grid(..., metrics=...)``; the
+    simulation results are unaffected (this measures the *runner*, the
+    probes inside :mod:`repro.sim.telemetry` measure the simulation).
+
+    Attributes
+    ----------
+    workers:
+        Resolved worker count used for the execution pass.
+    total, cache_hits, cache_misses:
+        Grid size and how it split between replayed and executed specs.
+    wall_s:
+        Wall-clock seconds of the execution pass (0 when every spec was
+        a cache hit).
+    task_s:
+        Summed in-worker seconds across executed specs — the work
+        itself, excluding pool queueing and transport.
+    queue_wait_s:
+        Summed seconds executed specs spent between the start of the
+        execution pass and the start of their own work (queueing behind
+        other specs plus pool overhead).
+    spec_rows:
+        One dict per spec, in spec order: ``label``, ``cached`` and
+        (for executed specs) ``task_s``.
+    """
+
+    workers: int = 1
+    total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+    task_s: float = 0.0
+    queue_wait_s: float = 0.0
+    spec_rows: list[dict] = field(default_factory=list)
+
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent executing (0 when idle).
+
+        ``task_s / (wall_s * workers)`` — 1.0 means every worker was
+        busy for the whole execution pass; low values under
+        ``workers > 1`` mean the grid was too small or too skewed to
+        keep the pool fed.
+        """
+        denom = self.wall_s * max(self.workers, 1)
+        return self.task_s / denom if denom > 0 else 0.0
+
+    def mean_queue_wait_s(self) -> float:
+        """Mean per-executed-spec queue wait (0 when all specs hit)."""
+        return self.queue_wait_s / self.cache_misses if self.cache_misses else 0.0
+
+    def summary(self) -> dict[str, object]:
+        """Flat aggregate dict (one ``format_table`` row)."""
+        return {
+            "specs": self.total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 6),
+            "task_s": round(self.task_s, 6),
+            "utilization": round(self.utilization(), 4),
+            "mean_queue_wait_s": round(self.mean_queue_wait_s(), 6),
+        }
 
 
 @dataclass
@@ -46,6 +113,9 @@ class RunOutcome:
         Wall-clock seconds from the start of the execution pass until
         this result landed (0 for cache hits). The simulation's own
         loop time is ``result.wall_time_s``.
+    task_s:
+        In-worker seconds this spec's execution took (0 for cache
+        hits) — per-spec wall time, excluding pool queueing.
     """
 
     spec: RunSpec
@@ -53,6 +123,7 @@ class RunOutcome:
     result: SimulationResult
     cached: bool
     duration_s: float = 0.0
+    task_s: float = 0.0
 
     def row(self) -> dict[str, object]:
         """Flat summary row: spec coordinates + result summary.
@@ -77,6 +148,7 @@ def run_grid(
     workers: int = 1,
     cache: ResultCache | str | PathLike | None = None,
     progress: Optional[ProgressFn] = None,
+    metrics: RunnerMetrics | None = None,
 ) -> list[RunOutcome]:
     """Execute every spec, replaying cached results and fanning out the rest.
 
@@ -94,6 +166,11 @@ def run_grid(
     progress:
         Optional callback fired once per completed spec with
         ``(outcome, completed, total)``; cache hits fire first.
+    metrics:
+        Optional :class:`RunnerMetrics` instance filled in place with
+        execution-side telemetry (cache split, per-spec task times,
+        worker utilization, queue wait). Collection is passive — it
+        never changes which specs run or what they return.
 
     Returns
     -------
@@ -135,7 +212,7 @@ def run_grid(
     if pending:
         started = time.perf_counter()
 
-        def collect(rank: int, payload: dict) -> None:
+        def collect(rank: int, payload: dict, task_s: float) -> None:
             i = pending[rank]
             outcome = RunOutcome(
                 spec=specs[i],
@@ -143,17 +220,40 @@ def run_grid(
                 result=SimulationResult.from_dict(payload),
                 cached=False,
                 duration_s=time.perf_counter() - started,
+                task_s=task_s,
             )
             if cache is not None:
                 cache.put(keys[i], specs[i].to_dict(), payload)
             outcomes[i] = outcome
             emit(outcome)
 
-        map_tasks(
+        map_tasks_timed(
             execute_payload,
             [specs[i].to_dict() for i in pending],
             workers=workers,
             on_result=collect,
         )
+
+    if metrics is not None:
+        metrics.workers = resolve_workers(workers)
+        metrics.total = total
+        metrics.cache_hits = total - len(pending)
+        metrics.cache_misses = len(pending)
+        for i in range(total):
+            outcome = outcomes[i]
+            row: dict[str, object] = {
+                "label": outcome.spec.label(),
+                "cached": outcome.cached,
+                "task_s": round(outcome.task_s, 6),
+            }
+            metrics.spec_rows.append(row)
+            if not outcome.cached:
+                metrics.task_s += outcome.task_s
+                # Landing time minus the task's own work = time spent
+                # queued behind other specs plus pool overhead.
+                metrics.queue_wait_s += max(
+                    outcome.duration_s - outcome.task_s, 0.0
+                )
+                metrics.wall_s = max(metrics.wall_s, outcome.duration_s)
 
     return [outcomes[i] for i in range(total)]

@@ -93,6 +93,14 @@ class RunSpec:
         thinned result must never be replayed as a full one); the
         default is *omitted* from the canonical encoding so existing
         full-recording cache entries keep their keys.
+    probe:
+        Telemetry policy for the run: ``"null"`` (the default — off),
+        ``"counters"`` or ``"trace[:path]"`` — see
+        :mod:`repro.sim.telemetry`. Part of the content hash when
+        enabled (a probed result carries a telemetry block a probe-less
+        consumer did not ask for); the ``"null"`` default is *omitted*
+        from the canonical encoding — the null probe provably changes
+        nothing, so every existing cache key is unchanged.
     """
 
     scenario: str
@@ -104,6 +112,7 @@ class RunSpec:
     sim_kwargs: dict = field(default_factory=dict)
     engine: str = "rounds"
     recorder: str = "full"
+    probe: str = "null"
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -117,8 +126,10 @@ class RunSpec:
         # Canonicalise the recorder spec (e.g. "thin:05" -> "thin:5") so
         # equivalent specs share one cache key; raises on unknown specs.
         from repro.sim.recording import recorder_tag
+        from repro.sim.telemetry import probe_tag
 
         self.recorder = recorder_tag(self.recorder)
+        self.probe = probe_tag(self.probe)
         # Validate names eagerly so a bad grid fails before any worker
         # spins up. Imported here to keep this module import-light for
         # worker processes.
@@ -174,6 +185,8 @@ class RunSpec:
         }
         if self.recorder != "full":
             payload["recorder"] = self.recorder
+        if self.probe != "null":
+            payload["probe"] = self.probe
         return payload
 
     @classmethod
@@ -189,6 +202,7 @@ class RunSpec:
             sim_kwargs=dict(data.get("sim_kwargs", {})),
             engine=str(data.get("engine", "rounds")),
             recorder=str(data.get("recorder", "full")),
+            probe=str(data.get("probe", "null")),
         )
 
     def canonical_json(self) -> str:
@@ -215,6 +229,8 @@ class RunSpec:
             tag += f" [{self.engine}]"
         if self.recorder != "full":
             tag += f" [{self.recorder}]"
+        if self.probe != "null":
+            tag += f" [{self.probe}]"
         return tag
 
 
@@ -239,6 +255,7 @@ def expand_grid(
     sim_kwargs: Mapping | None = None,
     engine: str = "rounds",
     recorder: str = "full",
+    probe: str = "null",
 ) -> list[RunSpec]:
     """Cartesian (scenario × algorithm × seed) product, scenario-major.
 
@@ -261,6 +278,7 @@ def expand_grid(
             sim_kwargs=dict(sim_kwargs or {}),
             engine=engine,
             recorder=recorder,
+            probe=probe,
         )
         for sc in scenarios
         for alg in algorithms

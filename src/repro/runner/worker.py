@@ -65,6 +65,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
             links=scenario.links,
             seed=spec.seed,
             recorder=spec.recorder,
+            probe=spec.probe,
             **spec.sim_kwargs,
         )
         return sim.run(max_rounds=spec.max_rounds)
@@ -85,6 +86,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         "node_speeds": scenario.node_speeds,
         "seed": spec.seed,
         "recorder": spec.recorder,
+        "probe": spec.probe,
         **spec.sim_kwargs,
     }
     sim = engine_cls(scenario.topology, scenario.system, balancer, **sim_kwargs)

@@ -30,6 +30,10 @@ start; balancers observe the state and order one-hop migrations.
   columnar :class:`RoundLog`: ``full`` (every round), ``thin:k``
   (every k-th + last, exact totals), ``summary`` (O(1) running
   aggregates for million-round runs).
+* :mod:`telemetry <repro.sim.telemetry>` — pluggable probes: ``null``
+  (off, zero overhead), ``counters`` (aggregate per-phase times and
+  structured counters on ``result.telemetry``), ``trace[:path]``
+  (Chrome trace-event JSON per run).
 * :mod:`metrics <repro.sim.metrics>` — imbalance and traffic metrics.
 * :class:`SimulationResult` — columnar per-round history + summary.
 """
@@ -53,6 +57,14 @@ from repro.sim.recording import (
     recorder_tag,
 )
 from repro.sim.results import RoundLog, RoundRecord, SimulationResult
+from repro.sim.telemetry import (
+    CountersProbe,
+    NullProbe,
+    Probe,
+    TraceProbe,
+    make_probe,
+    probe_tag,
+)
 
 __all__ = [
     "Simulator",
@@ -74,6 +86,12 @@ __all__ = [
     "SummaryRecorder",
     "make_recorder",
     "recorder_tag",
+    "Probe",
+    "NullProbe",
+    "CountersProbe",
+    "TraceProbe",
+    "make_probe",
+    "probe_tag",
     "coefficient_of_variation",
     "max_min_spread",
     "normalized_spread",

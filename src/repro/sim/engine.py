@@ -39,6 +39,7 @@ from repro.rng import RngLike, ensure_rng
 from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop, TaskStateMixin
 from repro.sim.recording import RecorderSpec
 from repro.sim.results import SimulationResult
+from repro.sim.telemetry import ProbeSpec, make_probe
 from repro.tasks.resources import ResourceMap
 from repro.tasks.task import TaskSystem
 from repro.tasks.task_graph import TaskGraph
@@ -122,6 +123,13 @@ class Simulator(TaskStateMixin, RoundDriver):
         totals) or ``"summary"`` (O(1) running aggregates, no per-round
         history) — or a :class:`~repro.sim.recording.Recorder`
         instance. See :mod:`repro.sim.recording`.
+    probe:
+        Telemetry policy: ``"null"`` (the default — off, provably zero
+        behavior change), ``"counters"`` (aggregate counters/phase
+        times on ``result.telemetry``) or ``"trace[:path]"`` (Chrome
+        trace-event JSON per run) — or a
+        :class:`~repro.sim.telemetry.Probe` instance. See
+        :mod:`repro.sim.telemetry`.
     """
 
     def __init__(
@@ -143,6 +151,7 @@ class Simulator(TaskStateMixin, RoundDriver):
         track_journeys: bool = False,
         node_speeds: Optional[np.ndarray] = None,
         recorder: RecorderSpec = "full",
+        probe: ProbeSpec = "null",
     ):
         if system.topology is not topology:
             raise ConfigurationError("task system was built for a different topology")
@@ -191,7 +200,8 @@ class Simulator(TaskStateMixin, RoundDriver):
         self.task_hops: dict[int, int] = {}
         self.task_origin: dict[int, int] = {}
         self._rounds_done = 0  # global round counter across chained runs
-        self._loop = SimulationLoop(self, recorder=recorder)
+        self.probe = make_probe(probe)
+        self._loop = SimulationLoop(self, recorder=recorder, probe=self.probe)
 
     # ------------------------------------------------------------------ #
 
@@ -207,6 +217,7 @@ class Simulator(TaskStateMixin, RoundDriver):
             task_graph=self.task_graph,
             resources=self.resources,
             node_speeds=self.node_speeds,
+            probe=self.probe if self.probe.enabled else None,
         )
 
     def _latency_of(self, load: float, eid: int) -> int:
@@ -271,6 +282,9 @@ class Simulator(TaskStateMixin, RoundDriver):
                 if m.task_id not in self.task_origin:
                     self.task_origin[m.task_id] = m.src
                 self.task_hops[m.task_id] = self.task_hops.get(m.task_id, 0) + 1
+        if self.probe.enabled:
+            self.probe.incr("engine.transfers_applied", applied)
+            self.probe.incr("engine.transfers_blocked", blocked)
         return applied, work, heat, blocked
 
     # ------------------------- kernel driver hooks -------------------- #
@@ -392,6 +406,7 @@ class FluidSimulator(RoundDriver):
         seed: RngLike = None,
         criteria: ConvergenceCriteria = ConvergenceCriteria(spread_tol=1e-6),
         recorder: RecorderSpec = "full",
+        probe: ProbeSpec = "null",
     ):
         h = np.asarray(initial_loads, dtype=np.float64).copy()
         if h.shape != (topology.n_nodes,):
@@ -409,7 +424,8 @@ class FluidSimulator(RoundDriver):
         self.criteria = criteria
         self.dynamic = None
         self._all_up = np.ones(topology.n_edges, dtype=bool)
-        self._loop = SimulationLoop(self, recorder=recorder)
+        self.probe = make_probe(probe)
+        self._loop = SimulationLoop(self, recorder=recorder, probe=self.probe)
 
     def _context(self, round_index: int) -> BalanceContext:
         # Fluid mode has no TaskSystem; balancers must not touch ctx.system.
@@ -421,6 +437,7 @@ class FluidSimulator(RoundDriver):
             up_mask=self._all_up,
             round_index=round_index,
             rng=self.rng,
+            probe=self.probe if self.probe.enabled else None,
         )
 
     # ------------------------- kernel driver hooks -------------------- #

@@ -69,6 +69,7 @@ differential suite.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Mapping, Optional, Union
 
 import numpy as np
@@ -84,6 +85,7 @@ from repro.sim.event_buffers import ArrivalBuffer, WakeSchedule
 from repro.sim.kernel import RoundDriver, RoundStats, SimulationLoop, TaskStateMixin
 from repro.sim.recording import RecorderSpec
 from repro.sim.results import SimulationResult
+from repro.sim.telemetry import ProbeSpec, make_probe
 from repro.tasks.resources import ResourceMap
 from repro.tasks.task import TaskSystem
 from repro.tasks.task_graph import TaskGraph
@@ -110,7 +112,7 @@ class EventSimulator(TaskStateMixin, RoundDriver):
     ----------
     topology, system, balancer, links, fault_model, task_graph,
     resources, dynamic, link_capacity, c1, e0, seed, criteria,
-    node_speeds, recorder:
+    node_speeds, recorder, probe:
         As in :class:`~repro.sim.engine.Simulator`. ``node_speeds`` are
         *processing* speeds: they define the effective metric surface
         ``h_i / s_i`` and, by default, also drive each node's wake rate
@@ -179,6 +181,7 @@ class EventSimulator(TaskStateMixin, RoundDriver):
         stragglers: Optional[Mapping] = None,
         epoch: float = 1.0,
         recorder: RecorderSpec = "full",
+        probe: ProbeSpec = "null",
     ):
         if system.topology is not topology:
             raise ConfigurationError("task system was built for a different topology")
@@ -277,7 +280,8 @@ class EventSimulator(TaskStateMixin, RoundDriver):
         self.events_processed = 0
         self.wakes_per_node = np.zeros(n, dtype=np.int64)
         self.now = 0.0
-        self._loop = SimulationLoop(self, recorder=recorder)
+        self.probe = make_probe(probe)
+        self._loop = SimulationLoop(self, recorder=recorder, probe=self.probe)
 
     # ------------------------------------------------------------------ #
 
@@ -296,6 +300,7 @@ class EventSimulator(TaskStateMixin, RoundDriver):
             resources=self.resources,
             node_speeds=self.node_speeds,
             awake=awake,
+            probe=self.probe if self.probe.enabled else None,
         )
 
     def _latency_of(self, load: float, eid: int) -> float:
@@ -322,6 +327,13 @@ class EventSimulator(TaskStateMixin, RoundDriver):
 
     def _wave(self, t: float, nodes: list[int], up_mask: np.ndarray) -> None:
         """One balancing wave: every node whose clock fired at *t*."""
+        probe = self.probe
+        traced = probe.enabled
+        if traced:
+            t0 = time.perf_counter()
+            applied0 = self._ep_applied
+            blocked0 = self._ep_blocked
+            asleep0 = self._ep_asleep
         self.wakes_per_node[nodes] += 1
         awake: Optional[np.ndarray]
         if len(nodes) == self.topology.n_nodes:
@@ -332,6 +344,13 @@ class EventSimulator(TaskStateMixin, RoundDriver):
         ctx = self._context(self._epoch_index, up_mask, awake)
         migrations = self.balancer.step(ctx)
         self._apply(migrations, t, up_mask, awake)
+        if traced:
+            probe.span("wake_wave", t0, time.perf_counter())
+            probe.incr("engine.waves")
+            probe.incr("engine.wake_nodes", len(nodes))
+            probe.incr("engine.transfers_applied", self._ep_applied - applied0)
+            probe.incr("engine.transfers_blocked", self._ep_blocked - blocked0)
+            probe.incr("engine.transfers_asleep", self._ep_asleep - asleep0)
 
     def _apply(
         self,
@@ -440,6 +459,7 @@ class EventSimulator(TaskStateMixin, RoundDriver):
             for node in range(self.topology.n_nodes):
                 self._push(0.0, _WAKE, node)
 
+        events0 = self.events_processed
         heap = self._heap
         while heap:
             t, priority, _seq, payload = heapq.heappop(heap)
@@ -473,6 +493,10 @@ class EventSimulator(TaskStateMixin, RoundDriver):
                 self._churn()
 
             else:  # _EPOCH_END — the kernel's observation point
+                if self.probe.enabled:
+                    self.probe.incr(
+                        "engine.heap_pops", self.events_processed - events0
+                    )
                 stats = RoundStats(
                     applied=self._ep_applied,
                     work=self._ep_work,
@@ -597,6 +621,7 @@ class EventFastSimulator(EventSimulator):
         when = round_index * self.epoch
         if round_index == 0:
             self._wakes.schedule_all(0.0)
+        events0 = self.events_processed
         wakes = self._wakes
         arrivals = self._arrivals
         system = self.system
@@ -654,6 +679,10 @@ class EventFastSimulator(EventSimulator):
 
             else:  # _EPOCH_END — the kernel's observation point
                 self.events_processed += 1
+                if self.probe.enabled:
+                    self.probe.incr(
+                        "engine.buffer_pops", self.events_processed - events0
+                    )
                 stats = RoundStats(
                     applied=self._ep_applied,
                     work=self._ep_work,

@@ -39,6 +39,7 @@ from repro.exceptions import ConfigurationError
 from repro.sim.metrics import imbalance_summary
 from repro.sim.recording import RecorderSpec, make_recorder
 from repro.sim.results import SimulationResult
+from repro.sim.telemetry import ProbeSpec, make_probe
 
 __all__ = ["RoundStats", "RoundDriver", "TaskStateMixin", "SimulationLoop"]
 
@@ -157,11 +158,25 @@ class SimulationLoop:
         ``"summary"``) or a :class:`~repro.sim.recording.Recorder`
         instance. The recorder is restarted at the top of every run,
         so one loop serves repeated/chained runs.
+    probe:
+        Telemetry policy — a spec string (``"null"``, ``"counters"``,
+        ``"trace[:path]"``) or a :class:`~repro.sim.telemetry.Probe`
+        instance. When enabled, the kernel wraps each lifecycle phase
+        (``play_round`` / ``observe`` / ``record`` / ``converge``) in a
+        wall-time span; under the default null probe every
+        instrumentation site reduces to one boolean check, so the run
+        — records, RNG stream, convergence — is provably unchanged.
     """
 
-    def __init__(self, driver: RoundDriver, recorder: RecorderSpec = "full"):
+    def __init__(
+        self,
+        driver: RoundDriver,
+        recorder: RecorderSpec = "full",
+        probe: ProbeSpec = "null",
+    ):
         self.driver = driver
         self.recorder = make_recorder(recorder)
+        self.probe = make_probe(probe)
 
     def run(self, max_rounds: int = 1000, reset: bool = True) -> SimulationResult:
         """Simulate up to *max_rounds* rounds (early exit on convergence)."""
@@ -170,20 +185,35 @@ class SimulationLoop:
         driver = self.driver
         crit = driver.criteria
         recorder = self.recorder
+        probe = self.probe
+        # One boolean, loaded once: the whole per-phase instrumentation
+        # below reduces to `if traced` checks under the null probe.
+        traced = probe.enabled
+        perf = time.perf_counter
 
         result = SimulationResult(balancer_name=driver.balancer.name)
         result.initial_summary = imbalance_summary(driver.observed_loads())
         start = time.perf_counter()
         recorder.start()
+        probe.start()
         base = driver.prepare(reset)
 
         quiet = 0
         converged_at: int | None = None
         r = base
+        t0 = t1 = t2 = t3 = 0.0
 
         for r in range(base, base + max_rounds):
+            if traced:
+                t0 = perf()
             stats = driver.play_round(r)
+            if traced:
+                t1 = perf()
+                probe.span("play_round", t0, t1)
             summ = imbalance_summary(driver.observed_loads())
+            if traced:
+                t2 = perf()
+                probe.span("observe", t1, t2)
             recorder.observe(
                 r,
                 stats.applied,
@@ -198,11 +228,15 @@ class SimulationLoop:
                 stats.n_tasks,
                 stats.asleep,
             )
+            if traced:
+                t3 = perf()
+                probe.span("record", t2, t3)
 
+            converged_now = False
             if driver.fluid_mode:
                 if summ["spread"] <= crit.spread_tol and r + 1 >= crit.min_rounds:
                     converged_at = r
-                    break
+                    converged_now = True
             elif driver.dynamic is None:
                 # Convergence detection (skipped under churn: there is
                 # no quiescent state to converge to).
@@ -218,11 +252,16 @@ class SimulationLoop:
                     quiet >= crit.quiet_rounds or (balanced_enough and idle)
                 ):
                     converged_at = r - quiet + 1 if quiet >= crit.quiet_rounds else r
-                    break
+                    converged_now = True
+            if traced:
+                probe.span("converge", t3, perf())
+            if converged_now:
+                break
 
         driver.finish(r + 1)
         result.converged_round = converged_at
         result.final_summary = imbalance_summary(driver.observed_loads())
         recorder.finalize(result)
         result.wall_time_s = time.perf_counter() - start
+        probe.finalize(result)
         return result

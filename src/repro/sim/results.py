@@ -312,6 +312,13 @@ class SimulationResult:
         ``blocked``, ``asleep``, ``cov_mean``, ``spread_min``), or
         None when the log holds the complete history and totals are
         computed from the columns.
+    telemetry:
+        Aggregate block installed by an enabled probe (see
+        :mod:`repro.sim.telemetry`): ``{"probe", "counters",
+        "phases"}`` plus ``trace_path`` under the trace probe. None
+        under the default null probe — and then absent from the wire
+        format entirely, so probe-less payloads (including every
+        pre-telemetry cache entry) are byte-identical to before.
     """
 
     log: RoundLog = field(default_factory=RoundLog)
@@ -321,6 +328,7 @@ class SimulationResult:
     balancer_name: str = ""
     wall_time_s: float = 0.0
     aggregates: dict[str, float] | None = None
+    telemetry: dict[str, object] | None = None
 
     # ----------------------------- series ----------------------------- #
 
@@ -402,7 +410,7 @@ class SimulationResult:
         round; ``from_dict`` inverts it exactly (ints and floats
         round-trip through JSON's repr-based encoding unchanged).
         """
-        return {
+        data: dict[str, object] = {
             "format": 2,
             "columns": self.log.to_columns(),
             "aggregates": None if self.aggregates is None else dict(self.aggregates),
@@ -412,6 +420,11 @@ class SimulationResult:
             "balancer_name": self.balancer_name,
             "wall_time_s": self.wall_time_s,
         }
+        # Omitted (not null) when no probe ran: probe-less payloads stay
+        # byte-identical to the pre-telemetry wire format.
+        if self.telemetry is not None:
+            data["telemetry"] = dict(self.telemetry)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SimulationResult":
@@ -434,6 +447,7 @@ class SimulationResult:
             raise ConfigurationError(
                 "result payload has neither 'columns' nor 'records'"
             )
+        telemetry = data.get("telemetry")
         return cls(
             log=log,
             converged_round=data["converged_round"],
@@ -442,6 +456,7 @@ class SimulationResult:
             balancer_name=data["balancer_name"],
             wall_time_s=data["wall_time_s"],
             aggregates=aggregates,
+            telemetry=None if telemetry is None else dict(telemetry),
         )
 
     def summary_row(self) -> dict[str, object]:

@@ -292,3 +292,113 @@ class TestCacheCommand:
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
+
+
+class TestProbeFlag:
+    def test_probe_defaults_to_null(self):
+        for argv in (["run"], ["compare"], ["run-grid"]):
+            assert build_parser().parse_args(argv).probe == "null"
+
+    def test_bad_probe_fails_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--probe", "nope"])
+
+    def test_run_with_counters_probe_prints_breakdown(self, capsys):
+        rc = main(["run", "--scenario", "mesh-hotspot", "--rounds", "40",
+                   "--probe", "counters"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall time" in out
+        assert "play_round" in out
+        assert "balancer.hops" in out
+
+    def test_run_without_probe_prints_no_telemetry(self, capsys):
+        assert main(["run", "--scenario", "mesh-hotspot",
+                     "--rounds", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall time" not in out
+        assert "telemetry counters" not in out
+
+    def test_probe_and_null_share_no_cache_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base = ["run-grid", "--seeds", "1", "--rounds", "40",
+                "--cache-dir", cache_dir]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--probe", "counters"]) == 0
+        out = capsys.readouterr().out
+        # Different probe => different content hash => a fresh entry.
+        assert "1 executed, 0 from cache" in out
+
+    def test_grid_prints_runner_metrics(self, capsys, tmp_path):
+        assert main(["run-grid", "--seeds", "2", "--rounds", "40",
+                     "--no-cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runner:" in out and "utilization" in out
+
+
+class TestProfileCommand:
+    def test_profile_runs_and_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        rc = main(["profile", "mesh:8x8+hotspot", "--engine", "events-fast",
+                   "--rounds", "40", "--trace-out", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile — pplb on mesh:8x8+hotspot" in out
+        assert "per-phase wall time" in out
+        assert "wake_wave" in out
+        assert f"trace written to {trace}" in out
+
+        import json as _json
+        payload = _json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"play_round", "wake_wave"} <= {e["name"] for e in events}
+
+    def test_profile_requires_a_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
+
+    def test_profile_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "nope"])
+
+
+class TestLoggingFlags:
+    def test_verbosity_flags_parse(self):
+        assert build_parser().parse_args(["run"]).verbose == 0
+        assert build_parser().parse_args(["-v", "run"]).verbose == 1
+        assert build_parser().parse_args(["-vv", "run"]).verbose == 2
+        args = build_parser().parse_args(["--log-level", "debug", "run"])
+        assert args.log_level == "debug"
+
+    def test_configure_logging_levels(self):
+        import logging
+
+        from repro.cli import configure_logging
+
+        configure_logging()
+        assert logging.getLogger().level == logging.WARNING
+        configure_logging(verbosity=1)
+        assert logging.getLogger().level == logging.INFO
+        configure_logging(log_level="error", verbosity=2)
+        assert logging.getLogger().level == logging.ERROR
+        configure_logging()  # restore the default floor
+
+    def test_fast_engine_scalar_fallback_warns(self, caplog):
+        from repro.runner.registry import make_balancer
+        from repro.sim import FastSimulator
+        from repro.workloads import build_scenario
+
+        scenario = build_scenario("mesh-hotspot", seed=3, side=5, n_tasks=100)
+        balancer = make_balancer("pplb", friction_jitter=0.05)
+        sim = FastSimulator(
+            scenario.topology, scenario.system, balancer,
+            links=scenario.links, dynamic=scenario.dynamic,
+            node_speeds=scenario.node_speeds, seed=3,
+        )
+        with caplog.at_level("WARNING", logger="repro.core.balancer"):
+            sim.run(max_rounds=20)
+        fallbacks = [rec for rec in caplog.records
+                     if "friction_jitter" in rec.message]
+        assert len(fallbacks) == 1  # warned once, not per round
