@@ -33,6 +33,11 @@ refresh the baseline from the gating machine class (re-run the
 benchmark on a CI runner and commit the JSON), which arms the absolute
 checks. ``PERF_GATE_MAX_REGRESSION`` (default 0.30) widens the absolute
 tolerance for noisier environments without editing this file.
+
+Every run — pass or fail — prints a one-line digest of the tracked-rate
+deltas and writes the per-rate detail to ``perf-gate-summary.txt``
+(path overridable via ``PERF_GATE_SUMMARY``), which CI uploads as an
+artifact with ``if: always()``.
 """
 
 from __future__ import annotations
@@ -51,6 +56,9 @@ BASELINE = ROOT / "benchmarks" / "results" / "BENCH_engine.json"
 #: we fail (overridable per environment, see module docstring).
 MAX_REGRESSION = float(os.environ.get("PERF_GATE_MAX_REGRESSION", "0.30"))
 ATTEMPTS = 3
+#: per-rate delta report, written on success *and* failure so CI can
+#: always upload it as an artifact.
+SUMMARY = pathlib.Path(os.environ.get("PERF_GATE_SUMMARY", "perf-gate-summary.txt"))
 
 
 def tracked_rates(payload: dict) -> dict[str, float]:
@@ -133,6 +141,53 @@ def check(baseline: dict, fresh: dict) -> list[str]:
     return failures
 
 
+def delta_summary(baseline: dict, fresh: dict) -> tuple[str, list[str]]:
+    """(one-line digest, per-rate detail lines) of fresh vs baseline.
+
+    Computed even across machine classes — there the deltas are
+    informational (the gate does not enforce absolutes), and the digest
+    says so rather than silently printing nothing.
+    """
+    base_rates = tracked_rates(baseline)
+    fresh_rates = tracked_rates(fresh)
+    deltas = {
+        name: fresh_rates[name] / rate - 1.0
+        for name, rate in base_rates.items()
+        if name in fresh_rates and rate > 0
+    }
+    if not deltas:
+        return "perf-gate deltas: no tracked rates shared with the baseline", []
+    ordered = sorted(deltas, key=lambda name: deltas[name])
+    detail = [
+        f"{name}: {fresh_rates[name]:.1f} vs baseline {base_rates[name]:.1f} "
+        f"({deltas[name]:+.1%})"
+        for name in ordered
+    ]
+    median = sorted(deltas.values())[len(deltas) // 2]
+    worst, best = ordered[0], ordered[-1]
+    suffix = (
+        "" if same_machine_class(baseline, fresh)
+        else "; foreign machine class — informational only"
+    )
+    digest = (
+        f"perf-gate deltas vs baseline ({len(deltas)} rates): "
+        f"worst {deltas[worst]:+.1%} ({worst}), median {median:+.1%}, "
+        f"best {deltas[best]:+.1%} ({best}){suffix}"
+    )
+    return digest, detail
+
+
+def write_summary(status: str, digest: str, detail: list[str],
+                  failures: list[str]) -> None:
+    lines = [f"perf-gate: {status}", digest]
+    if failures:
+        lines += ["", "failures:"] + [f"  {f}" for f in failures]
+    if detail:
+        lines += ["", "tracked rates (worst delta first):"]
+        lines += [f"  {line}" for line in detail]
+    SUMMARY.write_text("\n".join(lines) + "\n")
+
+
 def main() -> int:
     if not BASELINE.exists():
         print(f"perf-gate: no baseline at {BASELINE}", file=sys.stderr)
@@ -141,19 +196,26 @@ def main() -> int:
 
     from bench_perf import measure
 
+    fresh: dict = {}
     last_failures: list[str] = []
     for attempt in range(1, ATTEMPTS + 1):
         print(f"perf-gate: measurement attempt {attempt}/{ATTEMPTS} ...")
         fresh = measure()
         last_failures = check(baseline, fresh)
         if not last_failures:
+            digest, detail = delta_summary(baseline, fresh)
             print("perf-gate: OK")
-            for name, rate in sorted(tracked_rates(fresh).items()):
-                print(f"  {name}: {rate:.1f}")
+            print(digest)
+            for line in detail:
+                print(f"  {line}")
+            write_summary("OK", digest, detail, [])
             return 0
         print(f"perf-gate: attempt {attempt} failed:")
         for failure in last_failures:
             print(f"  {failure}")
+    digest, detail = delta_summary(baseline, fresh)
+    print(digest)
+    write_summary("FAILED", digest, detail, last_failures)
     print(
         f"perf-gate: FAILED after {ATTEMPTS} attempts — a tracked rate "
         f"regressed >{MAX_REGRESSION:.0%} against {BASELINE}",

@@ -34,6 +34,7 @@ EXPERIMENT_ORDER = [
     "E16_heterogeneous",
     "E17_async",
     "E18_scenario_matrix",
+    "E19_leaderboard",
     "BENCH_engine",
 ]
 

@@ -16,6 +16,16 @@ Installed as ``pplb`` (see pyproject). Subcommands:
 * ``pplb profile SCENARIO`` — run one scenario under the trace probe
   and print a per-phase wall-time breakdown; the Chrome trace-event
   JSON lands on disk for chrome://tracing / Perfetto.
+* ``pplb tune --scenarios A B`` — search the PPLB parameter space per
+  scenario family (successive halving + genetic refinement through the
+  cached runner; see :mod:`repro.tuning`) and save the winners into the
+  tuned-config registry (``--registry``, default ``tuned-configs.json``).
+  Fully seeded: repeating an identical invocation replays every
+  evaluation from the result cache and writes an identical registry.
+* ``pplb leaderboard`` — tuned PPLB vs paper-default PPLB vs the
+  baselines across a scenario × engine matrix; ``--scenarios all``
+  sweeps every registered scenario, ``--output`` writes the
+  deterministic JSON payload.
 * ``pplb cache stats|clear`` — inspect or empty the on-disk result cache.
 * ``pplb table1`` — regenerate the paper's Table 1 from the parameter
   registry.
@@ -89,6 +99,18 @@ from repro.runner import (
     run_grid,
 )
 from repro.sim.telemetry import DEFAULT_TRACE_PATH, probe_tag
+from repro.tuning import (
+    DEFAULT_BASELINES,
+    DEFAULT_REGISTRY_PATH,
+    TUNABLE_ENGINES,
+    TuneBudget,
+    TunedConfig,
+    TunedConfigRegistry,
+    build_leaderboard,
+    leaderboard_rows,
+    summary_rows,
+    tune_scenario,
+)
 
 #: the CLI's historical name for the balancer registry (every factory
 #: works as a zero-argument constructor with registry defaults).
@@ -325,6 +347,132 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _overrides_str(overrides: dict) -> str:
+    """Compact ``k=v`` rendering of a tuned override dict."""
+    if not overrides:
+        return "(paper defaults)"
+    return " ".join(f"{k}={overrides[k]}" for k in sorted(overrides))
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    budget = TuneBudget(
+        n_initial=args.initial,
+        eta=args.eta,
+        base_rounds=args.base_rounds,
+        full_rounds=args.full_rounds,
+        eval_seeds=args.eval_seeds,
+        engine=args.engine,
+        recorder=args.recorder,
+        ga_generations=args.ga_generations,
+        ga_population=args.ga_population,
+    )
+    cache = _cache_from(args)
+    registry = TunedConfigRegistry.load(args.registry)
+
+    rows = []
+    total_specs = total_hits = total_evals = 0
+    for scenario in args.scenarios:
+        report = tune_scenario(
+            scenario,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            budget=budget,
+            workers=args.workers,
+            cache=cache,
+        )
+        registry.put(report.scenario, TunedConfig(
+            algorithm=report.algorithm,
+            overrides=report.winner,
+            score=report.score,
+            default_score=report.default_score,
+            n_evals=report.n_evals,
+            seed=report.seed,
+            budget=budget.to_dict(),
+        ))
+        total_specs += report.n_specs
+        total_hits += report.cache_hits
+        total_evals += report.n_evals
+        rows.append({
+            "scenario": report.scenario,
+            "winner": _overrides_str(report.winner),
+            "score": round(report.score, 6),
+            "default": round(report.default_score, 6),
+            "gain_%": round(100.0 * report.improvement(), 2),
+            "evals": report.n_evals,
+        })
+
+    print(format_table(
+        rows,
+        columns=["scenario", "winner", "score", "default", "gain_%", "evals"],
+        title=f"tune — {args.algorithm}, {budget.engine} engine, "
+              f"rounds {budget.base_rounds}→{budget.full_rounds}, "
+              f"seed {args.seed}",
+    ))
+    executed = total_specs - total_hits
+    print(
+        f"\n{total_evals} evals, {total_specs} specs: "
+        f"{executed} executed, {total_hits} from cache"
+        + ("" if cache is None else f" ({cache.root})")
+    )
+    registry.save(args.registry)
+    print(f"registry written to {args.registry} "
+          f"({len(registry)} tuned scenario(s))")
+    return 0
+
+
+def cmd_leaderboard(args: argparse.Namespace) -> int:
+    from repro.workloads import SCENARIOS
+
+    scenarios = list(args.scenarios)
+    if scenarios == ["all"]:
+        scenarios = sorted(SCENARIOS)
+    registry = TunedConfigRegistry.load(args.registry)
+    if len(registry) == 0:
+        print(f"note: no tuned configs at {args.registry} — "
+              "pplb-tuned runs the paper defaults (see `pplb tune`)")
+    metrics = RunnerMetrics()
+    payload = build_leaderboard(
+        scenarios,
+        engines=args.engines,
+        registry=registry,
+        baselines=tuple(args.baselines),
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_rounds=args.rounds,
+        recorder=args.recorder,
+        workers=args.workers,
+        cache=_cache_from(args),
+        metrics=metrics,
+    )
+    print(format_table(
+        leaderboard_rows(payload),
+        columns=["scenario", "engine", "rank", "algorithm", "final_cov",
+                 "rounds", "migrations", "traffic"],
+        title=f"leaderboard — {len(scenarios)} scenario(s) × "
+              f"{len(args.engines)} engine(s), {args.seeds} seed(s), "
+              f"{args.rounds} rounds",
+    ))
+    print()
+    print(format_table(
+        summary_rows(payload),
+        columns=["algorithm", "wins", "mean_rank"],
+        title="wins per algorithm (rank 1 = lowest mean final CoV in a cell)",
+    ))
+    improved = sum(1 for r in payload["tuned_vs_default"] if r["improvement"] > 0)
+    print(f"\ntuned vs default: better objective on {improved}/"
+          f"{len(payload['tuned_vs_default'])} cells")
+    print(f"{metrics.total} specs: {metrics.cache_misses} executed, "
+          f"{metrics.cache_hits} from cache")
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w") as handle:
+            _json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"leaderboard JSON written to {args.output}")
+    return 0
+
+
 def _human_bytes(n: int) -> str:
     size = float(n)
     for unit in ("B", "KiB", "MiB", "GiB"):
@@ -518,6 +666,96 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where to write the Chrome trace-event JSON "
                              "(chrome://tracing / https://ui.perfetto.dev)")
     p_prof.set_defaults(fn=cmd_profile)
+
+    def scenario_or_all(value: str) -> str:
+        return value if value == "all" else _scenario_arg(value)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="search the PPLB parameter space per scenario family "
+             "(successive halving + genetic refinement, cached) and "
+             "save the winners into the tuned-config registry",
+    )
+    p_tune.add_argument("--scenarios", nargs="+", type=_scenario_arg,
+                        default=["mesh-hotspot", "torus-hotspot"],
+                        metavar="SCENARIO",
+                        help="scenario families to tune (registered names "
+                             "and/or composed strings)")
+    p_tune.add_argument("--algorithm", choices=["pplb", "pplb-greedy"],
+                        default="pplb",
+                        help="which PPLBConfig-driven balancer to tune")
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="master tuning seed (candidates, GA and "
+                             "evaluation seeds all derive from it)")
+    p_tune.add_argument("--initial", type=int, default=8,
+                        help="candidate pool size entering successive "
+                             "halving (the paper default always rides "
+                             "as candidate 0)")
+    p_tune.add_argument("--eta", type=int, default=2,
+                        help="halving rate: keep top 1/eta per rung, "
+                             "multiply the round budget by eta")
+    p_tune.add_argument("--base-rounds", type=int, default=50,
+                        help="round budget of the cheapest rung")
+    p_tune.add_argument("--full-rounds", type=int, default=200,
+                        help="round budget survivors are promoted to")
+    p_tune.add_argument("--eval-seeds", type=int, default=2,
+                        help="repetitions per candidate evaluation")
+    p_tune.add_argument("--ga-generations", type=int, default=4,
+                        help="steady-state genetic refinement steps after "
+                             "halving (0 disables)")
+    p_tune.add_argument("--ga-population", type=int, default=4,
+                        help="population size seeding the genetic search")
+    p_tune.add_argument("--engine", choices=sorted(TUNABLE_ENGINES),
+                        default="rounds-fast",
+                        help="engine candidate evaluations run on")
+    p_tune.add_argument("--recorder", default="summary", metavar="POLICY",
+                        help="recording policy for evaluations (summary "
+                             "is cheapest and sufficient for the objective)")
+    p_tune.add_argument("--workers", type=int, default=1,
+                        help="worker processes per evaluation batch "
+                             "(1 = serial, 0 = one per core)")
+    p_tune.add_argument("--registry", default=DEFAULT_REGISTRY_PATH,
+                        metavar="PATH",
+                        help="tuned-config registry JSON to merge winners "
+                             "into (created if missing)")
+    add_cache_args(p_tune)
+    p_tune.set_defaults(fn=cmd_tune)
+
+    p_board = sub.add_parser(
+        "leaderboard",
+        help="tuned PPLB vs paper-default PPLB vs the baselines across "
+             "a scenario × engine matrix (cached, deterministic JSON)",
+    )
+    p_board.add_argument("--scenarios", nargs="+", type=scenario_or_all,
+                         default=["mesh-hotspot", "torus-hotspot"],
+                         metavar="SCENARIO",
+                         help="scenarios to rank on, or 'all' for every "
+                              "registered scenario")
+    p_board.add_argument("--engines", nargs="+",
+                         choices=sorted(TUNABLE_ENGINES),
+                         default=["rounds-fast"],
+                         help="task engines forming the matrix columns")
+    p_board.add_argument("--baselines", nargs="+",
+                         choices=sorted(ALGORITHMS),
+                         default=list(DEFAULT_BASELINES),
+                         help="baseline algorithms ranked alongside "
+                              "tuned and default PPLB")
+    p_board.add_argument("--seeds", type=int, default=2,
+                         help="repetitions per (scenario, engine, algorithm)")
+    p_board.add_argument("--base-seed", type=int, default=0)
+    p_board.add_argument("--rounds", type=int, default=200)
+    p_board.add_argument("--recorder", default="summary", metavar="POLICY",
+                         help="recording policy for leaderboard runs")
+    p_board.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial, 0 = one per core)")
+    p_board.add_argument("--registry", default=DEFAULT_REGISTRY_PATH,
+                         metavar="PATH",
+                         help="tuned-config registry JSON to read "
+                              "(missing = paper defaults for pplb-tuned)")
+    p_board.add_argument("--output", default=None, metavar="PATH",
+                         help="write the deterministic leaderboard JSON here")
+    add_cache_args(p_board)
+    p_board.set_defaults(fn=cmd_leaderboard)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

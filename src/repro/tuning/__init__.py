@@ -1,0 +1,72 @@
+"""Self-tuning PPLB: automated search over the physics parameter space.
+
+The paper's conclusion promises a *methodology* — "each new system can
+be easily modeled by … fine-tuning the configuration parameters".
+:mod:`repro.core.tuning` derives a config analytically from the
+system's own scales; this package closes the loop *empirically*:
+
+* :mod:`space <repro.tuning.space>` — :class:`ParamSpace`, the
+  declarative table of tunable :class:`~repro.core.PPLBConfig` fields
+  with sample/mutate/crossover operators and the canonical-override
+  form that keeps cache keys stable.
+* :mod:`optimizer <repro.tuning.optimizer>` — :func:`tune_scenario`,
+  successive halving (cheap rounds → promoted survivors) plus a
+  steady-state genetic refinement, fully seeded and running every
+  evaluation through the cached grid runner, so repeated sessions are
+  pure cache replays.
+* :mod:`registry <repro.tuning.registry>` —
+  :class:`TunedConfigRegistry`, winners on disk keyed by canonical
+  scenario string, byte-deterministic JSON, strict loading.
+* :mod:`leaderboard <repro.tuning.leaderboard>` —
+  :func:`build_leaderboard`, tuned PPLB vs paper-default PPLB vs the
+  baselines across a scenario × engine matrix, as one deterministic
+  payload.
+
+Exposed on the CLI as ``pplb tune`` and ``pplb leaderboard``; E19
+(``benchmarks/bench_e19_leaderboard.py``) is the benchmark artifact.
+"""
+
+from repro.tuning.leaderboard import (
+    DEFAULT_BASELINES,
+    TUNED_NAME,
+    build_leaderboard,
+    leaderboard_rows,
+    summary_rows,
+)
+from repro.tuning.optimizer import (
+    TUNABLE_ENGINES,
+    TuneBudget,
+    TuneReport,
+    score_result,
+    tune_scenario,
+    tune_scenarios,
+)
+from repro.tuning.registry import (
+    DEFAULT_REGISTRY_PATH,
+    REGISTRY_FORMAT,
+    TunedConfig,
+    TunedConfigRegistry,
+)
+from repro.tuning.space import Param, ParamSpace, default_pplb_space, round_sig
+
+__all__ = [
+    "DEFAULT_BASELINES",
+    "DEFAULT_REGISTRY_PATH",
+    "Param",
+    "ParamSpace",
+    "REGISTRY_FORMAT",
+    "TUNABLE_ENGINES",
+    "TUNED_NAME",
+    "TuneBudget",
+    "TuneReport",
+    "TunedConfig",
+    "TunedConfigRegistry",
+    "build_leaderboard",
+    "default_pplb_space",
+    "leaderboard_rows",
+    "round_sig",
+    "score_result",
+    "summary_rows",
+    "tune_scenario",
+    "tune_scenarios",
+]

@@ -1,0 +1,220 @@
+"""The tuned-config registry: winners on disk, keyed by canonical
+scenario string.
+
+One JSON file holds the best-known balancer configuration per scenario
+family. Keys are *canonical* scenario strings (the exact spelling
+:class:`~repro.runner.spec.RunSpec` hashes), so every equivalent
+spelling of a setting looks up the same entry, and a registry entry
+whose overrides are empty — the paper default won — builds a
+:class:`RunSpec` whose cache key is *bit-identical* to a plain default
+spec: adopting the registry can never orphan an existing cache.
+
+The file format is deterministic (sorted keys, two-space indent, one
+trailing newline, no timestamps), so ``save`` after ``load`` is a
+byte-identical round trip and two identical tuning sessions produce
+identical files — the property the ``tune-smoke`` CI job pins.
+
+Loading is strict: unknown top-level keys, unknown entry keys and
+override names that :class:`~repro.core.PPLBConfig` does not accept
+all raise :class:`~repro.exceptions.ConfigurationError` naming the
+offender, so a hand-edited registry fails loudly instead of silently
+running the defaults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from os import PathLike
+from pathlib import Path
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.runner.spec import RunSpec
+from repro.tuning.space import ParamSpace, default_pplb_space
+
+#: current registry file format (bump when the schema changes).
+REGISTRY_FORMAT = 1
+
+#: the default on-disk location (CLI default; overridable everywhere).
+DEFAULT_REGISTRY_PATH = "tuned-configs.json"
+
+_ENTRY_KEYS = frozenset(
+    {"algorithm", "overrides", "score", "default_score", "n_evals", "seed", "budget"}
+)
+_TOP_KEYS = frozenset({"format", "configs"})
+
+
+@dataclass
+class TunedConfig:
+    """One registry entry: the winning overrides and their provenance.
+
+    ``overrides`` is canonical (sorted keys, defaults dropped — see
+    :meth:`ParamSpace.canonical`); ``{}`` records that the paper
+    default won. ``budget`` is the plain-dict form of the
+    :class:`~repro.tuning.optimizer.TuneBudget` the session ran under.
+    """
+
+    algorithm: str = "pplb"
+    overrides: dict = field(default_factory=dict)
+    score: float = float("nan")
+    default_score: float = float("nan")
+    n_evals: int = 0
+    seed: int = 0
+    budget: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "overrides": dict(self.overrides),
+            "score": self.score,
+            "default_score": self.default_score,
+            "n_evals": self.n_evals,
+            "seed": self.seed,
+            "budget": dict(self.budget),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, scenario: str = "?",
+                  space: ParamSpace | None = None) -> "TunedConfig":
+        unknown = sorted(set(data) - _ENTRY_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"tuned-config entry for {scenario!r} has unknown key(s) "
+                f"{unknown}; accepted: {sorted(_ENTRY_KEYS)}"
+            )
+        space = space if space is not None else default_pplb_space()
+        overrides = data.get("overrides", {})
+        if not isinstance(overrides, Mapping):
+            raise ConfigurationError(
+                f"tuned-config entry for {scenario!r}: 'overrides' must be a "
+                f"mapping, got {type(overrides).__name__}"
+            )
+        return cls(
+            algorithm=str(data.get("algorithm", "pplb")),
+            # canonical() re-validates: unknown PPLBConfig fields and
+            # out-of-range values fail here, at load time.
+            overrides=space.canonical(overrides),
+            score=float(data.get("score", float("nan"))),
+            default_score=float(data.get("default_score", float("nan"))),
+            n_evals=int(data.get("n_evals", 0)),
+            seed=int(data.get("seed", 0)),
+            budget=dict(data.get("budget", {})),
+        )
+
+
+class TunedConfigRegistry:
+    """In-memory registry with a deterministic JSON disk format."""
+
+    def __init__(self, configs: Mapping[str, TunedConfig] | None = None):
+        self._configs: dict[str, TunedConfig] = {}
+        for scenario, entry in (configs or {}).items():
+            self.put(scenario, entry)
+
+    # ------------------------------ access ------------------------------ #
+
+    @staticmethod
+    def _canonical(scenario: str) -> str:
+        from repro.workloads.composition import canonical_scenario_name
+
+        return canonical_scenario_name(scenario)
+
+    def put(self, scenario: str, entry: TunedConfig) -> None:
+        self._configs[self._canonical(scenario)] = entry
+
+    def get(self, scenario: str) -> TunedConfig | None:
+        return self._configs.get(self._canonical(scenario))
+
+    def scenarios(self) -> list[str]:
+        return sorted(self._configs)
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def overrides_for(self, scenario: str) -> dict:
+        """Tuned overrides for a scenario family (``{}`` when untuned —
+        the paper default, by construction the same RunSpec key)."""
+        entry = self.get(scenario)
+        return dict(entry.overrides) if entry is not None else {}
+
+    def spec_for(self, scenario: str, **spec_kwargs) -> RunSpec:
+        """A :class:`RunSpec` running this scenario under its tuned
+        config. With no entry (or an empty-override entry) the spec is
+        *identical* — same content hash — to a default spec, so tuned
+        grids share cache entries with default grids wherever tuning
+        changed nothing."""
+        entry = self.get(scenario)
+        return RunSpec(
+            scenario=scenario,
+            algorithm=entry.algorithm if entry is not None else "pplb",
+            algorithm_kwargs=self.overrides_for(scenario),
+            **spec_kwargs,
+        )
+
+    # ------------------------------- disk ------------------------------- #
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format": REGISTRY_FORMAT,
+            "configs": {s: e.to_dict() for s, e in sorted(self._configs.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, source: str = "<memory>") -> "TunedConfigRegistry":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"tuned-config registry {source}: expected a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - _TOP_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"tuned-config registry {source} has unknown key(s) {unknown}; "
+                f"accepted: {sorted(_TOP_KEYS)}"
+            )
+        version = data.get("format")
+        if version != REGISTRY_FORMAT:
+            raise ConfigurationError(
+                f"tuned-config registry {source}: unsupported format "
+                f"{version!r} (this build reads format {REGISTRY_FORMAT})"
+            )
+        configs = data.get("configs", {})
+        if not isinstance(configs, Mapping):
+            raise ConfigurationError(
+                f"tuned-config registry {source}: 'configs' must be a mapping"
+            )
+        registry = cls()
+        for scenario, entry in configs.items():
+            registry.put(scenario, TunedConfig.from_dict(entry, scenario=scenario))
+        return registry
+
+    @classmethod
+    def load(cls, path: str | PathLike) -> "TunedConfigRegistry":
+        """Read a registry file; a missing file is an empty registry."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"tuned-config registry {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data, source=str(path))
+
+    def save(self, path: str | PathLike) -> None:
+        """Write atomically (tmp + rename), byte-deterministically."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

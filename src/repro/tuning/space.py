@@ -1,0 +1,216 @@
+"""The search space: which balancer knobs the tuner may turn, and how.
+
+A :class:`ParamSpace` is a declarative table of tunable
+:class:`~repro.core.PPLBConfig` fields — each a :class:`Param` with a
+kind (log-scale float, linear float, or a discrete choice set) and
+bounds. The space knows how to *sample* a configuration, *mutate* one
+(the genetic search's step operator) and *cross over* two parents, all
+through an explicitly threaded :class:`numpy.random.Generator`, so
+every candidate the optimizer ever proposes is a pure function of the
+tuning seed.
+
+Canonical form — the load-bearing invariant
+-------------------------------------------
+:meth:`ParamSpace.canonical` reduces an override dict to its canonical
+form: floats rounded to six significant digits, keys sorted, and any
+value equal to the registered default *dropped*. Canonical overrides
+are what travels into ``RunSpec.algorithm_kwargs``, into the tuned-
+config registry and across process boundaries — so a tuned config that
+happens to rediscover the paper defaults hashes to *exactly* the cache
+key of a default run, and re-running a tuning session replays entirely
+from the result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.config import PPLBConfig
+from repro.exceptions import ConfigurationError
+
+#: float canonicalisation: six significant digits — coarse enough that
+#: a value survives JSON → str → float round trips bit-identically,
+#: fine enough that the physics cannot tell the difference.
+_SIG_DIGITS = 6
+
+
+def round_sig(value: float) -> float:
+    """Round to :data:`_SIG_DIGITS` significant digits (canonical floats)."""
+    return float(f"{float(value):.{_SIG_DIGITS}g}")
+
+
+#: the default values of every PPLBConfig field, by name.
+_CONFIG_DEFAULTS = {f.name: f.default for f in dc_fields(PPLBConfig)}
+
+
+@dataclass(frozen=True)
+class Param:
+    """One tunable dimension.
+
+    Attributes
+    ----------
+    name:
+        A :class:`PPLBConfig` field name (validated at construction).
+    kind:
+        ``"log"`` — positive float sampled log-uniformly in
+        ``[low, high]``; mutation multiplies by a log-normal factor.
+        ``"linear"`` — float sampled uniformly in ``[low, high]``;
+        mutation adds Gaussian noise scaled to the range.
+        ``"choice"`` — one of ``choices`` (any JSON-able scalars);
+        mutation re-draws uniformly from the *other* choices.
+    low, high:
+        Bounds for the float kinds (inclusive; clipped after mutation).
+    choices:
+        The value set for ``kind="choice"``.
+    """
+
+    name: str
+    kind: str
+    low: float = 0.0
+    high: float = 0.0
+    choices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in _CONFIG_DEFAULTS:
+            raise ConfigurationError(
+                f"unknown PPLBConfig field {self.name!r}; tunable fields: "
+                f"{sorted(_CONFIG_DEFAULTS)}"
+            )
+        if self.kind not in ("log", "linear", "choice"):
+            raise ConfigurationError(
+                f"param kind must be 'log', 'linear' or 'choice', got {self.kind!r}"
+            )
+        if self.kind == "choice":
+            if len(self.choices) < 2:
+                raise ConfigurationError(
+                    f"choice param {self.name!r} needs >= 2 choices, got {self.choices!r}"
+                )
+        else:
+            if not self.low < self.high:
+                raise ConfigurationError(
+                    f"param {self.name!r} needs low < high, got [{self.low}, {self.high}]"
+                )
+            if self.kind == "log" and self.low <= 0:
+                raise ConfigurationError(
+                    f"log param {self.name!r} needs a positive lower bound, got {self.low}"
+                )
+
+    # ------------------------------ operators ------------------------------ #
+
+    def sample(self, rng: np.random.Generator):
+        """Draw one canonical value."""
+        if self.kind == "choice":
+            return self.choices[int(rng.integers(0, len(self.choices)))]
+        if self.kind == "log":
+            return round_sig(
+                float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+            )
+        return round_sig(float(rng.uniform(self.low, self.high)))
+
+    def mutate(self, value, rng: np.random.Generator, scale: float = 0.25):
+        """Perturb *value* (always returns a canonical in-bounds value)."""
+        if self.kind == "choice":
+            others = [c for c in self.choices if c != value]
+            return others[int(rng.integers(0, len(others)))]
+        if self.kind == "log":
+            moved = float(value) * float(np.exp(scale * rng.standard_normal()))
+        else:
+            moved = float(value) + scale * (self.high - self.low) * float(
+                rng.standard_normal()
+            )
+        return round_sig(float(np.clip(moved, self.low, self.high)))
+
+    def default(self):
+        """The registered :class:`PPLBConfig` default for this field."""
+        return _CONFIG_DEFAULTS[self.name]
+
+
+class ParamSpace:
+    """An ordered, name-unique set of :class:`Param` dimensions."""
+
+    def __init__(self, params: tuple[Param, ...] | list[Param]):
+        params = tuple(params)
+        if not params:
+            raise ConfigurationError("a ParamSpace needs at least one Param")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate param names in space: {names}")
+        self.params = params
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    # ------------------------------ operators ------------------------------ #
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        """One canonical candidate: every dimension sampled independently."""
+        return self.canonical({p.name: p.sample(rng) for p in self.params})
+
+    def mutate(self, overrides: Mapping, rng: np.random.Generator) -> dict:
+        """Steady-state step: perturb exactly one (random) dimension.
+
+        Missing keys read as the config default, so mutating ``{}``
+        explores one step away from the paper configuration.
+        """
+        full = {p.name: overrides.get(p.name, p.default()) for p in self.params}
+        victim = self.params[int(rng.integers(0, len(self.params)))]
+        full[victim.name] = victim.mutate(full[victim.name], rng)
+        return self.canonical(full)
+
+    def crossover(self, a: Mapping, b: Mapping, rng: np.random.Generator) -> dict:
+        """Uniform crossover: each dimension from parent *a* or *b*."""
+        child = {}
+        for p in self.params:
+            parent = a if rng.random() < 0.5 else b
+            child[p.name] = parent.get(p.name, p.default())
+        return self.canonical(child)
+
+    # ------------------------------ canonical ------------------------------ #
+
+    def canonical(self, overrides: Mapping) -> dict:
+        """Canonical override dict — see the module docstring.
+
+        Validates in one pass: keys must be :class:`PPLBConfig` fields
+        (:class:`ConfigurationError` names the offenders and the
+        accepted keys) and the overridden configuration must construct
+        (out-of-range values fail with the config's own diagnostics).
+        """
+        unknown = sorted(set(overrides) - set(_CONFIG_DEFAULTS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown PPLBConfig override(s) {unknown}; accepted keys: "
+                f"{sorted(_CONFIG_DEFAULTS)}"
+            )
+        out: dict = {}
+        for name in sorted(overrides):
+            value = overrides[name]
+            if isinstance(value, float):
+                value = round_sig(value)
+            if value == _CONFIG_DEFAULTS[name]:
+                continue  # defaults are *absent*: key-stability invariant
+            out[name] = value
+        PPLBConfig(**out)  # range/consistency validation
+        return out
+
+
+def default_pplb_space() -> ParamSpace:
+    """The physics knobs the paper leaves "to be configured" (§4.2, §5).
+
+    * ``mu_s_base`` — the initiation slope: how large a corrected load
+      gradient must be before a transfer starts at all.
+    * ``mu_k_base`` — kinetic friction, which via Corollary 3 *is* the
+      trap radius (journey length ∝ 1/µk).
+    * ``beta0`` — the arbiter's initial exploration probability.
+    * ``candidates_per_node`` — how many resident tasks a node offers
+      per round (the E13 ablation knob).
+    """
+    return ParamSpace((
+        Param("mu_s_base", "log", low=0.25, high=4.0),
+        Param("mu_k_base", "log", low=0.0625, high=1.0),
+        Param("beta0", "linear", low=0.0, high=0.5),
+        Param("candidates_per_node", "choice", choices=(2, 4, 8, 16)),
+    ))

@@ -402,3 +402,91 @@ class TestLoggingFlags:
         fallbacks = [rec for rec in caplog.records
                      if "friction_jitter" in rec.message]
         assert len(fallbacks) == 1  # warned once, not per round
+
+
+class TestTuneCommand:
+    TINY = ["--scenarios", "mesh:4x4+hotspot", "--seed", "0",
+            "--initial", "3", "--base-rounds", "8", "--full-rounds", "16",
+            "--eval-seeds", "1", "--ga-generations", "1", "--ga-population", "2"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.scenarios == ["mesh-hotspot", "torus-hotspot"]
+        assert args.algorithm == "pplb"
+        assert args.engine == "rounds-fast"
+        assert args.recorder == "summary"
+
+    def test_rejects_non_pplb_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--algorithm", "diffusion"])
+
+    def test_rejects_fluid_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--engine", "fluid"])
+
+    def test_tune_writes_registry_and_reports(self, capsys, tmp_path):
+        registry = tmp_path / "reg.json"
+        rc = main(["tune", *self.TINY, "--registry", str(registry),
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mesh:side=4+hotspot" in out
+        assert "evals" in out and "registry written" in out
+        assert registry.exists()
+
+    def test_second_tune_replays_from_cache(self, capsys, tmp_path):
+        argv = ["tune", *self.TINY, "--registry", str(tmp_path / "reg.json"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert " 0 from cache" in first
+        assert " 0 executed" in second
+        # identical winner table — only the cache split may differ
+        assert first.splitlines()[:7] == second.splitlines()[:7]
+
+    def test_tune_merges_into_existing_registry(self, capsys, tmp_path):
+        registry = tmp_path / "reg.json"
+        base = ["--registry", str(registry), "--cache-dir", str(tmp_path / "cache")]
+        assert main(["tune", *self.TINY, *base]) == 0
+        assert main(["tune", *self.TINY[2:], "--scenarios", "mesh:6x6+hotspot",
+                     "--seed", "0", *base]) == 0
+        out = capsys.readouterr().out
+        assert "2 tuned scenario(s)" in out
+
+
+class TestLeaderboardCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["leaderboard"])
+        assert args.engines == ["rounds-fast"]
+        assert args.seeds == 2
+
+    def test_accepts_all_literal(self):
+        args = build_parser().parse_args(["leaderboard", "--scenarios", "all"])
+        assert args.scenarios == ["all"]
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["leaderboard", "--scenarios", "nope"])
+
+    def test_leaderboard_without_registry_notes_defaults(self, capsys, tmp_path):
+        rc = main(["leaderboard", "--scenarios", "mesh:4x4+hotspot",
+                   "--seeds", "1", "--rounds", "16", "--recorder", "summary",
+                   "--registry", str(tmp_path / "absent.json"),
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no tuned configs" in out
+        assert "pplb-tuned" in out and "tuned vs default" in out
+
+    def test_leaderboard_json_is_deterministic(self, capsys, tmp_path):
+        argv = ["leaderboard", "--scenarios", "mesh:4x4+hotspot",
+                "--seeds", "1", "--rounds", "16", "--recorder", "summary",
+                "--registry", str(tmp_path / "absent.json"),
+                "--cache-dir", str(tmp_path / "cache")]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*argv, "--output", str(a)]) == 0
+        assert main([*argv, "--output", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,165 @@
+"""Unit tests for the tuning search space (Param / ParamSpace)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PPLBConfig
+from repro.exceptions import ConfigurationError
+from repro.tuning import Param, ParamSpace, default_pplb_space, round_sig
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRoundSig:
+    def test_six_significant_digits(self):
+        assert round_sig(1.23456789) == 1.23457
+        assert round_sig(0.000123456789) == 0.000123457
+
+    def test_survives_str_round_trip(self):
+        value = round_sig(np.pi)
+        assert float(str(value)) == value
+
+    def test_idempotent(self):
+        value = round_sig(2.718281828)
+        assert round_sig(value) == value
+
+
+class TestParamValidation:
+    def test_rejects_unknown_config_field(self):
+        with pytest.raises(ConfigurationError, match="unknown PPLBConfig field"):
+            Param("not_a_field", "linear", low=0.0, high=1.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            Param("beta0", "quadratic", low=0.0, high=1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError, match="low < high"):
+            Param("beta0", "linear", low=1.0, high=0.0)
+
+    def test_log_needs_positive_lower_bound(self):
+        with pytest.raises(ConfigurationError, match="positive lower bound"):
+            Param("mu_s_base", "log", low=0.0, high=1.0)
+
+    def test_choice_needs_two_choices(self):
+        with pytest.raises(ConfigurationError, match=">= 2 choices"):
+            Param("candidates_per_node", "choice", choices=(4,))
+
+
+class TestParamOperators:
+    @pytest.mark.parametrize("param", [
+        Param("mu_s_base", "log", low=0.25, high=4.0),
+        Param("beta0", "linear", low=0.0, high=0.5),
+    ])
+    def test_sample_within_bounds(self, param):
+        g = rng()
+        for _ in range(100):
+            value = param.sample(g)
+            assert param.low <= value <= param.high
+            assert value == round_sig(value)
+
+    def test_choice_samples_from_choices(self):
+        param = Param("candidates_per_node", "choice", choices=(2, 4, 8))
+        g = rng()
+        seen = {param.sample(g) for _ in range(100)}
+        assert seen == {2, 4, 8}
+
+    def test_sample_deterministic_under_seed(self):
+        param = Param("mu_s_base", "log", low=0.25, high=4.0)
+        g1, g2 = rng(7), rng(7)
+        a = [param.sample(g1) for _ in range(5)]
+        b = [param.sample(g2) for _ in range(5)]
+        assert a == b
+
+    def test_mutate_stays_in_bounds(self):
+        param = Param("beta0", "linear", low=0.0, high=0.5)
+        g = rng()
+        value = 0.25
+        for _ in range(200):
+            value = param.mutate(value, g)
+            assert 0.0 <= value <= 0.5
+
+    def test_choice_mutation_never_returns_input(self):
+        param = Param("candidates_per_node", "choice", choices=(2, 4, 8, 16))
+        g = rng()
+        assert all(param.mutate(4, g) != 4 for _ in range(50))
+
+    def test_default_reads_config(self):
+        assert Param("beta0", "linear", low=0.0, high=0.5).default() == PPLBConfig().beta0
+
+
+class TestParamSpace:
+    def test_needs_at_least_one_param(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ParamSpace(())
+
+    def test_rejects_duplicate_names(self):
+        p = Param("beta0", "linear", low=0.0, high=0.5)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ParamSpace((p, p))
+
+    def test_sample_covers_every_dimension_or_default(self):
+        space = default_pplb_space()
+        candidate = space.sample(rng())
+        # canonical() may drop a dimension that sampled its default;
+        # everything present must be a space dimension.
+        assert set(candidate) <= set(space.names)
+
+    def test_mutate_changes_exactly_one_dimension(self):
+        space = default_pplb_space()
+        g = rng(3)
+        base = space.sample(g)
+        full = {p.name: base.get(p.name, p.default()) for p in space.params}
+        mutated = space.mutate(base, g)
+        full_mutated = {p.name: mutated.get(p.name, p.default())
+                        for p in space.params}
+        changed = [n for n in full if full[n] != full_mutated[n]]
+        assert len(changed) == 1
+
+    def test_crossover_takes_each_gene_from_a_parent(self):
+        space = default_pplb_space()
+        g = rng(5)
+        a, b = space.sample(g), space.sample(g)
+        child = space.crossover(a, b, g)
+        for p in space.params:
+            value = child.get(p.name, p.default())
+            assert value in (a.get(p.name, p.default()), b.get(p.name, p.default()))
+
+
+class TestCanonical:
+    def test_drops_values_equal_to_defaults(self):
+        space = default_pplb_space()
+        defaults = PPLBConfig()
+        out = space.canonical({"beta0": defaults.beta0, "mu_s_base": 2.0})
+        assert out == {"mu_s_base": 2.0}
+
+    def test_all_defaults_is_empty(self):
+        space = default_pplb_space()
+        defaults = PPLBConfig()
+        assert space.canonical({
+            "beta0": defaults.beta0,
+            "mu_s_base": defaults.mu_s_base,
+        }) == {}
+
+    def test_sorts_keys_and_rounds_floats(self):
+        space = default_pplb_space()
+        out = space.canonical({"mu_s_base": 1.23456789, "beta0": 0.111111111})
+        assert list(out) == ["beta0", "mu_s_base"]
+        assert out["mu_s_base"] == 1.23457
+
+    def test_unknown_key_raises_naming_offender(self):
+        space = default_pplb_space()
+        with pytest.raises(ConfigurationError, match="not_a_knob"):
+            space.canonical({"not_a_knob": 1.0})
+
+    def test_out_of_range_value_fails_config_validation(self):
+        space = default_pplb_space()
+        with pytest.raises(ConfigurationError):
+            space.canonical({"beta0": 2.0})  # beta0 must be a probability
+
+    def test_idempotent(self):
+        space = default_pplb_space()
+        candidate = space.sample(rng(11))
+        assert space.canonical(candidate) == candidate
