@@ -51,6 +51,16 @@ must be ≥5× the scalar path at N ≥ 1024 (ISSUE 3's acceptance bar)
 and events-fast must be ≥10× scalar events/sec on the steady-state
 torus pair (PR 6's acceptance bar).
 
+* **Grid dispatch** — the runner's fully-cached replay rate: a
+  200-spec grid, already cached, re-run twice per attempt — once
+  through the per-spec JSON path (every payload parsed, every result
+  rebuilt) and once at metric level (``keep_results=False``, answered
+  from the cache's index sidecar). Interleaved best-of-3 pairs; the
+  metric values are verified identical before the rates are reported.
+  The indexed path must re-dispatch ≥5× faster than the per-spec JSON
+  baseline — machine-independent by construction — and its absolute
+  rate is tracked as ``grid_dispatch_rps`` by ``scripts/perf_gate.py``.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -s``
 """
 
@@ -58,8 +68,11 @@ from dataclasses import asdict
 
 import json
 import os
+import tempfile
+import time
 
 from repro.analysis import format_table
+from repro.runner import ResultCache, default_metrics, expand_grid, run_grid
 from repro.runner.registry import make_balancer
 from repro.sim import EventFastSimulator, EventSimulator, FastSimulator, Simulator
 from repro.sim.engine import ConvergenceCriteria
@@ -112,6 +125,18 @@ EVENT_STEADY_ROUNDS = 10
 #: process the identical event stream back to back, so the events/sec
 #: ratio is the wall-time ratio).
 ASYNC_SPEEDUP_FLOOR = 10.0
+
+#: grid-dispatch workload: 200 tiny specs (2 scenarios × 2 algorithms
+#: × 50 seeds), cached once, then replayed — the dispatch benchmark
+#: times the *runner*, so the simulations themselves stay minimal.
+DISPATCH_SCENARIOS = ("mesh-hotspot", "mesh-random")
+DISPATCH_ALGORITHMS = ("pplb", "diffusion")
+DISPATCH_SEEDS = 50
+DISPATCH_ROUNDS = 20
+#: the dispatch acceptance bar: the indexed metric-level replay must
+#: beat the per-spec JSON replay ≥ 5× — machine-independent by
+#: construction (interleaved re-runs of the same cached grid).
+DISPATCH_SPEEDUP_FLOOR = 5.0
 
 #: convergence exit disabled: every budgeted round is simulated, so the
 #: curve measures the sustained service rate, not the length of one
@@ -166,6 +191,57 @@ def _probe_overhead() -> dict:
         "counters_rps": counted.n_rounds / counted.wall_time_s,
         "overhead": counted.wall_time_s / null.wall_time_s,
     }
+
+
+def _grid_dispatch() -> dict:
+    """Fully-cached 200-spec replay: per-spec JSON vs indexed metrics.
+
+    Interleaved best-of-3 pairs (like the probe-overhead measurement)
+    so machine-load drift hits both variants alike. The metric values
+    must agree exactly — they were computed by the same function at
+    store time and round-trip exactly through JSON — or the rates
+    compare nothing.
+    """
+    specs = expand_grid(
+        DISPATCH_SCENARIOS, DISPATCH_ALGORITHMS,
+        list(range(DISPATCH_SEEDS)),
+        max_rounds=DISPATCH_ROUNDS,
+        scenario_kwargs={"side": 4, "n_tasks": 64},
+        engine="rounds-fast",  # default full recorder: the payloads
+        # carry per-round records, like any real experiment grid.
+    )
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        run_grid(specs, cache=cache)  # populate (untimed)
+
+        baseline_s = fast_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            full = run_grid(specs, cache=cache)
+            baseline_s = min(baseline_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            slim = run_grid(specs, cache=cache, keep_results=False)
+            fast_s = min(fast_s, time.perf_counter() - t0)
+        assert all(o.cached for o in full) and all(o.cached for o in slim)
+        assert [default_metrics(o.result) for o in full] == [
+            o.metrics for o in slim
+        ], "indexed metric replay diverged from the payload path"
+
+    n = len(specs)
+    dispatch = {
+        "n_specs": n,
+        "rounds": DISPATCH_ROUNDS,
+        "baseline_rps": n / baseline_s,
+        "fast_rps": n / fast_s,
+        "speedup": baseline_s / fast_s,
+    }
+    # Enforced here (not only in the pytest wrapper) so every
+    # scripts/perf_gate.py attempt gates it too.
+    assert dispatch["speedup"] >= DISPATCH_SPEEDUP_FLOOR, (
+        f"indexed grid dispatch only {dispatch['speedup']:.1f}x the "
+        f"per-spec JSON replay (need >= {DISPATCH_SPEEDUP_FLOOR}x)"
+    )
+    return dispatch
 
 
 def _timed_event_pair(scenario_name: str, scenario_kwargs: dict,
@@ -297,6 +373,7 @@ def measure() -> dict:
         },
         "record_throughput": record_throughput,
         "probe_overhead": _probe_overhead(),
+        "grid_dispatch": _grid_dispatch(),
         "events": events,
         "events_steady": events_steady,
     }
@@ -338,6 +415,15 @@ def test_perf_baseline(benchmark):
         "scalar r/s": f"null: {round(po['null_rps'], 1)} r/s",
         "fast r/s": f"counters: {round(po['counters_rps'], 1)} r/s",
         "speedup": f"{po['overhead']:.3f}x cost",
+    })
+    gd = payload["grid_dispatch"]
+    rows.append({
+        "N": gd["n_specs"],
+        "tasks": "dispatch",
+        "rounds": gd["rounds"],
+        "scalar r/s": f"json: {round(gd['baseline_rps'], 1)} spec/s",
+        "fast r/s": f"indexed: {round(gd['fast_rps'], 1)} spec/s",
+        "speedup": f"{gd['speedup']:.1f}x",
     })
     for tag, ev in (("async transient", payload["events"]),
                     ("async steady", payload["events_steady"])):
@@ -387,5 +473,12 @@ def test_perf_baseline(benchmark):
     # The async acceptance bar (also enforced inside measure(), so the
     # CI gate hits it on every attempt).
     assert payload["events_steady"]["speedup"] >= ASYNC_SPEEDUP_FLOOR
+    gd = payload["grid_dispatch"]
+    assert gd["n_specs"] == (
+        len(DISPATCH_SCENARIOS) * len(DISPATCH_ALGORITHMS) * DISPATCH_SEEDS
+    )
+    assert gd["baseline_rps"] > 0 and gd["fast_rps"] > 0
+    # The dispatch acceptance bar (also enforced inside measure()).
+    assert gd["speedup"] >= DISPATCH_SPEEDUP_FLOOR
     reread = json.loads((RESULTS_DIR / "BENCH_engine.json").read_text())
     assert reread == payload

@@ -5,12 +5,16 @@ Re-runs the ``benchmarks/bench_perf.py`` measurement and fails (exit 1)
 if any tracked rate — scalar or vectorised rounds/sec at each curve
 point, the long-run record-throughput rates (full and summary
 recording at N=1024 over 2000 rounds), the null/counters-probe rates
-at N=1024, or the scalar/batched event engines' events/sec in both
-async regimes (hotspot transient and steady-state serving) — regresses
-more than ``MAX_REGRESSION`` against
+at N=1024, the scalar/batched event engines' events/sec in both
+async regimes (hotspot transient and steady-state serving), or the
+runner's fully-cached grid-dispatch rates (``grid_dispatch_rps``, the
+indexed metric-level replay, next to its per-spec JSON baseline) —
+regresses more than ``MAX_REGRESSION`` against
 ``benchmarks/results/BENCH_engine.json``, or if the vectorised
 speedup drops below the acceptance floor at N ≥ 1024, or if the
 events-fast steady-state speedup drops below its ≥10x floor, or if
+the indexed dispatch path drops below its ≥5x floor over the per-spec
+JSON replay, or if
 summary recording lags full recording by more than the bench's floor,
 or if the counters probe costs more than its ≤5% overhead ceiling
 (machine-independent checks; the recording and async floors also ride
@@ -75,6 +79,10 @@ def tracked_rates(payload: dict) -> dict[str, float]:
     if po is not None:  # absent only in pre-telemetry baselines
         rates[f"probe_null_rps@N={po['n_nodes']}"] = po["null_rps"]
         rates[f"probe_counters_rps@N={po['n_nodes']}"] = po["counters_rps"]
+    gd = payload.get("grid_dispatch")
+    if gd is not None:  # absent only in pre-backend baselines
+        rates["grid_dispatch_rps"] = gd["fast_rps"]
+        rates["grid_dispatch_baseline_rps"] = gd["baseline_rps"]
     for tag, section in (("events", payload["events"]),
                          ("events_steady", payload.get("events_steady"))):
         if section is None:
@@ -95,6 +103,7 @@ def check(baseline: dict, fresh: dict) -> list[str]:
     """Failure descriptions (empty = the attempt passes the gate)."""
     from bench_perf import (
         ASYNC_SPEEDUP_FLOOR,
+        DISPATCH_SPEEDUP_FLOOR,
         PROBE_OVERHEAD_CEILING,
         SPEEDUP_FLOOR,
         SPEEDUP_FROM_N,
@@ -137,6 +146,12 @@ def check(baseline: dict, fresh: dict) -> list[str]:
         failures.append(
             f"counters-probe overhead: {overhead:.3f}x > "
             f"{PROBE_OVERHEAD_CEILING}x ceiling"
+        )
+    dispatch = fresh["grid_dispatch"]["speedup"]
+    if dispatch < DISPATCH_SPEEDUP_FLOOR:
+        failures.append(
+            f"grid-dispatch speedup: {dispatch:.1f}x < "
+            f"{DISPATCH_SPEEDUP_FLOOR}x acceptance floor"
         )
     return failures
 

@@ -8,7 +8,8 @@
 # Exercises the full stack: the unit/property/integration suite, an
 # 8-spec (scenario × algorithm × seed) grid across 2 worker processes,
 # a second invocation that must be served entirely from the result
-# cache, a 2-spec grid on the asynchronous event engine, a 2-spec grid
+# cache (through the persistent pool backend), a 2-spec grid on the
+# asynchronous event engine, a 2-spec grid
 # on its batched events-fast twin (distinct cache entries from the
 # scalar event runs), a 2-spec large-N grid (1024-node machines) on
 # the vectorized rounds-fast engine, a 2-spec grid under the
@@ -35,9 +36,12 @@ GRID="--scenarios mesh-hotspot torus-hotspot --algorithms pplb diffusion \
 echo "==> runner grid (8 specs, 2 workers, cold cache)"
 python -m repro.cli run-grid $GRID --workers 2 | tee "$CACHE_DIR/first.out"
 grep -q "8 specs: 8 executed, 0 from cache" "$CACHE_DIR/first.out"
+# workers=2 transparently upgrades to the persistent pool backend.
+grep -q "runner: pool backend, 2 worker(s)" "$CACHE_DIR/first.out"
 
-echo "==> runner grid again (must be fully cached)"
-python -m repro.cli run-grid $GRID --workers 2 | tee "$CACHE_DIR/second.out"
+echo "==> runner grid again (must be fully cached, via the pool backend)"
+python -m repro.cli run-grid $GRID --workers 2 --backend pool \
+    | tee "$CACHE_DIR/second.out"
 grep -q "8 specs: 0 executed, 8 from cache" "$CACHE_DIR/second.out"
 
 echo "==> event-engine grid (2 specs, async execution model)"
@@ -85,13 +89,17 @@ python -m repro.cli run-grid --scenarios mesh-hotspot \
     --engine fluid --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/fluid.out"
 grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/fluid.out"
 
-echo "==> cache stats / clear round-trip"
+echo "==> cache stats / reindex / clear round-trip"
 # Capture to files rather than piping into grep -q: grep exiting early
 # would hand the CLI a broken pipe (and mask its exit status).
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
 grep -q "entries    : 20" "$CACHE_DIR/stats.out"
 grep -q "mean entry" "$CACHE_DIR/stats.out"
+grep -q "indexed    : 20/20" "$CACHE_DIR/stats.out"
 grep -q "events-fast: 2" "$CACHE_DIR/stats.out"
+python -m repro.cli cache reindex --cache-dir "$CACHE_DIR/cache" \
+    > "$CACHE_DIR/reindex.out"
+grep -q "indexed 20 cached result" "$CACHE_DIR/reindex.out"
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" --engine events-fast \
     > "$CACHE_DIR/stats_filtered.out"
 grep -q "entries    : 2 (events-fast)" "$CACHE_DIR/stats_filtered.out"

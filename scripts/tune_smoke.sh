@@ -8,9 +8,11 @@
 # <=16 evaluations, summary recorder) twice against the same result
 # cache and asserts the whole contract the tuning stack promises:
 #
-#   * the second tune run executes zero fresh simulations (pure cache
-#     replay) and writes a byte-identical tuned-config registry — same
-#     winners, same scores, same eval counts;
+#   * the second tune run — forced onto the persistent pool backend at
+#     width 2 via the PPLB_WORKERS environment override — executes zero
+#     fresh simulations (pure cache replay) and writes a byte-identical
+#     tuned-config registry — same winners, same scores, same eval
+#     counts, regardless of execution backend;
 #   * the registry survives a load -> save round trip byte-for-byte;
 #   * `pplb leaderboard` emits byte-identical JSON across two
 #     invocations (the payload carries no wall times or cache state).
@@ -39,11 +41,12 @@ python -m repro.cli tune $TUNE --registry "$WORK/reg-a.json" | tee "$WORK/tune_a
 grep -q "registry written" "$WORK/tune_a.out"
 grep -Eq "^(1[0-6]|[1-9]) evals," "$WORK/tune_a.out"
 
-echo "==> tune again (identical winners, zero fresh executions)"
-python -m repro.cli tune $TUNE --registry "$WORK/reg-b.json" | tee "$WORK/tune_b.out"
+echo "==> tune again (pool backend via PPLB_WORKERS=2, zero fresh executions)"
+PPLB_WORKERS=2 python -m repro.cli tune $TUNE --registry "$WORK/reg-b.json" \
+    | tee "$WORK/tune_b.out"
 grep -q ": 0 executed," "$WORK/tune_b.out"
 cmp "$WORK/reg-a.json" "$WORK/reg-b.json"
-echo "    registries byte-identical"
+echo "    registries byte-identical (serial vs pooled)"
 
 echo "==> registry load/save round trip"
 python - "$WORK" <<'EOF'

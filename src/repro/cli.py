@@ -26,7 +26,8 @@ Installed as ``pplb`` (see pyproject). Subcommands:
   baselines across a scenario × engine matrix; ``--scenarios all``
   sweeps every registered scenario, ``--output`` writes the
   deterministic JSON payload.
-* ``pplb cache stats|clear`` — inspect or empty the on-disk result cache.
+* ``pplb cache stats|clear|reindex`` — inspect, empty, or rebuild the
+  metadata index of the on-disk result cache.
 * ``pplb table1`` — regenerate the paper's Table 1 from the parameter
   registry.
 * ``pplb report`` — stitch ``benchmarks/results/`` artifacts into one
@@ -66,6 +67,14 @@ decision counters onto the result, ``trace`` additionally writes a
 Chrome trace-event JSON per run. Probes observe, never steer: results
 are bit-identical under every probe.
 
+``compare``, ``run-grid``, ``tune`` and ``leaderboard`` additionally
+accept ``--backend {serial,pool}``: where execution happens. The
+default follows ``--workers`` (serial at width 1, the persistent
+chunked worker pool otherwise); backends are shared per process, so
+consecutive grids in one invocation reuse warm workers. The
+``PPLB_WORKERS`` environment variable pins the resolved worker count
+everywhere.
+
 Global flags (before the subcommand): ``-v``/``-vv`` raise log
 verbosity to INFO/DEBUG, ``--log-level LEVEL`` sets it exactly.
 Warnings — e.g. the fast engines falling back to the scalar decision
@@ -87,6 +96,7 @@ from repro.analysis import ascii_plot, format_table
 from repro.core import PPLBConfig
 from repro.exceptions import ReproError
 from repro.runner import (
+    BACKENDS,
     ENGINES,
     FACTORIES,
     FLUID_FACTORIES,
@@ -253,7 +263,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         for name in names
         if name != "none"
     ]
-    outcomes = run_grid(specs, workers=args.workers, cache=_cache_from(args))
+    outcomes = run_grid(specs, workers=args.workers, cache=_cache_from(args),
+                        backend=args.backend)
     rows = [o.row() for o in outcomes]
     print(format_table(
         rows,
@@ -301,7 +312,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     outcomes = run_grid(specs, workers=args.workers, cache=cache,
-                        progress=progress, metrics=metrics)
+                        progress=progress, metrics=metrics,
+                        backend=args.backend)
     elapsed = time.perf_counter() - started
 
     rows = [o.row() for o in outcomes]
@@ -320,7 +332,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
     )
     if metrics.cache_misses:
         print(
-            f"runner: {metrics.workers} worker(s), "
+            f"runner: {metrics.backend} backend, {metrics.workers} worker(s) "
+            f"({metrics.workers_spawned} spawned), "
             f"task time {metrics.task_s:.2f}s, "
             f"utilization {metrics.utilization():.0%}, "
             f"mean queue wait {metrics.mean_queue_wait_s():.2f}s"
@@ -379,6 +392,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
             budget=budget,
             workers=args.workers,
             cache=cache,
+            backend=args.backend,
         )
         registry.put(report.scenario, TunedConfig(
             algorithm=report.algorithm,
@@ -443,6 +457,7 @@ def cmd_leaderboard(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=_cache_from(args),
         metrics=metrics,
+        backend=args.backend,
     )
     print(format_table(
         leaderboard_rows(payload),
@@ -508,8 +523,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries    : {stats['entries']}")
         print(f"disk usage : {_human_bytes(int(stats['total_bytes']))}")
         print(f"mean entry : {_human_bytes(int(stats['mean_bytes']))}")
+        print(f"indexed    : {stats['indexed']}/{stats['entries']}"
+              + ("" if stats["indexed"] >= stats["entries"]
+                 else " (run `pplb cache reindex` for fast stats)"))
         for name in sorted(by_engine):
             print(f"  {name:<11}: {by_engine[name]}")
+        return 0
+    if args.cache_command == "reindex":
+        count = cache.rebuild_index()
+        print(f"indexed {count} cached result(s) at {cache.index_path}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached result(s) from {cache.root}")
@@ -597,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                       help="execution backend: 'serial' (in-process "
+                            "reference loop) or 'pool' (persistent chunked "
+                            "worker pool, reused across grids); default "
+                            "follows --workers")
+
     all_algorithms = sorted(ALGORITHMS) + sorted(FLUID_FACTORIES)
 
     p_run = sub.add_parser("run", help="run one scenario with one algorithm")
@@ -625,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = serial, 0 = one per core)")
     add_engine(p_cmp)
     add_cache_args(p_cmp)
+    add_backend(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_grid = sub.add_parser(
@@ -646,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes (1 = serial, 0 = one per core)")
     add_engine(p_grid)
     add_cache_args(p_grid)
+    add_backend(p_grid)
     p_grid.set_defaults(fn=cmd_run_grid)
 
     p_prof = sub.add_parser(
@@ -719,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tuned-config registry JSON to merge winners "
                              "into (created if missing)")
     add_cache_args(p_tune)
+    add_backend(p_tune)
     p_tune.set_defaults(fn=cmd_tune)
 
     p_board = sub.add_parser(
@@ -755,14 +787,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_board.add_argument("--output", default=None, metavar="PATH",
                          help="write the deterministic leaderboard JSON here")
     add_cache_args(p_board)
+    add_backend(p_board)
     p_board.set_defaults(fn=cmd_leaderboard)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache"
+        "cache",
+        help="inspect or clear the on-disk result cache, or rebuild "
+             "its metadata index",
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     for name, blurb in (("stats", "entry count and disk usage"),
-                        ("clear", "delete every cached result")):
+                        ("clear", "delete every cached result"),
+                        ("reindex", "rebuild the metadata index "
+                                    "(index.jsonl) from the entries")):
         p_cache_cmd = cache_sub.add_parser(name, help=blurb)
         p_cache_cmd.add_argument("--cache-dir", default=".pplb-cache",
                                  help="result cache directory")

@@ -13,12 +13,22 @@ computed results from an on-disk cache:
 * :mod:`pool <repro.runner.pool>` — ordered parallel map over
   processes (also used by :func:`repro.analysis.sweep.run_sweep`);
   :func:`map_tasks_timed` adds an in-worker per-task clock.
+* :mod:`backends <repro.runner.backends>` — pluggable execution
+  backends behind one :class:`ExecutionBackend` contract: ``serial``
+  (in-process reference loop) and ``pool`` (persistent, chunked
+  worker pool reused across grids and tune sessions).
 * :mod:`cache <repro.runner.cache>` — content-addressed JSON result
-  store; re-running a computed grid is free.
+  store with an append-only ``index.jsonl`` sidecar (O(entries)
+  metadata: fast stats, per-engine filters, metric-level replays);
+  re-running a computed grid is free.
+* :mod:`sink <repro.runner.sink>` — :class:`ColumnarResultLog`,
+  the streaming columnar sink ``run_grid(..., sink=...)`` appends
+  finished specs to as they land.
 * :mod:`runner <repro.runner.runner>` — :func:`run_grid`, the
   orchestrator tying the above together; pass a
   :class:`RunnerMetrics` to measure the execution pass itself
-  (cache split, per-spec task time, worker utilization, queue wait).
+  (cache split, per-spec task time, worker utilization, queue wait,
+  backend worker spawns).
 * :mod:`merge <repro.runner.merge>` — adapters into the existing
   analysis structures (``SweepResult``, table rows, runner-metric
   rows).
@@ -36,6 +46,15 @@ Serial mode (``workers=1``, the default) is the reference: parallel and
 cached executions return results identical to it.
 """
 
+from repro.runner.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    make_backend,
+    resolve_backend,
+    shutdown_backends,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.merge import (
     default_metrics,
@@ -47,6 +66,7 @@ from repro.runner.merge import (
 from repro.runner.pool import map_tasks, map_tasks_timed, resolve_workers
 from repro.runner.registry import FACTORIES, FLUID_FACTORIES, make_balancer
 from repro.runner.runner import RunnerMetrics, RunOutcome, run_grid
+from repro.runner.sink import METRIC_FIELDS, ColumnarResultLog
 from repro.runner.spec import (
     ENGINES,
     RunSpec,
@@ -57,25 +77,34 @@ from repro.runner.spec import (
 from repro.runner.worker import execute_spec
 
 __all__ = [
+    "BACKENDS",
     "ENGINES",
     "FACTORIES",
     "FLUID_FACTORIES",
+    "METRIC_FIELDS",
+    "ColumnarResultLog",
+    "ExecutionBackend",
+    "PoolBackend",
     "ResultCache",
     "RunOutcome",
     "RunSpec",
+    "SerialBackend",
     "default_metrics",
     "execute_spec",
     "expand_component_grid",
     "expand_grid",
     "grid_seeds",
+    "make_backend",
     "make_balancer",
     "map_tasks",
     "map_tasks_timed",
     "metrics_to_rows",
     "outcomes_to_rows",
     "outcomes_to_sweep",
+    "resolve_backend",
     "resolve_workers",
     "run_grid",
     "RunnerMetrics",
+    "shutdown_backends",
     "spec_value",
 ]

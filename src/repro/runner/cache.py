@@ -10,6 +10,25 @@ simulation — re-running an already-computed grid is free.
 Robustness: writes are atomic (temp file + ``os.replace``) so an
 interrupted run never leaves a truncated entry, and unreadable/corrupt
 entries are treated as misses rather than errors.
+
+The index sidecar
+-----------------
+``<root>/index.jsonl`` is an append-only metadata log: one line per
+:meth:`put` with the entry's key, spec coordinates, payload size and
+(when the writer supplies them) the :func:`~repro.runner.sink.
+default_metrics` scalars. It exists so metadata questions —
+:meth:`stats`, per-engine filters, metric-level grid replays — cost
+O(entries) small-line parses instead of O(total bytes) full-payload
+parses. The **store stays the source of truth**: every index read is
+cross-checked against entry existence, a missing/stale index degrades
+to the legacy full scan, and :meth:`rebuild_index` regenerates it
+atomically (temp file + ``os.replace``).
+
+Concurrent multi-process writers stay safe: each index append is a
+single ``O_APPEND`` write of one line (atomic for these sizes on
+POSIX), entry writes keep the tmp+replace discipline, and
+:meth:`load_index` skips torn/malformed lines (last line of a crashed
+writer) with last-write-wins per key.
 """
 
 from __future__ import annotations
@@ -23,6 +42,10 @@ import tempfile
 logger = logging.getLogger(__name__)
 
 CACHE_FORMAT_VERSION = 1
+
+#: the metadata sidecar's filename (lives at the cache root, outside
+#: the two-hex-digit shard directories so entry scans never see it).
+INDEX_NAME = "index.jsonl"
 
 
 class ResultCache:
@@ -44,6 +67,14 @@ class ResultCache:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
+        #: lazily-loaded view of the index sidecar (key -> metadata);
+        #: None until first metadata read, refreshed by invalidation.
+        self._index: dict[str, dict] | None = None
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        """Location of the metadata sidecar."""
+        return self.root / INDEX_NAME
 
     def path_for(self, key: str) -> pathlib.Path:
         """Entry path for a content hash (``<root>/<k[:2]>/<k>.json``)."""
@@ -70,8 +101,19 @@ class ResultCache:
         self.hits += 1
         return entry["result"]
 
-    def put(self, key: str, spec_dict: dict, result_payload: dict) -> pathlib.Path:
-        """Atomically store a result payload under *key*."""
+    def put(
+        self,
+        key: str,
+        spec_dict: dict,
+        result_payload: dict,
+        metrics: dict | None = None,
+    ) -> pathlib.Path:
+        """Atomically store a result payload under *key*.
+
+        ``metrics`` (optional, :func:`~repro.runner.sink.
+        default_metrics`-shaped) rides into the index sidecar so later
+        metric-level reads skip the full payload entirely.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -91,7 +133,163 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        meta = self._index_meta(key, spec_dict, path, metrics)
+        self._append_index_line(meta)
+        if self._index is not None:
+            self._index[key] = meta
         return path
+
+    # --------------------------- the index --------------------------- #
+
+    @staticmethod
+    def _index_meta(key: str, spec_dict: dict, path: pathlib.Path,
+                    metrics: dict | None) -> dict:
+        meta = {
+            "key": key,
+            "scenario": str(spec_dict.get("scenario", "")),
+            "algorithm": str(spec_dict.get("algorithm", "")),
+            "seed": int(spec_dict.get("seed", 0)),
+            "engine": str(spec_dict.get("engine", "rounds")),
+            "recorder": str(spec_dict.get("recorder", "full")),
+        }
+        try:
+            meta["bytes"] = path.stat().st_size
+        except OSError:
+            meta["bytes"] = 0
+        if metrics is not None:
+            meta["metrics"] = {k: float(v) for k, v in metrics.items()}
+        return meta
+
+    def _append_index_line(self, meta: dict) -> None:
+        """One O_APPEND write per line: atomic at these sizes on POSIX,
+        so concurrent writers interleave whole lines, never fragments."""
+        line = (json.dumps(meta, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            fd = os.open(
+                self.index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError as exc:  # index is an accelerator, never a gate
+            logger.warning("could not append cache index line: %s", exc)
+
+    def load_index(self) -> dict[str, dict]:
+        """The index sidecar as ``{key: metadata}`` (cached in memory).
+
+        Malformed lines — a torn write from a crashed process, stray
+        garbage — are skipped; duplicate keys resolve last-write-wins
+        (an append-only log re-putting a key appends a newer line).
+        Missing sidecar = empty mapping (callers fall back to the
+        legacy full scan).
+        """
+        if self._index is not None:
+            return self._index
+        index: dict[str, dict] = {}
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        meta = json.loads(raw)
+                    except ValueError:
+                        continue  # torn line — skip, keep the rest
+                    if isinstance(meta, dict) and isinstance(meta.get("key"), str):
+                        index[meta["key"]] = meta
+        except OSError:
+            pass  # no sidecar yet (pre-index cache, or empty cache)
+        self._index = index
+        return index
+
+    def invalidate_index(self) -> None:
+        """Drop the in-memory index view (next read re-loads the file).
+
+        Call after another process may have appended (e.g. between
+        grid passes of a multi-host run); single-process use never
+        needs it — :meth:`put` keeps the view current.
+        """
+        self._index = None
+
+    def metrics_for(self, key: str) -> dict | None:
+        """Indexed :func:`default_metrics` scalars for *key*, or None.
+
+        None means "not answerable from the index" — the entry is
+        missing, pre-dates the index, or was indexed without metrics —
+        and the caller should fall back to :meth:`get`. The entry file
+        is stat-checked so a stale index line never fabricates a hit.
+        """
+        meta = self.load_index().get(key)
+        if meta is None:
+            return None
+        metrics = meta.get("metrics")
+        if not isinstance(metrics, dict):
+            return None
+        if not self.path_for(key).exists():
+            return None  # entry deleted since indexing — not a hit
+        self.hits += 1
+        return dict(metrics)
+
+    def rebuild_index(self, with_metrics: bool = True) -> int:
+        """Regenerate the sidecar from the store; returns entries indexed.
+
+        Atomic (temp file + ``os.replace``), so concurrent readers see
+        either the old or the new index, never a partial one. With
+        ``with_metrics`` (the default) each entry's result is rebuilt
+        once to store its :func:`default_metrics` scalars — the upfront
+        cost that makes later metric-level replays O(index).
+        """
+        if with_metrics:
+            # Lazy imports: the cache stays import-light for workers;
+            # rebuilding is an explicit maintenance operation.
+            from repro.runner.sink import default_metrics
+            from repro.sim import SimulationResult
+
+        count = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                if self.root.is_dir():
+                    for path in sorted(self.root.glob("*/*.json")):
+                        try:
+                            with open(path, "r", encoding="utf-8") as entry_fh:
+                                entry = json.load(entry_fh)
+                            key = entry["key"]
+                            spec = entry.get("spec") or {}
+                        except (OSError, ValueError, KeyError, TypeError) as exc:
+                            logger.warning(
+                                "reindex skipping unreadable entry %s: %s",
+                                path, exc,
+                            )
+                            continue
+                        metrics = None
+                        if with_metrics:
+                            try:
+                                result = SimulationResult.from_dict(
+                                    entry["result"]
+                                )
+                                metrics = default_metrics(result)
+                            except Exception as exc:
+                                logger.warning(
+                                    "reindex: no metrics for %s: %s", path, exc
+                                )
+                        meta = self._index_meta(key, spec, path, metrics)
+                        fh.write(json.dumps(meta, sort_keys=True) + "\n")
+                        count += 1
+            os.replace(tmp, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._index = None
+        return count
+
+    # ------------------------- introspection ------------------------- #
 
     def __len__(self) -> int:
         """Number of entries on disk."""
@@ -104,15 +302,24 @@ class ResultCache:
 
         Returns ``root``, whether it exists, entry count, total payload
         bytes, the mean entry size and a per-engine entry breakdown
-        (``by_engine``, read from each entry's stored spec; entries
-        whose spec cannot be read count under ``"(unreadable)"``) —
-        everything needed to decide whether the cache is worth keeping
-        or due a :meth:`clear`, and the number that makes a wire-format
-        change (e.g. the columnar round log) visible on disk.
+        (``by_engine``) — everything needed to decide whether the cache
+        is worth keeping or due a :meth:`clear`, and the number that
+        makes a wire-format change (e.g. the columnar round log)
+        visible on disk.
+
+        Entry counts and byte totals come from a directory scan (cheap,
+        always exact); the per-entry *spec* metadata is answered from
+        the index sidecar where possible — O(entries) line lookups —
+        and only entries the index does not cover fall back to the
+        legacy full-payload parse (entries whose spec cannot be read
+        either way count under ``"(unreadable)"``). ``indexed`` reports
+        the sidecar's coverage of the scanned entries.
         """
         entries = 0
         total_bytes = 0
+        indexed = 0
         by_engine: dict[str, int] = {}
+        index = self.load_index()
         if self.root.is_dir():
             for path in self.root.glob("*/*.json"):
                 try:
@@ -120,15 +327,22 @@ class ResultCache:
                 except OSError:
                     continue  # entry vanished mid-scan
                 entries += 1
-                try:
-                    with open(path, "r", encoding="utf-8") as fh:
-                        spec = json.load(fh).get("spec") or {}
-                    engine = str(spec.get("engine", "rounds"))
-                except (OSError, ValueError, AttributeError) as exc:
-                    # Stray non-JSON (or binary: UnicodeDecodeError is a
-                    # ValueError) files must not crash the stats scan.
-                    logger.warning("skipping unreadable cache entry %s: %s", path, exc)
-                    engine = "(unreadable)"
+                meta = index.get(path.stem)
+                if meta is not None and "engine" in meta:
+                    indexed += 1
+                    engine = str(meta["engine"])
+                else:
+                    try:
+                        with open(path, "r", encoding="utf-8") as fh:
+                            spec = json.load(fh).get("spec") or {}
+                        engine = str(spec.get("engine", "rounds"))
+                    except (OSError, ValueError, AttributeError) as exc:
+                        # Stray non-JSON (or binary: UnicodeDecodeError
+                        # is a ValueError) files must not crash the scan.
+                        logger.warning(
+                            "skipping unreadable cache entry %s: %s", path, exc
+                        )
+                        engine = "(unreadable)"
                 by_engine[engine] = by_engine.get(engine, 0) + 1
         return {
             "root": str(self.root),
@@ -137,6 +351,7 @@ class ResultCache:
             "total_bytes": total_bytes,
             "mean_bytes": total_bytes / entries if entries else 0.0,
             "by_engine": by_engine,
+            "indexed": indexed,
             "hits": self.hits,
             "misses": self.misses,
         }
@@ -145,7 +360,9 @@ class ResultCache:
         """Delete every cached entry; returns how many were removed.
 
         Leaves the root directory itself in place (it may be configured
-        in scripts) but prunes the now-empty shard subdirectories.
+        in scripts) but prunes the now-empty shard subdirectories and
+        the index sidecar (which indexes nothing once the store is
+        empty).
         """
         removed = 0
         if not self.root.is_dir():
@@ -156,6 +373,11 @@ class ResultCache:
             except OSError:
                 continue
             removed += 1
+        try:
+            self.index_path.unlink()
+        except OSError:
+            pass  # never existed (pre-index cache) — fine
+        self._index = None
         for shard in self.root.iterdir():
             if shard.is_dir():
                 try:

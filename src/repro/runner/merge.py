@@ -17,28 +17,39 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.sweep import SweepResult
 from repro.exceptions import ConfigurationError
 from repro.runner.runner import RunnerMetrics, RunOutcome
+from repro.runner.sink import default_metrics
 from repro.runner.spec import RunSpec
 from repro.sim import SimulationResult
 
+__all__ = [
+    "default_metrics",
+    "metrics_to_rows",
+    "outcomes_to_rows",
+    "outcomes_to_sweep",
+    "spec_value",
+]
 
-def default_metrics(result: SimulationResult) -> dict[str, float]:
-    """Standard scalar metrics of one run (all finite floats).
 
-    ``converged_round`` is None for non-converged runs, so the
-    aggregate exposes ``converged`` (0/1 rate) and ``rounds`` (rounds
-    actually simulated) instead. All values come off the result's
-    summary surface (columnar totals, or streamed aggregates for
-    thin/summary-recorded runs), so any recorder merges cleanly.
+def _outcome_metrics(
+    outcome: RunOutcome,
+    metrics_of: Callable[[SimulationResult], Mapping[str, float]],
+) -> Mapping[str, float]:
+    """Metric dict for one outcome, slim-aware.
+
+    Full outcomes go through *metrics_of*; slim outcomes
+    (``run_grid(..., keep_results=False)``, ``result is None``) already
+    carry :func:`default_metrics` values, which are only valid to use
+    when the caller asked for that same schema.
     """
-    return {
-        "final_cov": float(result.final_cov),
-        "final_spread": float(result.final_spread),
-        "migrations": float(result.total_migrations),
-        "traffic": float(result.total_traffic),
-        "heat": float(result.total_heat),
-        "rounds": float(result.n_rounds),
-        "converged": float(result.converged),
-    }
+    if outcome.result is not None:
+        return metrics_of(outcome.result)
+    if metrics_of is default_metrics and outcome.metrics is not None:
+        return outcome.metrics
+    raise ConfigurationError(
+        f"outcome for {outcome.spec.label()} has no result payload "
+        "(run_grid(..., keep_results=False)); custom metrics_of needs "
+        "full results — re-run with keep_results=True"
+    )
 
 
 def spec_value(spec: RunSpec, parameter: str) -> object:
@@ -81,7 +92,9 @@ def outcomes_to_sweep(
     grouped: dict[object, list[Mapping[str, float]]] = {}
     for outcome in outcomes:
         value = resolve(outcome.spec)
-        grouped.setdefault(value, []).append(metrics_of(outcome.result))
+        grouped.setdefault(value, []).append(
+            _outcome_metrics(outcome, metrics_of)
+        )
 
     result = SweepResult(parameter=parameter)
     for value, per_seed in grouped.items():

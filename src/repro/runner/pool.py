@@ -44,7 +44,26 @@ class _TimedCall:
 
 
 def resolve_workers(workers: int | None) -> int:
-    """Normalise a worker count (None/0 -> all cores, floor 1)."""
+    """Normalise a worker count (None/0 -> all cores, floor 1).
+
+    A non-empty ``PPLB_WORKERS`` environment variable *pins* the width
+    for every entry point that resolves through here (the runner, the
+    sweep harness, the execution backends, tuning) — so CI and the
+    smoke scripts can fix parallelism without threading a flag through
+    every call site. Semantics match the argument: ``0`` means one per
+    core, anything else is used directly (floor 1).
+    """
+    env = os.environ.get("PPLB_WORKERS")
+    if env:
+        from repro.exceptions import ConfigurationError
+
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"PPLB_WORKERS must be an integer (0 = one per core), "
+                f"got {env!r}"
+            ) from None
     if workers is None or workers == 0:
         return max(os.cpu_count() or 1, 1)
     return max(int(workers), 1)

@@ -3,7 +3,8 @@ results out.
 
 :func:`run_grid` is the orchestrator the tentpole experiments use: it
 resolves every spec against the result cache, fans the remaining work
-across worker processes via :mod:`repro.runner.pool`, stores fresh
+across an :class:`~repro.runner.backends.ExecutionBackend` (serial
+in-process loop, or the persistent chunked worker pool), stores fresh
 results back, and returns :class:`RunOutcome` objects in spec order.
 
 Determinism: cached, serial and parallel paths all normalise results
@@ -11,6 +12,19 @@ through the same JSON payload (:meth:`SimulationResult.to_dict` →
 ``from_dict``), so for identical specs the three paths return
 *identical* results — the only field that varies between executions is
 the measured ``wall_time_s`` inside a freshly-run result.
+
+Two scaling levers ride on top of the backend seam:
+
+* ``sink=`` streams finished specs into a
+  :class:`~repro.runner.sink.ColumnarResultLog` as they land —
+  columnar in memory, optionally JSONL on disk — so a huge sweep's
+  consumers read columns instead of holding every result object.
+* ``keep_results=False`` turns cached replays into *metric-level*
+  reads: hits are answered from the cache's index sidecar (seven
+  scalars per spec, no payload parse, no result rebuild) and the
+  outcomes carry ``metrics`` instead of ``result``. This is the
+  fully-cached-grid fast path ``bench_perf.py`` tracks as
+  ``grid_dispatch_rps``.
 """
 
 from __future__ import annotations
@@ -20,8 +34,9 @@ from dataclasses import dataclass, field
 from os import PathLike
 from typing import Callable, Optional, Sequence
 
+from repro.runner.backends import ExecutionBackend, resolve_backend
 from repro.runner.cache import ResultCache
-from repro.runner.pool import map_tasks_timed, resolve_workers
+from repro.runner.sink import ColumnarResultLog, default_metrics
 from repro.runner.spec import RunSpec
 from repro.runner.worker import execute_payload
 from repro.sim import SimulationResult
@@ -42,6 +57,12 @@ class RunnerMetrics:
     ----------
     workers:
         Resolved worker count used for the execution pass.
+    backend:
+        Name of the execution backend the pass ran on.
+    workers_spawned:
+        Worker processes actually *created* during this call — 0 when
+        a persistent pool served the pass with already-warm workers
+        (the reuse the tuning loop is built on).
     total, cache_hits, cache_misses:
         Grid size and how it split between replayed and executed specs.
     wall_s:
@@ -60,6 +81,8 @@ class RunnerMetrics:
     """
 
     workers: int = 1
+    backend: str = "serial"
+    workers_spawned: int = 0
     total: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -107,6 +130,8 @@ class RunOutcome:
         The spec and its content hash (the cache address).
     result:
         The simulation result, rebuilt from the canonical JSON payload.
+        ``None`` under ``run_grid(..., keep_results=False)``, where
+        cached replays are answered at metric level — use ``metrics``.
     cached:
         True when the result was replayed from the cache.
     duration_s:
@@ -116,14 +141,20 @@ class RunOutcome:
     task_s:
         In-worker seconds this spec's execution took (0 for cache
         hits) — per-spec wall time, excluding pool queueing.
+    metrics:
+        The spec's :func:`~repro.runner.sink.default_metrics` scalars.
+        Always present for slim (``keep_results=False``) outcomes and
+        for freshly-executed specs; may be ``None`` on plain cached
+        replays (derive from ``result`` instead).
     """
 
     spec: RunSpec
     key: str
-    result: SimulationResult
+    result: SimulationResult | None
     cached: bool
     duration_s: float = 0.0
     task_s: float = 0.0
+    metrics: dict | None = None
 
     def row(self) -> dict[str, object]:
         """Flat summary row: spec coordinates + result summary.
@@ -132,6 +163,14 @@ class RunOutcome:
         for — distinguishes e.g. ``pplb`` from ``pplb-greedy``); the
         balancer's self-reported display name is kept as ``balancer``.
         """
+        if self.result is None:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                "cannot build a summary row from a metric-level outcome "
+                "(run_grid(..., keep_results=False)); re-run with "
+                "keep_results=True or read outcome.metrics"
+            )
         row: dict[str, object] = {
             "scenario": self.spec.scenario,
             "seed": self.spec.seed,
@@ -149,6 +188,9 @@ def run_grid(
     cache: ResultCache | str | PathLike | None = None,
     progress: Optional[ProgressFn] = None,
     metrics: RunnerMetrics | None = None,
+    backend: ExecutionBackend | str | None = None,
+    sink: ColumnarResultLog | None = None,
+    keep_results: bool = True,
 ) -> list[RunOutcome]:
     """Execute every spec, replaying cached results and fanning out the rest.
 
@@ -158,8 +200,10 @@ def run_grid(
         The grid (e.g. from :func:`~repro.runner.spec.expand_grid`).
     workers:
         ``1`` (the default) is serial — bit-identical to running each
-        spec by hand; ``N > 1`` uses that many worker processes;
-        ``0`` one per core.
+        spec by hand; ``N > 1`` fans out across that many worker
+        processes (through the shared persistent pool backend);
+        ``0`` one per core. ``PPLB_WORKERS`` in the environment pins
+        the resolved width.
     cache:
         A :class:`ResultCache`, a directory path for one, or None to
         disable caching.
@@ -169,8 +213,28 @@ def run_grid(
     metrics:
         Optional :class:`RunnerMetrics` instance filled in place with
         execution-side telemetry (cache split, per-spec task times,
-        worker utilization, queue wait). Collection is passive — it
-        never changes which specs run or what they return.
+        worker utilization, queue wait, backend spawns). Collection is
+        passive — it never changes which specs run or what they return.
+    backend:
+        Where execution happens: an
+        :class:`~repro.runner.backends.ExecutionBackend` instance, a
+        registry name (``"serial"``/``"pool"``), or None for the
+        historical behaviour (serial at width 1, the shared persistent
+        pool otherwise). Named/default backends are shared and survive
+        across calls, so consecutive grids reuse warm workers.
+    sink:
+        Optional :class:`~repro.runner.sink.ColumnarResultLog`:
+        every finished spec is appended (and streamed to the sink's
+        JSONL path, if it has one) the moment it lands.
+    keep_results:
+        ``False`` returns *slim* outcomes: cached specs replay at
+        metric level straight from the cache's index sidecar (no
+        payload parse, no :class:`SimulationResult` rebuild) and
+        ``outcome.result`` is None throughout — ``outcome.metrics``
+        carries the :func:`default_metrics` scalars. The metric values
+        are bit-identical to the full path (they were computed by the
+        same function at store time and round-trip exactly through
+        JSON).
 
     Returns
     -------
@@ -180,14 +244,25 @@ def run_grid(
     specs = list(specs)
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
+    exec_backend = resolve_backend(backend, workers)
 
     outcomes: dict[int, RunOutcome] = {}
     total = len(specs)
     done = 0
+    want_metrics = (not keep_results) or sink is not None
 
-    def emit(outcome: RunOutcome) -> None:
+    def emit(i: int, outcome: RunOutcome) -> None:
         nonlocal done
         done += 1
+        outcomes[i] = outcome
+        if sink is not None and outcome.metrics is not None:
+            sink.append(
+                index=i,
+                spec=outcome.spec,
+                key=outcome.key,
+                cached=outcome.cached,
+                metrics=outcome.metrics,
+            )
         if progress is not None:
             progress(outcome, done, total)
 
@@ -195,47 +270,73 @@ def run_grid(
     pending: list[int] = []
     keys = [spec.key() for spec in specs]
     for i, spec in enumerate(specs):
-        payload = cache.get(keys[i]) if cache is not None else None
+        if cache is None:
+            pending.append(i)
+            continue
+        if not keep_results:
+            # Metric-level fast path: answer the hit from the index
+            # sidecar (seven floats, no payload parse). Entries the
+            # index cannot answer fall back to the payload below.
+            indexed = cache.metrics_for(keys[i])
+            if indexed is not None:
+                emit(i, RunOutcome(
+                    spec=spec, key=keys[i], result=None, cached=True,
+                    metrics=indexed,
+                ))
+                continue
+        payload = cache.get(keys[i])
         if payload is not None:
-            outcome = RunOutcome(
+            result = SimulationResult.from_dict(payload)
+            spec_metrics = default_metrics(result) if want_metrics else None
+            emit(i, RunOutcome(
                 spec=spec,
                 key=keys[i],
-                result=SimulationResult.from_dict(payload),
+                result=None if not keep_results else result,
                 cached=True,
-            )
-            outcomes[i] = outcome
-            emit(outcome)
+                metrics=spec_metrics,
+            ))
         else:
             pending.append(i)
 
-    # Pass 2: execute the misses (serial or across worker processes).
+    # Pass 2: execute the misses through the backend.
+    spawned_before = int(exec_backend.stats().get("workers_spawned", 0))
     if pending:
         started = time.perf_counter()
 
         def collect(rank: int, payload: dict, task_s: float) -> None:
             i = pending[rank]
+            result = SimulationResult.from_dict(payload)
+            # Metrics are computed for every fresh result: the cache
+            # indexes them, so a later keep_results=False replay of
+            # this grid never reopens the payloads.
+            spec_metrics = default_metrics(result)
             outcome = RunOutcome(
                 spec=specs[i],
                 key=keys[i],
-                result=SimulationResult.from_dict(payload),
+                result=result if keep_results else None,
                 cached=False,
                 duration_s=time.perf_counter() - started,
                 task_s=task_s,
+                metrics=spec_metrics,
             )
             if cache is not None:
-                cache.put(keys[i], specs[i].to_dict(), payload)
-            outcomes[i] = outcome
-            emit(outcome)
+                cache.put(keys[i], specs[i].to_dict(), payload,
+                          metrics=spec_metrics)
+            emit(i, outcome)
 
-        map_tasks_timed(
+        exec_backend.map_timed(
             execute_payload,
             [specs[i].to_dict() for i in pending],
-            workers=workers,
             on_result=collect,
         )
 
     if metrics is not None:
-        metrics.workers = resolve_workers(workers)
+        stats = exec_backend.stats()
+        metrics.workers = exec_backend.workers()
+        metrics.backend = exec_backend.name
+        metrics.workers_spawned = (
+            int(stats.get("workers_spawned", 0)) - spawned_before
+        )
         metrics.total = total
         metrics.cache_hits = total - len(pending)
         metrics.cache_misses = len(pending)

@@ -162,6 +162,10 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown algorithm {self.algorithm!r}; available: {sorted(FACTORIES)}"
             )
+        # Content-hash memo (version, digest): specs are treated as
+        # immutable once constructed — mutate a copy, never an instance
+        # a key() has been taken from.
+        self._key_memo: tuple[str, str] | None = None
 
     # --------------------------- identity ---------------------------- #
 
@@ -216,11 +220,22 @@ class RunSpec:
         cached results are invalidated when the code that produced them
         changes (bump ``repro.__version__`` when altering simulation
         behaviour).
+
+        Memoised per instance (keyed on the library version, so a
+        version bump mid-process still re-hashes): a fully-cached grid
+        replay asks for every key on every pass, and the canonical-JSON
+        encode + sha256 dominates that loop for metadata-only reads.
+        Specs are treated as immutable once constructed.
         """
         from repro import __version__
 
+        memo = self._key_memo
+        if memo is not None and memo[0] == __version__:
+            return memo[1]
         tagged = f"repro-{__version__}:{self.canonical_json()}"
-        return hashlib.sha256(tagged.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(tagged.encode("utf-8")).hexdigest()
+        self._key_memo = (__version__, digest)
+        return digest
 
     def label(self) -> str:
         """Short human-readable tag for progress lines."""

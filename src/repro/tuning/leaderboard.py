@@ -44,6 +44,7 @@ def build_leaderboard(
     workers: int = 1,
     cache: ResultCache | str | PathLike | None = None,
     metrics: RunnerMetrics | None = None,
+    backend=None,
 ) -> dict:
     """Run the comparison matrix and return the leaderboard payload.
 
@@ -115,7 +116,8 @@ def build_leaderboard(
                     specs.append(spec)
                     coords.append((spec.scenario, engine, display, overrides))
 
-    outcomes = run_grid(specs, workers=workers, cache=cache, metrics=metrics)
+    outcomes = run_grid(specs, workers=workers, cache=cache, metrics=metrics,
+                        backend=backend)
 
     # ------------------------- aggregation -------------------------- #
     cells: dict[tuple[str, str, str], dict] = {}

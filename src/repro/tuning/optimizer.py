@@ -161,11 +161,13 @@ class _Evaluator:
     session-wide eval/spec/cache counters and the eval history."""
 
     def __init__(self, report: TuneReport, seeds: Sequence[int],
-                 workers: int, cache: ResultCache | None):
+                 workers: int, cache: ResultCache | None,
+                 backend=None):
         self.report = report
         self.seeds = list(seeds)
         self.workers = workers
         self.cache = cache
+        self.backend = backend
         # canonical-json -> {rounds -> score}: dedup repeated evals (the
         # GA may re-propose a known candidate; the cache would absorb
         # the cost anyway, but the eval count should not double-book).
@@ -192,7 +194,10 @@ class _Evaluator:
                     recorder=self.report.budget.recorder,
                 ))
             spec_of.append(fresh[-1])
-        outcomes = run_grid(fresh, workers=self.workers, cache=self.cache) if fresh else []
+        outcomes = run_grid(
+            fresh, workers=self.workers, cache=self.cache,
+            backend=self.backend,
+        ) if fresh else []
         self.report.n_specs += len(fresh)
         self.report.cache_hits += sum(1 for o in outcomes if o.cached)
 
@@ -232,6 +237,7 @@ def tune_scenario(
     budget: TuneBudget | None = None,
     workers: int = 1,
     cache: ResultCache | str | PathLike | None = None,
+    backend=None,
 ) -> TuneReport:
     """Search the balancer parameter space for one scenario family.
 
@@ -251,10 +257,14 @@ def tune_scenario(
         :func:`~repro.runner.grid_seeds`).
     budget:
         A :class:`TuneBudget`; the default is a small smoke-size search.
-    workers, cache:
+    workers, cache, backend:
         Forwarded to :func:`~repro.runner.run_grid` for every
         evaluation batch, so tuning parallelises and replays like any
-        other grid.
+        other grid. A persistent ``backend`` (an
+        :class:`~repro.runner.PoolBackend` instance, or the shared
+        ``"pool"``) keeps the *same* warm worker processes across every
+        halving rung and GA generation — one spawn per worker for the
+        whole session instead of one pool per evaluation batch.
 
     Returns
     -------
@@ -284,6 +294,7 @@ def tune_scenario(
         seeds=grid_seeds(budget.eval_seeds, base_seed=seed),
         workers=workers,
         cache=cache,
+        backend=backend,
     )
 
     # crc32 is stable across processes and Python versions, unlike
