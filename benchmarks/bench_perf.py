@@ -61,6 +61,16 @@ torus pair (PR 6's acceptance bar).
   baseline — machine-independent by construction — and its absolute
   rate is tracked as ``grid_dispatch_rps`` by ``scripts/perf_gate.py``.
 
+* **Batch throughput** — the replicate-batching engine (PR 10): a
+  32-seed sweep over four uniform serving scenarios, run once as a
+  per-seed ``rounds-fast`` loop and once through ``BatchSimulator``
+  with the topology shared across replicates (exactly how
+  ``run_grid(..., batch_replicates=…)`` groups a grid's seed axis).
+  Every replicate is verified record-identical to its per-seed twin
+  before the specs/sec rates are reported; the batched run must clear
+  ≥3× the per-seed loop — machine-independent by construction, since
+  both sides run the identical trajectories back to back.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -s``
 """
 
@@ -74,7 +84,13 @@ import time
 from repro.analysis import format_table
 from repro.runner import ResultCache, default_metrics, expand_grid, run_grid
 from repro.runner.registry import make_balancer
-from repro.sim import EventFastSimulator, EventSimulator, FastSimulator, Simulator
+from repro.sim import (
+    BatchSimulator,
+    EventFastSimulator,
+    EventSimulator,
+    FastSimulator,
+    Simulator,
+)
 from repro.sim.engine import ConvergenceCriteria
 from repro.workloads import build_scenario
 
@@ -137,6 +153,24 @@ DISPATCH_ROUNDS = 20
 #: beat the per-spec JSON replay ≥ 5× — machine-independent by
 #: construction (interleaved re-runs of the same cached grid).
 DISPATCH_SPEEDUP_FLOOR = 5.0
+
+#: replicate-batching workload: uniform serving scenarios (the steady
+#: regime a seed sweep spends its time in), each run once per-seed and
+#: once through ``BatchSimulator`` with the topology shared — exactly
+#: how ``run_grid(..., batch_replicates=…)`` groups a grid's seed axis.
+BATCH_SCENARIOS = (
+    "mesh:8x8+uniform:n_tasks=256",
+    "torus:8x8+uniform:n_tasks=256",
+    "mesh:10x10+uniform:n_tasks=400",
+    "torus:10x10+uniform:n_tasks=400",
+)
+BATCH_SEEDS = 32
+BATCH_ROUNDS = 500
+#: the replicate-batching acceptance bar: batched ≥ 3× the per-seed
+#: loop in specs/sec — machine-independent by construction (both sides
+#: run the identical 128 trajectories back to back, verified record-
+#: identical before the rates are reported).
+BATCH_SPEEDUP_FLOOR = 3.0
 
 #: convergence exit disabled: every budgeted round is simulated, so the
 #: curve measures the sustained service rate, not the length of one
@@ -242,6 +276,69 @@ def _grid_dispatch() -> dict:
         f"per-spec JSON replay (need >= {DISPATCH_SPEEDUP_FLOOR}x)"
     )
     return dispatch
+
+
+def _batch_throughput() -> dict:
+    """Per-seed loop vs one replicate-batched run, verified equal.
+
+    Simulator construction stays outside both timers (it is identical
+    work on both sides); the ``BatchSimulator`` wrapper itself is timed
+    — its stacking cost is real batch-path overhead. Every replicate is
+    verified record-identical to its per-seed twin before the rates are
+    reported, so the specs/sec ratio compares the same 128 trajectories.
+    The floor is asserted here (not only in the pytest wrapper) so every
+    ``scripts/perf_gate.py`` attempt gates it too.
+    """
+
+    def build(name: str, seed: int, topology=None):
+        scenario = build_scenario(name, seed=seed, topology=topology)
+        sim = FastSimulator(
+            scenario.topology, scenario.system, make_balancer(ALGORITHM),
+            links=scenario.links, seed=seed, criteria=_NO_EXIT,
+        )
+        return scenario.topology, sim
+
+    solo_s = batch_s = 0.0
+    for name in BATCH_SCENARIOS:
+        solo_sims = [build(name, seed)[1] for seed in range(BATCH_SEEDS)]
+        batch_sims = []
+        topology = None
+        for seed in range(BATCH_SEEDS):
+            topo, sim = build(name, seed, topology=topology)
+            topology = topo
+            batch_sims.append(sim)
+
+        t0 = time.perf_counter()
+        solo_results = [s.run(max_rounds=BATCH_ROUNDS) for s in solo_sims]
+        solo_s += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batch_results = BatchSimulator(batch_sims).run(
+            max_rounds=BATCH_ROUNDS
+        )
+        batch_s += time.perf_counter() - t0
+
+        # The rates compare the same trajectories or they compare
+        # nothing — the batch engine's core contract, per replicate.
+        for solo, batched in zip(solo_results, batch_results):
+            assert [asdict(r) for r in solo.records] == [
+                asdict(r) for r in batched.records
+            ], f"batched replicate diverged from per-seed run on {name}"
+
+    n = len(BATCH_SCENARIOS) * BATCH_SEEDS
+    batch = {
+        "scenarios": list(BATCH_SCENARIOS),
+        "n_specs": n,
+        "replicates": BATCH_SEEDS,
+        "rounds": BATCH_ROUNDS,
+        "solo_sps": n / solo_s,
+        "batch_sps": n / batch_s,
+        "speedup": solo_s / batch_s,
+    }
+    assert batch["speedup"] >= BATCH_SPEEDUP_FLOOR, (
+        f"replicate batching only {batch['speedup']:.1f}x the per-seed "
+        f"loop (need >= {BATCH_SPEEDUP_FLOOR}x)"
+    )
+    return batch
 
 
 def _timed_event_pair(scenario_name: str, scenario_kwargs: dict,
@@ -374,6 +471,7 @@ def measure() -> dict:
         "record_throughput": record_throughput,
         "probe_overhead": _probe_overhead(),
         "grid_dispatch": _grid_dispatch(),
+        "batch_throughput": _batch_throughput(),
         "events": events,
         "events_steady": events_steady,
     }
@@ -424,6 +522,15 @@ def test_perf_baseline(benchmark):
         "scalar r/s": f"json: {round(gd['baseline_rps'], 1)} spec/s",
         "fast r/s": f"indexed: {round(gd['fast_rps'], 1)} spec/s",
         "speedup": f"{gd['speedup']:.1f}x",
+    })
+    bt = payload["batch_throughput"]
+    rows.append({
+        "N": bt["n_specs"],
+        "tasks": "batch",
+        "rounds": bt["rounds"],
+        "scalar r/s": f"per-seed: {round(bt['solo_sps'], 2)} spec/s",
+        "fast r/s": f"batched: {round(bt['batch_sps'], 2)} spec/s",
+        "speedup": f"{bt['speedup']:.1f}x",
     })
     for tag, ev in (("async transient", payload["events"]),
                     ("async steady", payload["events_steady"])):
@@ -480,5 +587,12 @@ def test_perf_baseline(benchmark):
     assert gd["baseline_rps"] > 0 and gd["fast_rps"] > 0
     # The dispatch acceptance bar (also enforced inside measure()).
     assert gd["speedup"] >= DISPATCH_SPEEDUP_FLOOR
+    bt = payload["batch_throughput"]
+    assert bt["n_specs"] == len(BATCH_SCENARIOS) * BATCH_SEEDS
+    assert bt["replicates"] == BATCH_SEEDS and bt["rounds"] == BATCH_ROUNDS
+    assert bt["solo_sps"] > 0 and bt["batch_sps"] > 0
+    # The replicate-batching acceptance bar (also enforced inside
+    # measure(), so the CI gate hits it on every attempt).
+    assert bt["speedup"] >= BATCH_SPEEDUP_FLOOR
     reread = json.loads((RESULTS_DIR / "BENCH_engine.json").read_text())
     assert reread == payload

@@ -8,13 +8,16 @@ recording at N=1024 over 2000 rounds), the null/counters-probe rates
 at N=1024, the scalar/batched event engines' events/sec in both
 async regimes (hotspot transient and steady-state serving), or the
 runner's fully-cached grid-dispatch rates (``grid_dispatch_rps``, the
-indexed metric-level replay, next to its per-spec JSON baseline) —
+indexed metric-level replay, next to its per-spec JSON baseline), or
+the replicate-batching specs/sec pair (``batch_sps`` batched next to
+its per-seed ``batch_solo_sps`` baseline) —
 regresses more than ``MAX_REGRESSION`` against
 ``benchmarks/results/BENCH_engine.json``, or if the vectorised
 speedup drops below the acceptance floor at N ≥ 1024, or if the
 events-fast steady-state speedup drops below its ≥10x floor, or if
 the indexed dispatch path drops below its ≥5x floor over the per-spec
-JSON replay, or if
+JSON replay, or if the replicate-batched engine drops below its ≥3x
+floor over the per-seed loop, or if
 summary recording lags full recording by more than the bench's floor,
 or if the counters probe costs more than its ≤5% overhead ceiling
 (machine-independent checks; the recording and async floors also ride
@@ -83,6 +86,10 @@ def tracked_rates(payload: dict) -> dict[str, float]:
     if gd is not None:  # absent only in pre-backend baselines
         rates["grid_dispatch_rps"] = gd["fast_rps"]
         rates["grid_dispatch_baseline_rps"] = gd["baseline_rps"]
+    bt = payload.get("batch_throughput")
+    if bt is not None:  # absent only in pre-batching baselines
+        rates["batch_sps"] = bt["batch_sps"]
+        rates["batch_solo_sps"] = bt["solo_sps"]
     for tag, section in (("events", payload["events"]),
                          ("events_steady", payload.get("events_steady"))):
         if section is None:
@@ -103,6 +110,7 @@ def check(baseline: dict, fresh: dict) -> list[str]:
     """Failure descriptions (empty = the attempt passes the gate)."""
     from bench_perf import (
         ASYNC_SPEEDUP_FLOOR,
+        BATCH_SPEEDUP_FLOOR,
         DISPATCH_SPEEDUP_FLOOR,
         PROBE_OVERHEAD_CEILING,
         SPEEDUP_FLOOR,
@@ -152,6 +160,12 @@ def check(baseline: dict, fresh: dict) -> list[str]:
         failures.append(
             f"grid-dispatch speedup: {dispatch:.1f}x < "
             f"{DISPATCH_SPEEDUP_FLOOR}x acceptance floor"
+        )
+    batch = fresh["batch_throughput"]["speedup"]
+    if batch < BATCH_SPEEDUP_FLOOR:
+        failures.append(
+            f"replicate-batch speedup: {batch:.1f}x < "
+            f"{BATCH_SPEEDUP_FLOOR}x acceptance floor"
         )
     return failures
 

@@ -14,7 +14,9 @@
 # scalar event runs), a 2-spec large-N grid (1024-node machines) on
 # the vectorized rounds-fast engine, a 2-spec grid under the
 # O(1)-memory summary recorder (which must not share cache entries
-# with the full-recorded runs), the scenario catalogue listing, a
+# with the full-recorded runs), a replicate-batched 4-seed grid whose
+# cache entries must replay under the plain scalar path (batched and
+# solo runs share cache keys), the scenario catalogue listing, a
 # composed-scenario (component grammar) grid on the fast path, and a
 # 2-spec divisible-load grid on the fluid engine.
 set -eu
@@ -72,6 +74,20 @@ python -m repro.cli run-grid --scenarios mesh-hotspot --algorithms pplb diffusio
     | tee "$CACHE_DIR/summary.out"
 grep -q "2 specs: 2 executed, 0 from cache" "$CACHE_DIR/summary.out"
 
+echo "==> replicate-batched grid (4 seeds in one vectorised simulation)"
+python -m repro.cli run-grid --scenarios mesh-random --algorithms pplb \
+    --seeds 4 --rounds 60 --engine rounds-fast --batch-replicates 4 \
+    --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/batch.out"
+grep -q "4 specs: 4 executed, 0 from cache" "$CACHE_DIR/batch.out"
+
+echo "==> batched cache entries replay under the scalar path"
+# Batching is invisible to the cache: the same grid without
+# --batch-replicates must be served entirely from the batched entries.
+python -m repro.cli run-grid --scenarios mesh-random --algorithms pplb \
+    --seeds 4 --rounds 60 --engine rounds-fast \
+    --cache-dir "$CACHE_DIR/cache" | tee "$CACHE_DIR/batch_replay.out"
+grep -q "4 specs: 0 executed, 4 from cache" "$CACHE_DIR/batch_replay.out"
+
 echo "==> scenario catalogue (registered names + component registries)"
 python -m repro.cli scenarios > "$CACHE_DIR/scenarios.out"
 grep -q "mesh-hotspot" "$CACHE_DIR/scenarios.out"
@@ -93,17 +109,17 @@ echo "==> cache stats / reindex / clear round-trip"
 # Capture to files rather than piping into grep -q: grep exiting early
 # would hand the CLI a broken pipe (and mask its exit status).
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/stats.out"
-grep -q "entries    : 20" "$CACHE_DIR/stats.out"
+grep -q "entries    : 24" "$CACHE_DIR/stats.out"
 grep -q "mean entry" "$CACHE_DIR/stats.out"
-grep -q "indexed    : 20/20" "$CACHE_DIR/stats.out"
+grep -q "indexed    : 24/24" "$CACHE_DIR/stats.out"
 grep -q "events-fast: 2" "$CACHE_DIR/stats.out"
 python -m repro.cli cache reindex --cache-dir "$CACHE_DIR/cache" \
     > "$CACHE_DIR/reindex.out"
-grep -q "indexed 20 cached result" "$CACHE_DIR/reindex.out"
+grep -q "indexed 24 cached result" "$CACHE_DIR/reindex.out"
 python -m repro.cli cache stats --cache-dir "$CACHE_DIR/cache" --engine events-fast \
     > "$CACHE_DIR/stats_filtered.out"
 grep -q "entries    : 2 (events-fast)" "$CACHE_DIR/stats_filtered.out"
 python -m repro.cli cache clear --cache-dir "$CACHE_DIR/cache" > "$CACHE_DIR/clear.out"
-grep -q "removed 20 cached result" "$CACHE_DIR/clear.out"
+grep -q "removed 24 cached result" "$CACHE_DIR/clear.out"
 
 echo "==> smoke OK"

@@ -44,10 +44,16 @@ validated at parse time (unknown components or parameters fail before
 anything runs).
 
 ``run``, ``compare`` and ``run-grid`` all accept ``--engine
-{rounds,rounds-fast,events,events-fast,fluid}``: ``rounds`` is the
+{rounds,rounds-fast,rounds-batch,events,events-fast,fluid}``:
+``rounds`` is the
 paper's synchronous protocol, ``rounds-fast`` the same protocol through
 the vectorised large-N fast path (:class:`repro.sim.FastSimulator` —
-identical records, so prefer it for big meshes), ``events`` the
+identical records, so prefer it for big meshes), ``rounds-batch`` an
+alias for ``rounds-fast`` that additionally asks the runner to group
+seed replicates into one :class:`repro.sim.BatchSimulator` run
+(bit-identical per seed, shared cache keys; ``run-grid``/``tune``/
+``leaderboard`` also take an explicit ``--batch-replicates N``),
+``events`` the
 discrete-event asynchronous engine (:class:`repro.sim.EventSimulator`),
 ``events-fast`` the same asynchronous protocol through batched wake
 waves and columnar event buffers
@@ -297,6 +303,10 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
         engine=args.engine,
         recorder=args.recorder,
         probe=args.probe,
+        # Explicit: the progress lines and the table below print specs
+        # in list order, so replicates of one cell stay adjacent (and
+        # replicate batching groups them without reordering anything).
+        order="scenario-major",
     )
     cache = _cache_from(args)
     metrics = RunnerMetrics()
@@ -313,7 +323,8 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     outcomes = run_grid(specs, workers=args.workers, cache=cache,
                         progress=progress, metrics=metrics,
-                        backend=args.backend)
+                        backend=args.backend,
+                        batch_replicates=args.batch_replicates)
     elapsed = time.perf_counter() - started
 
     rows = [o.row() for o in outcomes]
@@ -342,6 +353,41 @@ def cmd_run_grid(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    if args.batch_replicates > 1:
+        # Replicate-batched profile: S seed replicates through one
+        # BatchSimulator run under the counters probe (the per-lane
+        # Chrome trace has no joint-loop equivalent), then the first
+        # lane's telemetry — including the batch.* counters — printed.
+        if args.engine not in ("rounds-fast", "rounds-batch"):
+            print(
+                "error: --batch-replicates profiles the rounds-fast "
+                f"engine only, got {args.engine!r}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.runner.worker import execute_batch
+
+        specs = [
+            RunSpec(
+                scenario=args.scenario, algorithm=args.algorithm,
+                seed=args.seed + lane, max_rounds=args.rounds,
+                engine="rounds-fast", probe="counters",
+            )
+            for lane in range(args.batch_replicates)
+        ]
+        started = time.perf_counter()
+        results = execute_batch(specs)
+        elapsed = time.perf_counter() - started
+        result = results[0]
+        print(format_table(
+            [result.summary_row()],
+            title=f"profile — {args.algorithm} on {args.scenario} "
+                  f"(seeds {args.seed}..{args.seed + args.batch_replicates - 1} "
+                  f"batched, rounds-fast engine, {elapsed * 1e3:.1f} ms wall; "
+                  f"first replicate shown)",
+        ))
+        _print_telemetry(result.telemetry)
+        return 0
     spec = RunSpec(
         scenario=args.scenario, algorithm=args.algorithm, seed=args.seed,
         max_rounds=args.rounds, engine=args.engine,
@@ -393,6 +439,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
             backend=args.backend,
+            batch_replicates=args.batch_replicates,
         )
         registry.put(report.scenario, TunedConfig(
             algorithm=report.algorithm,
@@ -458,6 +505,7 @@ def cmd_leaderboard(args: argparse.Namespace) -> int:
         cache=_cache_from(args),
         metrics=metrics,
         backend=args.backend,
+        batch_replicates=args.batch_replicates,
     )
     print(format_table(
         leaderboard_rows(payload),
@@ -595,7 +643,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--engine", choices=sorted(ENGINES), default="rounds",
                        help="execution model: synchronous rounds, the "
                             "vectorized rounds-fast path (identical results, "
-                            "built for large N), the asynchronous "
+                            "built for large N), rounds-batch (rounds-fast "
+                            "plus runner-level seed-replicate batching — "
+                            "bit-identical per seed), the asynchronous "
                             "discrete-event engine, its batched events-fast "
                             "twin (identical records), or the divisible-load "
                             "fluid engine (fluid-* algorithms only)")
@@ -625,6 +675,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "reference loop) or 'pool' (persistent chunked "
                             "worker pool, reused across grids); default "
                             "follows --workers")
+
+    def add_batch_replicates(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--batch-replicates", type=int, default=None,
+                       metavar="N",
+                       help="group up to N seed replicates of one "
+                            "(scenario, algorithm) cell into a single "
+                            "replicate-batched rounds-fast simulation "
+                            "(bit-identical per seed; other engines run "
+                            "solo); default: off")
 
     all_algorithms = sorted(ALGORITHMS) + sorted(FLUID_FACTORIES)
 
@@ -677,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(p_grid)
     add_cache_args(p_grid)
     add_backend(p_grid)
+    add_batch_replicates(p_grid)
     p_grid.set_defaults(fn=cmd_run_grid)
 
     p_prof = sub.add_parser(
@@ -696,6 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="where to write the Chrome trace-event JSON "
                              "(chrome://tracing / https://ui.perfetto.dev)")
+    p_prof.add_argument("--batch-replicates", type=int, default=1,
+                        metavar="N",
+                        help="profile N seed replicates (seeds SEED..SEED+N-1) "
+                             "as one replicate-batched rounds-fast run under "
+                             "the counters probe; prints the batch.* "
+                             "counters (rounds-fast engine only)")
     p_prof.set_defaults(fn=cmd_profile)
 
     def scenario_or_all(value: str) -> str:
@@ -751,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "into (created if missing)")
     add_cache_args(p_tune)
     add_backend(p_tune)
+    add_batch_replicates(p_tune)
     p_tune.set_defaults(fn=cmd_tune)
 
     p_board = sub.add_parser(
@@ -788,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the deterministic leaderboard JSON here")
     add_cache_args(p_board)
     add_backend(p_board)
+    add_batch_replicates(p_board)
     p_board.set_defaults(fn=cmd_leaderboard)
 
     p_cache = sub.add_parser(

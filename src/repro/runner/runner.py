@@ -29,6 +29,7 @@ Two scaling levers ride on top of the backend seam:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from os import PathLike
@@ -38,11 +39,23 @@ from repro.runner.backends import ExecutionBackend, resolve_backend
 from repro.runner.cache import ResultCache
 from repro.runner.sink import ColumnarResultLog, default_metrics
 from repro.runner.spec import RunSpec
-from repro.runner.worker import execute_payload
+from repro.runner.worker import execute_batch_payload, execute_payload
 from repro.sim import SimulationResult
 
 #: progress callback signature: (outcome, completed count, total count)
 ProgressFn = Callable[["RunOutcome", int, int], None]
+
+
+def _execute_task(item: dict) -> dict:
+    """Dispatch one backend task: a plain spec dict or a batch bundle.
+
+    Module-level (picklable for the pool backend) and resolved through
+    this module's globals, so tests that monkeypatch
+    ``runner.execute_payload`` keep intercepting serial execution.
+    """
+    if item.get("__batch__"):
+        return execute_batch_payload(item)
+    return execute_payload(item)
 
 
 @dataclass
@@ -182,6 +195,46 @@ class RunOutcome:
         return row
 
 
+def _replicate_tasks(
+    specs: Sequence[RunSpec],
+    pending: Sequence[int],
+    batch_replicates: int | None,
+) -> list[list[int]]:
+    """Partition pending spec indices into execution tasks.
+
+    Specs that are identical up to ``seed`` — same canonical dict minus
+    the seed field — and eligible for replicate batching (rounds-fast
+    engine, null probe, and either ``batch_replicates > 1`` or a
+    spec-level ``rounds-batch`` request) are grouped into one batched
+    task of at most ``batch_replicates`` replicates (unbounded for
+    spec-level requests without a grid-level cap). Everything else
+    stays a singleton task. Group membership follows pending order, so
+    tasks — and therefore batches — are deterministic for a given grid.
+    """
+    cap = batch_replicates if batch_replicates and batch_replicates > 1 else None
+    tasks: list[list[int]] = []
+    open_group: dict[str, list[int]] = {}
+    for i in pending:
+        spec = specs[i]
+        wanted = cap is not None or getattr(spec, "batch_requested", False)
+        if not (wanted and spec.engine == "rounds-fast"
+                and spec.probe == "null"):
+            tasks.append([i])
+            continue
+        d = spec.to_dict()
+        del d["seed"]
+        key = json.dumps(d, sort_keys=True, separators=(",", ":"))
+        group = open_group.get(key)
+        if group is None:
+            group = []
+            open_group[key] = group
+            tasks.append(group)
+        group.append(i)
+        if cap is not None and len(group) >= cap:
+            del open_group[key]
+    return tasks
+
+
 def run_grid(
     specs: Sequence[RunSpec],
     workers: int = 1,
@@ -191,6 +244,7 @@ def run_grid(
     backend: ExecutionBackend | str | None = None,
     sink: ColumnarResultLog | None = None,
     keep_results: bool = True,
+    batch_replicates: int | None = None,
 ) -> list[RunOutcome]:
     """Execute every spec, replaying cached results and fanning out the rest.
 
@@ -235,6 +289,17 @@ def run_grid(
         are bit-identical to the full path (they were computed by the
         same function at store time and round-trip exactly through
         JSON).
+    batch_replicates:
+        ``N > 1`` groups cache-missing specs that are identical up to
+        ``seed`` (rounds-fast engine, null probe) into batched tasks of
+        up to N replicates, each executed as one
+        :class:`~repro.sim.BatchSimulator` run. Transparent: every
+        replicate's result is bit-identical to its solo execution, so
+        per-spec outcomes, cache entries, index lines and sink rows are
+        exactly what the unbatched path produces — batched and solo
+        runs share cache keys and interoperate freely. Specs built with
+        ``engine="rounds-batch"`` opt in at spec level even when this
+        is None (then a group spans all matching replicates).
 
     Returns
     -------
@@ -298,13 +363,16 @@ def run_grid(
         else:
             pending.append(i)
 
-    # Pass 2: execute the misses through the backend.
+    # Pass 2: execute the misses through the backend. Seed replicates
+    # of one spec family may ride together as one batched task; each
+    # replicate still lands as its own outcome/cache entry/sink row,
+    # bit-identical to a solo execution.
     spawned_before = int(exec_backend.stats().get("workers_spawned", 0))
     if pending:
         started = time.perf_counter()
+        tasks = _replicate_tasks(specs, pending, batch_replicates)
 
-        def collect(rank: int, payload: dict, task_s: float) -> None:
-            i = pending[rank]
+        def collect_one(i: int, payload: dict, task_s: float) -> None:
             result = SimulationResult.from_dict(payload)
             # Metrics are computed for every fresh result: the cache
             # indexes them, so a later keep_results=False replay of
@@ -324,9 +392,30 @@ def run_grid(
                           metrics=spec_metrics)
             emit(i, outcome)
 
+        def collect(rank: int, payload: dict, task_s: float) -> None:
+            group = tasks[rank]
+            if len(group) == 1:
+                collect_one(group[0], payload, task_s)
+                return
+            # One batched task: split its payload back into per-spec
+            # results (spec order), sharing the in-worker seconds
+            # evenly — the replicates ran as one joint loop.
+            share = task_s / len(group)
+            for i, result_payload in zip(group, payload["results"]):
+                collect_one(i, result_payload, share)
+
+        items: list[dict] = []
+        for group in tasks:
+            if len(group) == 1:
+                items.append(specs[group[0]].to_dict())
+            else:
+                items.append({
+                    "__batch__": True,
+                    "specs": [specs[i].to_dict() for i in group],
+                })
         exec_backend.map_timed(
-            execute_payload,
-            [specs[i].to_dict() for i in pending],
+            _execute_task,
+            items,
             on_result=collect,
         )
 

@@ -33,7 +33,14 @@ from repro.exceptions import ConfigurationError
 from repro.rng import seed_for
 
 #: execution models a spec may request (see :mod:`repro.runner.worker`).
-ENGINES = frozenset({"rounds", "rounds-fast", "events", "events-fast", "fluid"})
+#: ``rounds-batch`` is an *alias*, not a distinct model: it requests the
+#: ``rounds-fast`` protocol with replicate batching in the runner, and
+#: canonicalises to ``rounds-fast`` at construction so the cache key —
+#: and therefore every cached result — is shared with plain
+#: ``rounds-fast`` runs (the batched engine is bit-identical per seed).
+ENGINES = frozenset(
+    {"rounds", "rounds-fast", "events", "events-fast", "fluid", "rounds-batch"}
+)
 
 
 @dataclass
@@ -77,7 +84,13 @@ class RunSpec:
         :class:`~repro.sim.EventSimulator`), ``"events-fast"`` (the
         same asynchronous protocol through
         :class:`~repro.sim.EventFastSimulator`'s batched wake waves
-        and columnar event buffers — identical records) or ``"fluid"`` (the
+        and columnar event buffers — identical records),
+        ``"rounds-batch"`` (an alias for ``"rounds-fast"`` that
+        additionally asks the runner to group seed replicates into one
+        :class:`~repro.sim.BatchSimulator` run; canonicalised to
+        ``"rounds-fast"`` at construction — same canonical JSON, same
+        cache key — with the request kept as the non-serialised
+        ``batch_requested`` flag) or ``"fluid"`` (the
         divisible-load :class:`~repro.sim.FluidSimulator`; requires a
         fluid algorithm). The fluid engine is a *projection*: it
         simulates the scenario's initial per-node load surface in the
@@ -123,6 +136,15 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; available: {sorted(ENGINES)}"
             )
+        # "rounds-batch" asks the *runner* to group seed replicates into
+        # one batched simulation; per replicate the records are
+        # bit-identical to rounds-fast, so the spec canonicalises to
+        # rounds-fast — identical canonical JSON, identical cache key,
+        # and batched/solo caches interoperate. The request survives as
+        # a non-serialised flag the runner's grouping pass reads.
+        self.batch_requested = self.engine == "rounds-batch"
+        if self.batch_requested:
+            self.engine = "rounds-fast"
         # Canonicalise the recorder spec (e.g. "thin:05" -> "thin:5") so
         # equivalent specs share one cache key; raises on unknown specs.
         from repro.sim.recording import recorder_tag
@@ -271,19 +293,43 @@ def expand_grid(
     engine: str = "rounds",
     recorder: str = "full",
     probe: str = "null",
+    order: str = "scenario-major",
 ) -> list[RunSpec]:
-    """Cartesian (scenario × algorithm × seed) product, scenario-major.
+    """Cartesian (scenario × algorithm × seed) product.
 
-    The order is deterministic (scenarios, then algorithms, then seeds,
-    each in the given order) so serial and parallel executions of the
-    same grid agree on spec indices.
+    The order is deterministic so serial and parallel executions of the
+    same grid agree on spec indices. ``order`` selects which axis is
+    the major (slowest-varying, outermost) one:
+
+    * ``"scenario-major"`` (the default, the historical order):
+      scenarios, then algorithms, then seeds — all replicates of one
+      (scenario, algorithm) cell are adjacent, which is the layout
+      replicate batching (``run_grid(..., batch_replicates=...)``)
+      groups most naturally (grouping is key-based, so any order is
+      *correct* — adjacency just keeps batches and progress output
+      aligned with the caller's reading order).
+    * ``"seed-major"``: seeds, then scenarios, then algorithms — one
+      complete replicate of the whole grid lands before the next seed
+      starts, so partial executions yield full (scenario × algorithm)
+      coverage early.
+
+    Either way the outcome list of :func:`~repro.runner.runner.run_grid`
+    matches the spec list index-for-index; callers that slice outcomes
+    positionally (rather than grouping by spec fields) must pass the
+    order explicitly instead of assuming one.
     """
     if not scenarios or not algorithms or not seeds:
         raise ConfigurationError(
             "expand_grid needs at least one scenario, algorithm and seed"
         )
-    return [
-        RunSpec(
+    if order not in ("scenario-major", "seed-major"):
+        raise ConfigurationError(
+            f"unknown expand_grid order {order!r}; "
+            f"available: ['scenario-major', 'seed-major']"
+        )
+
+    def build(sc: str, alg: str, seed: int) -> RunSpec:
+        return RunSpec(
             scenario=sc,
             algorithm=alg,
             seed=int(seed),
@@ -295,6 +341,16 @@ def expand_grid(
             recorder=recorder,
             probe=probe,
         )
+
+    if order == "seed-major":
+        return [
+            build(sc, alg, seed)
+            for seed in seeds
+            for sc in scenarios
+            for alg in algorithms
+        ]
+    return [
+        build(sc, alg, seed)
         for sc in scenarios
         for alg in algorithms
         for seed in seeds

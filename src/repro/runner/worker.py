@@ -26,14 +26,26 @@ counterpart and are not forwarded.
 picklable by reference) and returning the JSON payload rather than the
 result object, so the bytes that cross the process boundary are exactly
 the bytes that would be written to the cache.
+
+``execute_batch`` is the replicate-batched sibling: a group of specs
+identical up to ``seed`` becomes one :class:`~repro.sim.BatchSimulator`
+run — the scenario topology is built once and shared across the lanes,
+and each lane's result is bit-identical to what :func:`execute_spec`
+would have produced for that seed alone (the batched engine's
+contract). ``execute_task_payload`` is the pool entry point that
+dispatches between the two shapes, so one ``map_timed`` call carries a
+mix of plain and batched tasks.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.runner.registry import make_balancer
 from repro.runner.spec import RunSpec
 from repro.sim import (
+    BatchSimulator,
     EventFastSimulator,
     EventSimulator,
     FastSimulator,
@@ -93,6 +105,73 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     return sim.run(max_rounds=spec.max_rounds)
 
 
+def execute_batch(specs: Sequence[RunSpec]) -> list[SimulationResult]:
+    """Run replicate specs as one batched simulation; results per spec.
+
+    The specs must be identical up to ``seed``, request the
+    ``rounds-fast`` engine and carry the null probe (the runner's
+    grouping pass guarantees all three). The scenario is built once per
+    seed but the *topology* only once — every lane shares the first
+    lane's topology object, which is what lets
+    :class:`~repro.sim.BatchSimulator` reuse one CSR adjacency across
+    the batch. Topology construction consumes no randomness, so the
+    shared object is exactly what each lane would have built itself,
+    and each lane's result is bit-identical to a solo
+    :func:`execute_spec` of that spec.
+    """
+    if not specs:
+        raise ConfigurationError("execute_batch needs at least one spec")
+    first = specs[0]
+    for spec in specs:
+        if spec.engine != "rounds-fast":
+            raise ConfigurationError(
+                f"replicate batching runs the rounds-fast engine only, "
+                f"got {spec.engine!r}"
+            )
+    if len(specs) == 1:
+        return [execute_spec(first)]
+    sims = []
+    topology = None
+    for spec in specs:
+        scenario = build_scenario(
+            spec.scenario, seed=spec.seed, topology=topology,
+            **spec.scenario_kwargs,
+        )
+        if topology is None:
+            topology = scenario.topology
+        balancer = make_balancer(spec.algorithm, **spec.algorithm_kwargs)
+        sim_kwargs: dict = {
+            "links": scenario.links,
+            "dynamic": scenario.dynamic,
+            "node_speeds": scenario.node_speeds,
+            "seed": spec.seed,
+            "recorder": spec.recorder,
+            "probe": spec.probe,
+            **spec.sim_kwargs,
+        }
+        sims.append(FastSimulator(
+            scenario.topology, scenario.system, balancer, **sim_kwargs
+        ))
+    return BatchSimulator(sims).run(max_rounds=first.max_rounds)
+
+
 def execute_payload(spec_dict: dict) -> dict:
     """Pool-side wrapper: plain-dict spec in, JSON result payload out."""
     return execute_spec(RunSpec.from_dict(spec_dict)).to_dict()
+
+
+def execute_batch_payload(item: dict) -> dict:
+    """Pool-side wrapper for one batched task: ``{"specs": [...]}`` in,
+    ``{"results": [...]}`` out (payloads in spec order)."""
+    specs = [RunSpec.from_dict(d) for d in item["specs"]]
+    return {"results": [r.to_dict() for r in execute_batch(specs)]}
+
+
+def execute_task_payload(item: dict) -> dict:
+    """Pool entry point for mixed grids: dispatches a plain spec dict to
+    :func:`execute_payload` and a ``{"__batch__": True, "specs": [...]}``
+    task to :func:`execute_batch_payload`, so one ``map_timed`` pass
+    carries both shapes."""
+    if item.get("__batch__"):
+        return execute_batch_payload(item)
+    return execute_payload(item)

@@ -22,6 +22,13 @@ start; balancers observe the state and order one-hop migrations.
   :class:`EventSimulator` bit for bit on every clock model.
 * :class:`FluidSimulator` — divisible-load simulation for the diffusion-
   family theory checks.
+* :class:`BatchSimulator` — S independent seed replicates of one
+  scenario as a single vectorised simulation (``engine="rounds-batch"``
+  through the runner): Phase-A hop scores and Phase-B screens are
+  batched across the replicate axis over one shared CSR adjacency,
+  while per-replicate RNG streams stay untouched — each replicate's
+  records, final loads and terminal RNG state are bit-identical to a
+  solo :class:`FastSimulator` run of that seed.
 * :mod:`kernel <repro.sim.kernel>` — the shared
   :class:`SimulationLoop`: every engine above is a thin driver
   supplying its round body, the kernel owns the lifecycle (observe,
@@ -38,6 +45,7 @@ start; balancers observe the state and order one-hop migrations.
 * :class:`SimulationResult` — columnar per-round history + summary.
 """
 
+from repro.sim.batch import BatchSimulator
 from repro.sim.engine import FastSimulator, FluidSimulator, Simulator
 from repro.sim.event_buffers import ArrivalBuffer, WakeSchedule
 from repro.sim.events import EventFastSimulator, EventSimulator
@@ -72,6 +80,7 @@ __all__ = [
     "EventSimulator",
     "EventFastSimulator",
     "FluidSimulator",
+    "BatchSimulator",
     "WakeSchedule",
     "ArrivalBuffer",
     "SimulationLoop",

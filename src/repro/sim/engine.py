@@ -304,8 +304,15 @@ class Simulator(TaskStateMixin, RoundDriver):
             self._wire.clear()
         return self._rounds_done
 
-    def play_round(self, round_index: int) -> RoundStats:
-        """One synchronous round: faults → deliver → churn → step → apply."""
+    def round_begin(self, round_index: int) -> np.ndarray:
+        """Pre-step round work: faults → deliver → churn. Returns ``up``.
+
+        Split out of :meth:`play_round` so a caller coordinating several
+        simulators (replicate batching) can advance every replicate to
+        the balancer-step boundary, precompute cross-replicate work, and
+        then feed each balancer individually — with the exact same
+        sequence of state mutations a solo :meth:`play_round` performs.
+        """
         if self.fault_model is not None:
             self.fault_model.advance(round_index)
             up = self.fault_model.up_mask()
@@ -316,9 +323,12 @@ class Simulator(TaskStateMixin, RoundDriver):
 
         if self.dynamic is not None:
             self._churn()
+        return up
 
-        ctx = self._context(round_index, up)
-        migrations = self.balancer.step(ctx)
+    def round_apply(
+        self, migrations: list[Migration], up: np.ndarray, round_index: int
+    ) -> RoundStats:
+        """Post-step round work: validate/apply orders, package the stats."""
         applied, work, heat, blocked = self._apply(migrations, up, round_index)
         return RoundStats(
             applied=applied,
@@ -327,6 +337,13 @@ class Simulator(TaskStateMixin, RoundDriver):
             blocked=blocked,
             n_tasks=self.system.n_tasks,
         )
+
+    def play_round(self, round_index: int) -> RoundStats:
+        """One synchronous round: faults → deliver → churn → step → apply."""
+        up = self.round_begin(round_index)
+        ctx = self._context(round_index, up)
+        migrations = self.balancer.step(ctx)
+        return self.round_apply(migrations, up, round_index)
 
     def finish(self, next_round: int) -> None:
         self._rounds_done = next_round

@@ -41,7 +41,13 @@ from repro.sim.recording import RecorderSpec, make_recorder
 from repro.sim.results import SimulationResult
 from repro.sim.telemetry import ProbeSpec, make_probe
 
-__all__ = ["RoundStats", "RoundDriver", "TaskStateMixin", "SimulationLoop"]
+__all__ = [
+    "RoundStats",
+    "RoundDriver",
+    "TaskStateMixin",
+    "RunState",
+    "SimulationLoop",
+]
 
 
 @dataclass
@@ -146,6 +152,28 @@ class TaskStateMixin:
                 self.resources.drop_task(tid)
 
 
+@dataclass
+class RunState:
+    """In-progress run bookkeeping between :meth:`SimulationLoop.begin`
+    and :meth:`SimulationLoop.end`.
+
+    ``r`` is the *next* round to play; after the loop it equals the
+    number of rounds completed plus the starting base, which is exactly
+    what :meth:`RoundDriver.finish` expects. ``done`` flips when the
+    run converged or exhausted its round budget — callers interleaving
+    several runs (the replicate-batched engine) drop a state from their
+    active set the moment it is done.
+    """
+
+    result: SimulationResult
+    r: int
+    end_round: int
+    start: float
+    quiet: int = 0
+    converged_at: int | None = None
+    done: bool = False
+
+
 class SimulationLoop:
     """The run loop shared by every engine.
 
@@ -180,88 +208,130 @@ class SimulationLoop:
 
     def run(self, max_rounds: int = 1000, reset: bool = True) -> SimulationResult:
         """Simulate up to *max_rounds* rounds (early exit on convergence)."""
-        if max_rounds < 1:
-            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
         driver = self.driver
-        crit = driver.criteria
-        recorder = self.recorder
         probe = self.probe
-        # One boolean, loaded once: the whole per-phase instrumentation
-        # below reduces to `if traced` checks under the null probe.
         traced = probe.enabled
         perf = time.perf_counter
 
+        state = self.begin(max_rounds, reset)
+        while not state.done:
+            if traced:
+                t0 = perf()
+            stats = driver.play_round(state.r)
+            if traced:
+                probe.span("play_round", t0, perf())
+            self.observe_round(state, stats)
+        return self.end(state)
+
+    def begin(self, max_rounds: int = 1000, reset: bool = True) -> RunState:
+        """Start a run: validate, snapshot the initial surface, prepare.
+
+        Together with :meth:`observe_round` and :meth:`end` this is the
+        exploded form of :meth:`run`: ``begin`` covers everything up to
+        the first ``play_round``, ``observe_round`` covers everything a
+        round does *after* the driver has played it (observation,
+        recording, convergence), and ``end`` the post-loop epilogue.
+        The decomposition lets a caller drive several loops in
+        lock-step (replicate batching) while each run stays bit-
+        identical to a solo :meth:`run`.
+        """
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        driver = self.driver
         result = SimulationResult(balancer_name=driver.balancer.name)
         result.initial_summary = imbalance_summary(driver.observed_loads())
         start = time.perf_counter()
-        recorder.start()
-        probe.start()
+        self.recorder.start()
+        self.probe.start()
         base = driver.prepare(reset)
+        return RunState(result=result, r=base, end_round=base + max_rounds,
+                        start=start)
 
-        quiet = 0
-        converged_at: int | None = None
-        r = base
-        t0 = t1 = t2 = t3 = 0.0
+    def observe_round(
+        self,
+        state: RunState,
+        stats: RoundStats,
+        summ: dict[str, float] | None = None,
+    ) -> None:
+        """Record round ``state.r``'s stats and run the convergence check.
 
-        for r in range(base, base + max_rounds):
-            if traced:
-                t0 = perf()
-            stats = driver.play_round(r)
-            if traced:
-                t1 = perf()
-                probe.span("play_round", t0, t1)
+        The caller has just played round ``state.r``; this advances
+        ``state.r`` past it and flips ``state.done`` on convergence or
+        round-budget exhaustion. *summ* lets a caller hand in this
+        round's :func:`imbalance_summary` of ``driver.observed_loads()``
+        when it already computed it (the replicate-batched engine stacks
+        the reduction across replicates); the values must be bitwise
+        equal to what the kernel would compute itself.
+        """
+        driver = self.driver
+        crit = driver.criteria
+        probe = self.probe
+        traced = probe.enabled
+        perf = time.perf_counter
+        r = state.r
+        t1 = t2 = t3 = 0.0
+
+        if traced:
+            t1 = perf()
+        if summ is None:
             summ = imbalance_summary(driver.observed_loads())
-            if traced:
-                t2 = perf()
-                probe.span("observe", t1, t2)
-            recorder.observe(
-                r,
-                stats.applied,
-                stats.work,
-                stats.heat,
-                summ["cov"],
-                summ["spread"],
-                summ["max"],
-                summ["min"],
-                driver.in_flight_now(),
-                stats.blocked,
-                stats.n_tasks,
-                stats.asleep,
+        if traced:
+            t2 = perf()
+            probe.span("observe", t1, t2)
+        self.recorder.observe(
+            r,
+            stats.applied,
+            stats.work,
+            stats.heat,
+            summ["cov"],
+            summ["spread"],
+            summ["max"],
+            summ["min"],
+            driver.in_flight_now(),
+            stats.blocked,
+            stats.n_tasks,
+            stats.asleep,
+        )
+        if traced:
+            t3 = perf()
+            probe.span("record", t2, t3)
+
+        converged_now = False
+        if driver.fluid_mode:
+            if summ["spread"] <= crit.spread_tol and r + 1 >= crit.min_rounds:
+                state.converged_at = r
+                converged_now = True
+        elif driver.dynamic is None:
+            # Convergence detection (skipped under churn: there is
+            # no quiescent state to converge to).
+            idle = driver.balancer.idle()
+            balanced_enough = (
+                crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
             )
-            if traced:
-                t3 = perf()
-                probe.span("record", t2, t3)
-
-            converged_now = False
-            if driver.fluid_mode:
-                if summ["spread"] <= crit.spread_tol and r + 1 >= crit.min_rounds:
-                    converged_at = r
-                    converged_now = True
-            elif driver.dynamic is None:
-                # Convergence detection (skipped under churn: there is
-                # no quiescent state to converge to).
-                idle = driver.balancer.idle()
-                balanced_enough = (
-                    crit.spread_tol > 0 and summ["spread"] <= crit.spread_tol
+            if stats.applied == 0 and idle and driver.in_transit_count() == 0:
+                state.quiet += 1
+            else:
+                state.quiet = 0
+            if r + 1 >= crit.min_rounds and (
+                state.quiet >= crit.quiet_rounds or (balanced_enough and idle)
+            ):
+                state.converged_at = (
+                    r - state.quiet + 1 if state.quiet >= crit.quiet_rounds else r
                 )
-                if stats.applied == 0 and idle and driver.in_transit_count() == 0:
-                    quiet += 1
-                else:
-                    quiet = 0
-                if r + 1 >= crit.min_rounds and (
-                    quiet >= crit.quiet_rounds or (balanced_enough and idle)
-                ):
-                    converged_at = r - quiet + 1 if quiet >= crit.quiet_rounds else r
-                    converged_now = True
-            if traced:
-                probe.span("converge", t3, perf())
-            if converged_now:
-                break
+                converged_now = True
+        if traced:
+            probe.span("converge", t3, perf())
+        state.r = r + 1
+        state.done = converged_now or state.r >= state.end_round
 
-        driver.finish(r + 1)
-        result.converged_round = converged_at
+    def end(self, state: RunState) -> SimulationResult:
+        """Finish a run started by :meth:`begin`; return its result."""
+        driver = self.driver
+        driver.finish(state.r)
+        result = state.result
+        result.converged_round = state.converged_at
         result.final_summary = imbalance_summary(driver.observed_loads())
-        recorder.finalize(result)
-        result.wall_time_s = time.perf_counter() - start
-        probe.finalize(result)
+        self.recorder.finalize(result)
+        result.wall_time_s = time.perf_counter() - state.start
+        self.probe.finalize(result)
         return result

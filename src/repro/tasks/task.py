@@ -51,6 +51,7 @@ class TaskSystem:
         self._location = np.full(cap, -1, dtype=np.int64)
         self._alive = np.zeros(cap, dtype=bool)
         self._count = 0
+        self._n_alive = 0
         self._node_loads = np.zeros(self._n_nodes, dtype=np.float64)
         self._node_tasks: list[set[int]] = [set() for _ in range(self._n_nodes)]
         self._moves = 0
@@ -90,6 +91,7 @@ class TaskSystem:
         self._loads[tid] = float(load)
         self._location[tid] = node
         self._alive[tid] = True
+        self._n_alive += 1
         self._node_loads[node] += float(load)
         self._node_tasks[node].add(tid)
         if self._floor is not None:
@@ -109,6 +111,7 @@ class TaskSystem:
             if self._floor is not None:
                 self._floor_dirty.add(node)
         self._alive[tid] = False
+        self._n_alive -= 1
         self._location[tid] = -1
 
     def move(self, tid: int, dest: int) -> None:
@@ -196,8 +199,8 @@ class TaskSystem:
 
     @property
     def n_tasks(self) -> int:
-        """Number of *alive* tasks."""
-        return int(self._alive[: self._count].sum())
+        """Number of *alive* tasks (O(1), maintained on create/remove)."""
+        return self._n_alive
 
     @property
     def n_created(self) -> int:

@@ -45,6 +45,7 @@ def build_leaderboard(
     cache: ResultCache | str | PathLike | None = None,
     metrics: RunnerMetrics | None = None,
     backend=None,
+    batch_replicates: int | None = None,
 ) -> dict:
     """Run the comparison matrix and return the leaderboard payload.
 
@@ -116,8 +117,12 @@ def build_leaderboard(
                     specs.append(spec)
                     coords.append((spec.scenario, engine, display, overrides))
 
+    # batch_replicates groups each entrant's seed axis into one
+    # replicate-batched simulation (rounds-fast cells only; other
+    # engines run solo). Bit-identical per seed, so every row, rank and
+    # the full payload are byte-identical to the unbatched build.
     outcomes = run_grid(specs, workers=workers, cache=cache, metrics=metrics,
-                        backend=backend)
+                        backend=backend, batch_replicates=batch_replicates)
 
     # ------------------------- aggregation -------------------------- #
     cells: dict[tuple[str, str, str], dict] = {}

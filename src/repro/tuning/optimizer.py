@@ -162,12 +162,13 @@ class _Evaluator:
 
     def __init__(self, report: TuneReport, seeds: Sequence[int],
                  workers: int, cache: ResultCache | None,
-                 backend=None):
+                 backend=None, batch_replicates: int | None = None):
         self.report = report
         self.seeds = list(seeds)
         self.workers = workers
         self.cache = cache
         self.backend = backend
+        self.batch_replicates = batch_replicates
         # canonical-json -> {rounds -> score}: dedup repeated evals (the
         # GA may re-propose a known candidate; the cache would absorb
         # the cost anyway, but the eval count should not double-book).
@@ -196,7 +197,7 @@ class _Evaluator:
             spec_of.append(fresh[-1])
         outcomes = run_grid(
             fresh, workers=self.workers, cache=self.cache,
-            backend=self.backend,
+            backend=self.backend, batch_replicates=self.batch_replicates,
         ) if fresh else []
         self.report.n_specs += len(fresh)
         self.report.cache_hits += sum(1 for o in outcomes if o.cached)
@@ -238,6 +239,7 @@ def tune_scenario(
     workers: int = 1,
     cache: ResultCache | str | PathLike | None = None,
     backend=None,
+    batch_replicates: int | None = None,
 ) -> TuneReport:
     """Search the balancer parameter space for one scenario family.
 
@@ -265,6 +267,12 @@ def tune_scenario(
         ``"pool"``) keeps the *same* warm worker processes across every
         halving rung and GA generation — one spawn per worker for the
         whole session instead of one pool per evaluation batch.
+    batch_replicates:
+        Forwarded to :func:`~repro.runner.run_grid`: groups each
+        candidate's ``eval_seeds`` repetitions into one replicate-
+        batched simulation (rounds-fast engine only). Bit-identical per
+        replicate, so the winner, every score and the whole history are
+        unchanged — only the evaluation wall time drops.
 
     Returns
     -------
@@ -295,6 +303,7 @@ def tune_scenario(
         workers=workers,
         cache=cache,
         backend=backend,
+        batch_replicates=batch_replicates,
     )
 
     # crc32 is stable across processes and Python versions, unlike

@@ -535,16 +535,27 @@ class ScenarioSpec:
 
     # ------------------------------ build ----------------------------- #
 
-    def build(self, seed: RngLike = 0) -> Scenario:
+    def build(self, seed: RngLike = 0, topology=None) -> Scenario:
         """Realise the spec into a :class:`Scenario`.
 
         Each component kind consumes its own derived stream
         (:data:`STREAMS`), so component choices never perturb each
         other's draws and legacy aliases reproduce their historical
         constructors bit for bit.
+
+        *topology* optionally supplies a pre-built topology to use
+        instead of building one. Topology construction consumes no seed
+        (networks are deterministic given the spec), so passing the
+        topology built by the same spec yields a value-identical
+        scenario — the replicate-batched engine uses this to share one
+        :class:`~repro.network.topology.Topology` object (and its CSR
+        adjacency) across all seeds of a batch.
         """
-        topo = self.topology.component.build(**self.topology.component.resolved(
-            self.topology.kwargs_dict()))
+        if topology is not None:
+            topo = topology
+        else:
+            topo = self.topology.component.build(**self.topology.component.resolved(
+                self.topology.kwargs_dict()))
         links_comp = self.links.component
         links = links_comp.build(
             topo, derive(seed, STREAMS["links"]),

@@ -307,11 +307,15 @@ SCENARIO_KWARGS = frozenset(
 )
 
 
-def build_scenario(name: str, seed: RngLike = 0, **kwargs) -> Scenario:
+def build_scenario(
+    name: str, seed: RngLike = 0, topology=None, **kwargs
+) -> Scenario:
     """Build a scenario by registered *name* or composed string.
 
     Extra keyword arguments override component parameters (e.g.
     ``side=16``, ``n_tasks=2048``); see the module docstring for how
-    they are routed and validated.
+    they are routed and validated. *topology* optionally reuses a
+    pre-built topology (see :meth:`ScenarioSpec.build`) — replicate
+    batching shares one topology object across the seeds of a batch.
     """
-    return resolve_scenario(name, kwargs).build(seed)
+    return resolve_scenario(name, kwargs).build(seed, topology=topology)
